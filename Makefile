@@ -1,0 +1,34 @@
+# Convenience targets for the POSG reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# regenerate every paper figure without pytest
+figures:
+	$(PYTHON) -m repro.experiments all
+
+# paper-scale reproduction (hours of CPU)
+figures-paper-scale:
+	REPRO_REPS=100 $(PYTHON) -m repro.experiments all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/policy_comparison.py 16384 5
+	$(PYTHON) examples/queue_dynamics.py
+	$(PYTHON) examples/load_shift_adaptation.py
+	$(PYTHON) examples/tweet_enrichment_topology.py 50000 5
+	$(PYTHON) examples/sketch_playground.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info

@@ -1,0 +1,128 @@
+"""Theorems 3.1-3.3 — time, space and communication complexity.
+
+- Theorem 3.1: per-tuple instance update is O(log 1/delta) = O(rows);
+  scheduler submit is O(k + rows).  We measure both and check that
+  runtime scales with rows, not with the stream length or universe size.
+- Theorem 3.2: per-instance space is two rows x cols matrices; we check
+  the byte footprint scales accordingly.
+- Theorem 3.3: O(k m / N) control messages; we count messages in a full
+  simulation and compare against the bound.
+"""
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import POSGGrouping
+from repro.core.instance import InstanceTracker
+from repro.core.matrices import make_shared_hashes
+from repro.core.scheduler import POSGScheduler
+from repro.simulator.run import simulate_stream
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+
+def make_tracker(rows, cols=54, window=10**9):
+    config = POSGConfig(rows=rows, cols=cols, window_size=window)
+    hashes = make_shared_hashes(config, np.random.default_rng(0))
+    return InstanceTracker(0, config, hashes)
+
+
+def test_instance_update_cost(benchmark):
+    """One tracker update; O(rows) work."""
+    tracker = make_tracker(rows=4)
+    items = iter(np.random.default_rng(1).integers(0, 4096, size=10**7))
+
+    def update():
+        tracker.execute(int(next(items)), 3.0)
+
+    benchmark(update)
+
+
+def test_scheduler_submit_cost(benchmark):
+    """One scheduler submit in RUN state; O(k + rows) work."""
+    config = POSGConfig(rows=4, cols=54, window_size=64)
+    stream = generate_stream(
+        ZipfItems(512, 1.0), StreamSpec(m=2000, n=512, k=5),
+        np.random.default_rng(2),
+    )
+    policy = POSGGrouping(config)
+    simulate_stream(stream, policy, k=5, rng=np.random.default_rng(3))
+    scheduler = policy.scheduler
+    items = iter(np.random.default_rng(4).integers(0, 512, size=10**7))
+
+    def submit():
+        scheduler.submit(int(next(items)))
+
+    benchmark(submit)
+
+
+def test_update_cost_scales_with_rows_not_universe(benchmark):
+    """Theorem 3.1: cost depends on rows, not n or m."""
+    import time
+
+    def time_updates(rows, n, count=20_000):
+        tracker = make_tracker(rows=rows)
+        items = np.random.default_rng(5).integers(0, n, size=count)
+        start = time.perf_counter()
+        for item in items:
+            tracker.execute(int(item), 1.0)
+        return time.perf_counter() - start
+
+    def run():
+        return (
+            time_updates(rows=4, n=64),
+            time_updates(rows=4, n=10**9),
+            time_updates(rows=1, n=4096),
+            time_updates(rows=16, n=4096),
+        )
+
+    small_universe, large_universe, shallow, deep = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # same rows, universe 7 orders of magnitude larger: cost comparable
+    assert large_universe < 3.0 * small_universe
+    # 16x the rows must cost clearly more than 1 row (linearity in rows)
+    assert deep > 2.0 * shallow
+
+
+def test_space_complexity(benchmark):
+    """Theorem 3.2: two rows x cols counter matrices per instance."""
+
+    def build():
+        return make_tracker(rows=2, cols=10), make_tracker(rows=4, cols=100)
+
+    small, large = benchmark.pedantic(build, rounds=1, iterations=1)
+    large = make_tracker(rows=4, cols=100)
+    small_bytes = small._pair.freq.matrix.nbytes + small._pair.work.matrix.nbytes
+    large_bytes = large._pair.freq.matrix.nbytes + large._pair.work.matrix.nbytes
+    assert small_bytes == 2 * 2 * 10 * 8
+    assert large_bytes == 2 * 4 * 100 * 8
+
+    config = POSGConfig(rows=4, cols=54)
+    bits = config.memory_bits(stream_length=32_768, universe_size=4_096)
+    # 2 * r * c * log2(m) + r * log2(n)
+    assert bits == 2 * 4 * 54 * 15 + 4 * 12
+
+
+def test_communication_complexity(benchmark):
+    """Theorem 3.3: O(k m / N) messages; negligible for N >> k."""
+    k, window = 5, 256
+    spec = StreamSpec(m=32_768, k=k)
+    stream = generate_stream(
+        ZipfItems(spec.n, 1.0), spec, np.random.default_rng(6)
+    )
+    config = POSGConfig(rows=4, cols=54, window_size=window)
+
+    def run():
+        return simulate_stream(
+            stream, POSGGrouping(config), k=k, rng=np.random.default_rng(7)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    messages = result.control_messages
+    # Theorem 3.3 bound: O(k m / N) messages; constant ~3 covers the
+    # matrices + piggy-backed requests + replies of each sync round.
+    bound = 3 * k * stream.m / window + 3 * k
+    print(f"\ncontrol messages: {messages} (bound {bound:.0f}, m={stream.m})")
+    assert messages <= bound
+    assert messages < stream.m * 0.05  # negligible vs the data plane

@@ -1,0 +1,168 @@
+"""Beyond-paper extensions, benchmarked.
+
+- **merge decay** on the Figure 10 load-shift scenario: aging bridges
+  the replace (fast adaptation) / merge (sharp estimates) trade-off;
+- **latency-aware scheduling** (the paper's stated future work): with a
+  distant instance and spare capacity, charging assignments their
+  delivery latency beats latency-blind POSG;
+- **policy tournament**: Random < Round-Robin < Two-Choices < POSG <
+  Full-Knowledge on a skewed stream.
+"""
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import (
+    FullKnowledgeGrouping,
+    POSGGrouping,
+    RandomGrouping,
+    RoundRobinGrouping,
+    TwoChoicesGrouping,
+)
+from repro.simulator.run import simulate_stream
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.nonstationary import LoadShiftScenario
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+
+def test_merge_decay_on_load_shift(benchmark):
+    """On a shifting load, decayed merge must recover like replace while
+    keeping merge's estimate quality."""
+    m, k = 65_536, 5
+    scenario = LoadShiftScenario(
+        phases=((1.0,) * 5, (2.0, 1.5, 1.0, 0.75, 0.5)),
+        boundaries=(m // 2,),
+    )
+    stream = generate_stream(
+        ZipfItems(4096, 1.0), StreamSpec(m=m, k=k), np.random.default_rng(0)
+    )
+
+    def run():
+        results = {}
+        for label, merge, decay in [
+            ("replace", False, 1.0),
+            ("merge", True, 1.0),
+            ("merge_decay_0.5", True, 0.5),
+        ]:
+            config = POSGConfig(
+                window_size=256, rows=4, cols=54,
+                merge_matrices=merge, merge_decay=decay,
+            )
+            result = simulate_stream(
+                stream, POSGGrouping(config), k=k, scenario=scenario,
+                rng=np.random.default_rng(1),
+            )
+            # post-shift performance is what the decay is for
+            results[label] = float(
+                result.stats.completions[m // 2:].mean()
+            )
+        return results
+
+    post_shift = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\npost-shift mean completion: {post_shift}")
+    # aging interpolates between its parents: clearly faster adaptation
+    # than pure merge, without replace's full history loss
+    assert post_shift["merge_decay_0.5"] < post_shift["merge"]
+    assert post_shift["merge_decay_0.5"] < 2.0 * post_shift["replace"]
+
+
+def test_latency_aware_scheduling(benchmark):
+    """Paper future work: add network latencies to the load model."""
+    latencies = [0.0, 0.0, 0.0, 300.0]
+    stream = generate_stream(
+        ZipfItems(256, 1.0),
+        StreamSpec(m=16_384, n=256, k=4, over_provisioning=2.0),
+        np.random.default_rng(6),
+    )
+    config = POSGConfig(window_size=64, rows=4, cols=54,
+                        merge_matrices=True, pooled_estimates=True)
+
+    def run():
+        vanilla = simulate_stream(
+            stream, POSGGrouping(config), k=4,
+            data_latency=latencies, rng=np.random.default_rng(7),
+        )
+        aware = simulate_stream(
+            stream, POSGGrouping(config, latency_hints=latencies), k=4,
+            data_latency=latencies, rng=np.random.default_rng(7),
+        )
+        return (vanilla.stats.average_completion_time,
+                aware.stats.average_completion_time)
+
+    vanilla_L, aware_L = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nlatency-blind: {vanilla_L:.1f} ms  latency-aware: {aware_L:.1f} ms")
+    assert aware_L < vanilla_L
+
+
+def test_poisson_arrival_robustness(benchmark):
+    """Beyond-paper robustness: the paper's constant-rate source is the
+    friendliest arrival process; POSG's gain must survive Poisson
+    burstiness (where queues are strictly harder, cf. Kingman)."""
+    config = POSGConfig(window_size=128, rows=4, cols=54,
+                        merge_matrices=True, pooled_estimates=True)
+
+    def run():
+        out = {}
+        for process in ("constant", "poisson"):
+            speedups = []
+            for rep in range(3):
+                stream = generate_stream(
+                    ZipfItems(4096, 1.0),
+                    StreamSpec(m=32_768, k=5, arrival_process=process),
+                    np.random.default_rng(500 + rep),
+                )
+                rr = simulate_stream(stream, RoundRobinGrouping(), k=5)
+                posg = simulate_stream(
+                    stream, POSGGrouping(config), k=5,
+                    rng=np.random.default_rng(600 + rep),
+                )
+                speedups.append(
+                    rr.stats.total_completion_time
+                    / posg.stats.total_completion_time
+                )
+            out[process] = float(np.mean(speedups))
+        return out
+
+    by_process = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nspeedup by arrival process: {by_process}")
+    assert by_process["poisson"] > 1.0
+    # burstiness must not erase the gain entirely
+    assert by_process["poisson"] > 0.5 * by_process["constant"]
+
+
+def test_policy_tournament(benchmark):
+    """The full ordering across five policies on one skewed stream."""
+    stream = generate_stream(
+        ZipfItems(4096, 1.0), StreamSpec(m=32_768, k=5),
+        np.random.default_rng(42),
+    )
+    config = POSGConfig(window_size=128, rows=4, cols=54,
+                        merge_matrices=True, pooled_estimates=True)
+
+    def run():
+        ls = {}
+        ls["random"] = simulate_stream(
+            stream, RandomGrouping(), k=5, rng=np.random.default_rng(1)
+        ).stats.average_completion_time
+        ls["round_robin"] = simulate_stream(
+            stream, RoundRobinGrouping(), k=5
+        ).stats.average_completion_time
+        ls["two_choices"] = simulate_stream(
+            stream, lambda o: TwoChoicesGrouping(o), k=5,
+            rng=np.random.default_rng(2),
+        ).stats.average_completion_time
+        ls["posg"] = simulate_stream(
+            stream, POSGGrouping(config), k=5, rng=np.random.default_rng(3)
+        ).stats.average_completion_time
+        ls["full_knowledge"] = simulate_stream(
+            stream, lambda o: FullKnowledgeGrouping(o), k=5
+        ).stats.average_completion_time
+        return ls
+
+    ls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + "  ".join(f"{k}={v:.0f}ms" for k, v in ls.items()))
+    assert ls["round_robin"] < ls["random"]
+    assert ls["posg"] < ls["round_robin"]
+    assert ls["full_knowledge"] < ls["posg"]
+    # two-choices with an oracle sits between random and full knowledge
+    assert ls["full_knowledge"] < ls["two_choices"] < ls["random"]

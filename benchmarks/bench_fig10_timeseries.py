@@ -1,0 +1,46 @@
+"""Figure 10 — simulator completion-time series around a load shift.
+
+Runs the faithful Section V-A configuration (N = 1024, matrices replaced
+on receipt) on the paper's m = 150,000 two-phase scenario.
+
+Paper shapes asserted:
+
+- POSG and Round-Robin produce *identical* results during POSG's
+  ROUND_ROBIN bootstrap, then POSG diverges downward;
+- after the shift at m/2, POSG re-stabilizes: its final-quarter mean
+  completion time beats Round-Robin's;
+- POSG resynchronizes after the shift (new matrices arrive).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure10_timeseries
+
+
+def test_figure10(benchmark, show):
+    result = benchmark.pedantic(figure10_timeseries, rounds=1, iterations=1)
+    show(result)
+
+    posg = np.array([row["posg_mean"] for row in result.rows])
+    rr = np.array([row["rr_mean"] for row in result.rows])
+    index = np.array([row["index"] for row in result.rows])
+
+    run_entry_note = next(n for n in result.notes if "entered RUN" in n)
+    run_entry = int(run_entry_note.rsplit(" ", 1)[1])
+
+    # identical during the bootstrap (strictly before RUN entry)
+    bootstrap = index < run_entry - 2000
+    assert bootstrap.sum() >= 2
+    np.testing.assert_allclose(posg[bootstrap], rr[bootstrap], rtol=1e-9)
+
+    # divergence after RUN entry: POSG wins over the post-entry stream
+    after = index > run_entry
+    assert posg[after].mean() < rr[after].mean()
+
+    # post-shift recovery: POSG still wins in the final quarter
+    tail = index > index.max() * 0.75
+    assert posg[tail].mean() < rr[tail].mean()
+
+    # the load change triggered at least one extra synchronization
+    sync_note = next(n for n in result.notes if "sync rounds" in n)
+    assert int(sync_note.rsplit(" ", 1)[1]) >= 2

@@ -1,0 +1,48 @@
+"""Figure 11 — the Figure 10 scenario on the Storm-like prototype.
+
+Paper shapes asserted:
+
+- POSG and ASSG identical during the bootstrap, then POSG pulls ahead;
+- ASSG loses tuples to timeouts under the shifted load (the paper
+  reports 1,600 timed-out tuples) while POSG loses none;
+- POSG's control-message overhead stays negligible versus m.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments.figures import figure11_prototype_timeseries
+
+
+def test_figure11(benchmark, show):
+    result = benchmark.pedantic(
+        figure11_prototype_timeseries, rounds=1, iterations=1
+    )
+    show(result)
+
+    posg = np.array([row["posg_mean"] for row in result.rows])
+    assg = np.array([row["assg_mean"] for row in result.rows])
+    valid = ~(np.isnan(posg) | np.isnan(assg))
+
+    # early bins identical (both round-robin while POSG bootstraps)
+    head = valid.copy()
+    head[3:] = False
+    np.testing.assert_allclose(posg[head], assg[head], rtol=1e-6)
+
+    # POSG wins over the second half of the stream
+    half = len(result.rows) // 2
+    second_half = valid.copy()
+    second_half[:half] = False
+    assert np.nanmean(posg[second_half]) < np.nanmean(assg[second_half])
+
+    posg_timeouts = int(next(n for n in result.notes if n.startswith("POSG timeouts")).rsplit(" ", 1)[1])
+    assg_timeouts = int(next(n for n in result.notes if n.startswith("ASSG timeouts")).rsplit(" ", 1)[1])
+    control = int(next(n for n in result.notes if "control messages" in n).rsplit(" ", 1)[1])
+
+    # ASSG times tuples out under the shifted load; POSG does not
+    assert assg_timeouts > posg_timeouts
+    assert posg_timeouts == 0
+
+    # negligible control overhead (paper: 916 messages for m = 500,000)
+    assert control < 10_000

@@ -1,0 +1,45 @@
+"""Figure 12 — prototype completion time vs k on the Twitter workload.
+
+Paper shapes asserted:
+
+- for k >= 2, POSG's L is lower than ASSG's for most k (paper: every k,
+  mean speedup 1.37, still 16 % at k = 10);
+- POSG's L decreases monotonically-ish with k (the paper highlights that
+  ASSG shows anomalies — k=2 and k=7 regressions — while POSG does not);
+- control-message overhead is negligible (paper: 916 extra messages for
+  m = 500,000).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure12_twitter
+
+
+def test_figure12(benchmark, show):
+    result = benchmark.pedantic(figure12_twitter, rounds=1, iterations=1)
+    show(result)
+
+    rows = {row["k"]: row for row in result.rows}
+    ks = sorted(rows)
+
+    # POSG wins for most k >= 2
+    wins = [rows[k]["posg_L"] < rows[k]["assg_L"] for k in ks if k >= 2]
+    assert sum(wins) >= len(wins) - 2
+
+    # aggregate speedup over the sweep is sizeable
+    speedups = [rows[k]["assg_L"] / rows[k]["posg_L"] for k in ks if k >= 2]
+    assert np.mean(speedups) > 1.1
+
+    # POSG's completion time broadly decreases with k: the largest k
+    # should be far better than k=2, with no catastrophic regression
+    assert rows[max(ks)]["posg_L"] < rows[2]["posg_L"]
+    posg_series = [rows[k]["posg_L"] for k in ks if k >= 2]
+    assert all(
+        later < 2.0 * earlier
+        for earlier, later in zip(posg_series, posg_series[1:])
+    )
+
+    # negligible control overhead at every k
+    m_proxy = None
+    for k in ks:
+        assert rows[k]["posg_control_messages"] < 10_000

@@ -1,0 +1,39 @@
+"""Figure 4 — average completion time vs frequency distribution.
+
+Paper shapes asserted:
+
+- Full Knowledge <= POSG <= Round-Robin in mean L for skewed streams;
+- POSG's gain is limited for uniform / Zipf-0.5 and sizeable (>= ~15 %)
+  from Zipf-1.0 on;
+- all algorithms improve with higher skew.
+"""
+
+from conftest import series
+
+from repro.experiments.figures import figure4_distributions
+
+
+def _mean(result, distribution, policy):
+    return series(
+        result, "mean", where={"distribution": distribution, "policy": policy}
+    )[0]
+
+
+def test_figure4(benchmark, show):
+    result = benchmark.pedantic(figure4_distributions, rounds=1, iterations=1)
+    show(result)
+
+    skewed = ["zipf-1", "zipf-1.5", "zipf-2", "zipf-2.5", "zipf-3"]
+    for distribution in skewed:
+        rr = _mean(result, distribution, "round_robin")
+        posg = _mean(result, distribution, "posg")
+        fk = _mean(result, distribution, "full_knowledge")
+        # ordering: FK best, POSG between FK and RR
+        assert fk <= posg * 1.02, f"FK should win at {distribution}"
+        assert posg < rr, f"POSG should beat RR at {distribution}"
+
+    # sizeable gain from zipf-1.0 on (paper: ~25 %)
+    assert _mean(result, "zipf-1", "posg") < 0.9 * _mean(result, "zipf-1", "round_robin")
+
+    # high skew helps everyone: zipf-3 beats zipf-1 for round robin
+    assert _mean(result, "zipf-3", "round_robin") < _mean(result, "zipf-1", "round_robin")

@@ -1,0 +1,27 @@
+"""Figure 5 — speedup vs percentage of over-provisioning.
+
+Paper shapes asserted:
+
+- strongly undersized systems (95-98 %) show speedup ~1 (queues dominate);
+- the speedup peaks in the correctly-sized region (paper: 1.26 at 102 %);
+- the largest gains do not come from heavily over-provisioned systems.
+"""
+
+from conftest import series
+
+from repro.experiments.figures import figure5_overprovisioning
+
+
+def test_figure5(benchmark, show):
+    result = benchmark.pedantic(figure5_overprovisioning, rounds=1, iterations=1)
+    show(result)
+
+    by_op = {row["over_provisioning"]: row["mean"] for row in result.rows}
+
+    # undersized: queuing delays swamp the benefit (paper: speedup -> 1)
+    assert 0.95 <= by_op[0.95] <= 1.1
+    # correctly sized systems benefit noticeably (paper: >= 1.15)
+    assert by_op[1.0] > 1.1
+    # the peak lies in the correctly-sized band, not at the extremes
+    peak_op = max(by_op, key=by_op.get)
+    assert 0.98 <= peak_op <= 1.09

@@ -1,0 +1,32 @@
+"""Figure 6 — average completion time vs maximum execution time w_max.
+
+Paper shapes asserted:
+
+- L increases with w_max for both algorithms;
+- POSG's mean speedup stays roughly flat (paper: ~1.19 on average) —
+  i.e. POSG keeps beating RR across the whole range.
+"""
+
+import numpy as np
+
+from conftest import series
+
+from repro.experiments.figures import figure6_wmax
+
+
+def test_figure6(benchmark, show):
+    result = benchmark.pedantic(figure6_wmax, rounds=1, iterations=1)
+    show(result)
+
+    rr_means = series(result, "mean", where={"policy": "round_robin"})
+    posg_means = series(result, "mean", where={"policy": "posg"})
+    w_values = sorted({row["w_max"] for row in result.rows})
+
+    # L grows with w_max (compare the extremes; the middle may be noisy)
+    assert rr_means[-1] > rr_means[0]
+    assert posg_means[-1] > posg_means[0]
+
+    # POSG keeps a positive average gain across the sweep
+    speedups = series(result, "speedup_mean", where={"policy": "posg"})
+    assert np.mean(speedups) > 1.05
+    assert sum(s > 1.0 for s in speedups) >= len(speedups) * 0.7

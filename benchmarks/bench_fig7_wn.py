@@ -1,0 +1,42 @@
+"""Figure 7 — average completion time vs number of execution-time values.
+
+Paper shapes asserted:
+
+- results stabilize for w_n >= 16 (small w_n has huge run-to-run
+  variance because a single heavy item-value association dominates);
+- POSG's gain (paper: ~19 % mean) is mostly unaffected by w_n.
+"""
+
+import numpy as np
+
+from conftest import series
+
+from repro.experiments.figures import figure7_wn
+
+
+def test_figure7(benchmark, show):
+    result = benchmark.pedantic(figure7_wn, rounds=1, iterations=1)
+    show(result)
+
+    # "average completion time values decrease for growing w_n, with only
+    # slight changes for w_n >= 16": the two-value extreme is clearly the
+    # worst case for both policies
+    def mean_L(w_n, policy):
+        return next(
+            r["mean"] for r in result.rows
+            if r["w_n"] == w_n and r["policy"] == policy
+        )
+
+    for policy in ("round_robin", "posg"):
+        worst_case = mean_L(2, policy)
+        plateau = np.mean([mean_L(w, policy) for w in (64, 128, 256, 512, 1024)])
+        assert worst_case > plateau
+
+    # POSG keeps a positive average gain across the sweep
+    speedups = series(result, "speedup_mean", where={"policy": "posg"})
+    assert np.mean(speedups) > 1.05
+
+    # gain is not systematically eroded at large w_n
+    large = [s for w, s in zip(sorted({r["w_n"] for r in result.rows}), speedups)
+             if w >= 64]
+    assert np.mean(large) > 1.0

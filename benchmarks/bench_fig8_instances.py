@@ -1,0 +1,29 @@
+"""Figure 8 — speedup vs number of operator instances k.
+
+Paper shapes asserted:
+
+- speedup == 1 at k = 1 (nothing to schedule; POSG must not add delay);
+- speedup > 1 once k >= 2;
+- growth flattens: the k=2 -> k=3 gain exceeds the k=9 -> k=10 gain.
+"""
+
+from repro.experiments.figures import figure8_instances
+
+
+def test_figure8(benchmark, show):
+    result = benchmark.pedantic(figure8_instances, rounds=1, iterations=1)
+    show(result)
+
+    by_k = {row["k"]: row["mean"] for row in result.rows}
+
+    # k = 1: both policies feed the single instance; speedup ~ 1
+    assert abs(by_k[1] - 1.0) < 0.02
+
+    # parallelism unlocked: POSG beats RR for most k >= 2
+    gains = [by_k[k] for k in range(2, 11)]
+    assert sum(g > 1.0 for g in gains) >= 7
+
+    # diminishing returns in k (allowing sweep noise)
+    early_growth = by_k[3] - by_k[2]
+    late_growth = by_k[10] - by_k[9]
+    assert late_growth <= max(early_growth, 0.05) + 0.05

@@ -1,0 +1,34 @@
+"""Figure 9 — speedup vs the sketch precision parameter epsilon.
+
+Paper shapes asserted:
+
+- the paper's operating point epsilon <= 0.09 yields speedup > 1;
+- coarse sketches (epsilon ~ 1, a handful of columns: estimates collapse
+  toward the per-instance mean) gain less than the operating point;
+- the best configuration is a fine sketch (epsilon <= 0.1).
+
+Note: the paper reports monotone improvement down to epsilon = 0.001
+(~2,700 columns).  In our reproduction the curve *peaks* near the
+operating point instead: a 2,719-column sketch needs far more samples
+per cell than one stability window provides, so the extra width buys
+noise, not precision — see EXPERIMENTS.md for the full discussion.
+"""
+
+from repro.experiments.figures import figure9_epsilon
+
+
+def test_figure9(benchmark, show):
+    result = benchmark.pedantic(figure9_epsilon, rounds=1, iterations=1)
+    show(result)
+
+    by_eps = {row["epsilon"]: row["mean"] for row in result.rows}
+
+    # the paper's operating region gains over round robin
+    assert by_eps[0.05] > 1.1
+
+    # near-constant estimates gain less than the operating point
+    assert by_eps[1.0] < by_eps[0.05]
+
+    # the best configuration is a fine sketch, not a coarse one
+    best_eps = max(by_eps, key=by_eps.get)
+    assert best_eps <= 0.1

@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment:
+
+- ``REPRO_REPS``  — randomized streams per configuration (default 5;
+  the paper uses 100).
+- ``REPRO_SCALE`` — stream length scale factor (default 1.0 = paper
+  sizes).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.report import render_figure
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    reps = os.environ.get("REPRO_REPS", "5")
+    scale = os.environ.get("REPRO_SCALE", "1.0")
+    print(
+        f"\n[repro] REPRO_REPS={reps} REPRO_SCALE={scale} "
+        f"(paper scale: REPRO_REPS=100 REPRO_SCALE=1.0)"
+    )
+    yield
+
+
+@pytest.fixture
+def show():
+    """Print a figure result under -s / captured output."""
+
+    def _show(result):
+        print()
+        print(render_figure(result))
+        return result
+
+    return _show
+
+
+def series(result, column, where=None):
+    """Extract one column of a figure's rows, optionally filtered."""
+    rows = result.rows
+    if where is not None:
+        rows = [row for row in rows if all(row[k] == v for k, v in where.items())]
+    return [row[column] for row in rows]

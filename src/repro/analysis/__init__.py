@@ -1,0 +1,48 @@
+"""Executable versions of the paper's theoretical results (Section IV).
+
+- :mod:`~repro.analysis.bounds` — Theorem 4.2: the Greedy Online
+  Scheduler is a tight ``(2 - 1/k)``-approximation of the optimal
+  makespan.
+- :mod:`~repro.analysis.estimation` — Theorem 4.3: the closed-form
+  expectation of the sketch estimator ``W_v / C_v`` under uniform item
+  frequencies, plus the Markov and independent-rows tail bounds and the
+  paper's numerical application (Section IV-B).
+"""
+
+from repro.analysis.bounds import (
+    Theorem42Check,
+    exact_optimal_makespan,
+    gusfield_worst_case,
+    verify_theorem_42,
+)
+from repro.analysis.estimation import (
+    expected_estimator_ratio,
+    independent_rows_bound,
+    markov_tail_bound,
+    paper_numerical_application,
+    simulate_estimator_ratios,
+)
+from repro.analysis.queueing import (
+    kingman_mean_wait,
+    mg1_mean_sojourn,
+    mg1_mean_wait,
+    service_moments,
+    utilization,
+)
+
+__all__ = [
+    "Theorem42Check",
+    "verify_theorem_42",
+    "gusfield_worst_case",
+    "exact_optimal_makespan",
+    "expected_estimator_ratio",
+    "markov_tail_bound",
+    "independent_rows_bound",
+    "paper_numerical_application",
+    "simulate_estimator_ratios",
+    "utilization",
+    "mg1_mean_wait",
+    "mg1_mean_sojourn",
+    "kingman_mean_wait",
+    "service_moments",
+]

@@ -1,0 +1,126 @@
+"""Theorem 4.2 — the Greedy Online Scheduler approximation bound.
+
+For any task sequence ``sigma`` on ``k`` identical machines,
+
+    C_GOS(sigma) <= (2 - 1/k) * C_OPT(sigma),
+
+and the bound is tight (Gusfield 1984): ``k(k-1)`` tasks of weight
+``w_max/k`` followed by one task of weight ``w_max`` force GOS to a
+makespan of ``w_max (2 - 1/k)`` while OPT achieves ``w_max``.
+
+Since computing the true ``C_OPT`` is NP-hard, the verification uses the
+lower bound ``max(sum(w)/k, max(w))`` (Eqs. 3-4), which only makes the
+check stricter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.gos import (
+    adversarial_sequence,
+    greedy_online_schedule,
+    makespan,
+    opt_lower_bound,
+)
+
+
+@dataclass(frozen=True)
+class Theorem42Check:
+    """Outcome of checking Theorem 4.2 on one task sequence."""
+
+    k: int
+    gos_makespan: float
+    opt_lower_bound: float
+    ratio: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether ``C_GOS <= (2 - 1/k) * C_OPT`` (via the lower bound)."""
+        return self.ratio <= self.bound + 1e-9
+
+    @property
+    def tight(self) -> bool:
+        """Whether the sequence achieves the bound exactly."""
+        return abs(self.ratio - self.bound) <= 1e-9
+
+
+def verify_theorem_42(weights: Sequence[float], k: int) -> Theorem42Check:
+    """Run GOS on a sequence and compare against the theorem's bound."""
+    _, loads = greedy_online_schedule(weights, k)
+    gos = makespan(loads)
+    lower = opt_lower_bound(weights, k)
+    ratio = gos / lower if lower > 0 else 1.0
+    return Theorem42Check(
+        k=k,
+        gos_makespan=gos,
+        opt_lower_bound=lower,
+        ratio=ratio,
+        bound=2.0 - 1.0 / k,
+    )
+
+
+def gusfield_worst_case(k: int, w_max: float = 1.0) -> Theorem42Check:
+    """The tight adversarial instance; its check always reports
+    ``tight=True`` (the lower bound coincides with OPT there)."""
+    return verify_theorem_42(adversarial_sequence(k, w_max), k)
+
+
+def exact_optimal_makespan(weights: Sequence[float], k: int) -> float:
+    """The true ``C_OPT`` by branch and bound (exponential; small inputs).
+
+    Assigns tasks in decreasing weight order, pruning branches whose
+    partial makespan already exceeds the incumbent and symmetric branches
+    (machines with equal loads are interchangeable).  Practical for
+    roughly ``len(weights) <= 16``; used by tests to check Theorem 4.2
+    against the *exact* optimum rather than the lower bound.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    weights = sorted((float(w) for w in weights), reverse=True)
+    if not weights:
+        return 0.0
+    if any(w < 0 for w in weights):
+        raise ValueError("task weights must be >= 0")
+    if len(weights) > 20:
+        raise ValueError(
+            f"exact search is exponential; got {len(weights)} tasks (max 20)"
+        )
+    # Start from a good incumbent: greedy on the sorted order (LPT).
+    _, lpt_loads = greedy_online_schedule(weights, k)
+    best = makespan(lpt_loads)
+    lower = opt_lower_bound(weights, k)
+    if best <= lower + 1e-12:
+        return best
+    suffix_sums = [0.0] * (len(weights) + 1)
+    for index in range(len(weights) - 1, -1, -1):
+        suffix_sums[index] = suffix_sums[index + 1] + weights[index]
+    loads = [0.0] * k
+
+    def search(index: int) -> None:
+        nonlocal best
+        if index == len(weights):
+            best = min(best, max(loads))
+            return
+        current_max = max(loads)
+        # Remaining work cannot reduce the incumbent below this bound.
+        if max(current_max, (suffix_sums[index] + sum(loads)) / k) >= best:
+            if current_max >= best:
+                return
+        weight = weights[index]
+        seen: set[float] = set()
+        for machine in range(k):
+            load = loads[machine]
+            if load in seen:  # symmetric branch
+                continue
+            seen.add(load)
+            if load + weight >= best:
+                continue
+            loads[machine] = load + weight
+            search(index + 1)
+            loads[machine] = load
+
+    search(0)
+    return best

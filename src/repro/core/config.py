@@ -1,0 +1,116 @@
+"""POSG algorithm parameters.
+
+Defaults follow the paper's experimental setup (Section V-A): window size
+``N = 1024``, stability tolerance ``mu = 0.05``, sketch accuracy
+``epsilon = 0.05`` and ``delta = 0.1``.  The paper's quoted matrix shape
+for those values is ``r = 4`` rows by ``c = 54`` columns; the analytical
+formulas give ``ceil(ln 1/0.1) = 3`` and ``ceil(e/0.05) = 55``, so the
+config also accepts explicit ``rows``/``cols`` overrides and the default
+constructor pins the paper's 4 x 54 shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sketches.count_min import dims_for
+
+
+@dataclass(frozen=True)
+class POSGConfig:
+    """Configuration shared by the POSG scheduler and operator instances.
+
+    Parameters
+    ----------
+    epsilon:
+        Count-Min precision parameter; controls the number of columns
+        ``c = ceil(e / epsilon)`` unless ``cols`` is given.
+    delta:
+        Count-Min failure probability; controls the number of rows
+        ``r = ceil(ln 1/delta)`` unless ``rows`` is given.
+    window_size:
+        ``N`` — number of executed tuples between FSM checks on each
+        operator instance (Figure 2).
+    mu:
+        Stability tolerance on the snapshot relative error (Eq. 1).
+    rows, cols:
+        Explicit sketch dimensions overriding the analytic sizing.
+    merge_matrices:
+        How the scheduler treats a newly received ``(F, W)`` pair
+        (Figure 3.F says it "updates" its local pair, which is ambiguous
+        because the instance *resets* its matrices after shipping):
+        ``False`` (default) replaces the stored pair — maximum
+        adaptivity, matching the recovery behaviour of Figure 10;
+        ``True`` merges the new counters into the stored pair (Count-Min
+        sketches are linear), accumulating samples and sharpening
+        estimates over time at the cost of slower adaptation.
+    pooled_estimates:
+        Beyond-paper variance-reduction ablation: estimate a tuple's
+        execution time by averaging over *every* instance's matrices
+        instead of only the target's.  For uniform instances this removes
+        the cross-instance estimate variance that makes the greedy
+        scheduler systematically favour under-estimating instances
+        (adverse selection); for heterogeneous instances it biases the
+        estimate toward the fleet average, so it is off by default.
+    merge_decay:
+        Beyond-paper aging ablation, only meaningful with
+        ``merge_matrices``: before folding a freshly received pair in,
+        the stored counters are multiplied by this factor.  ``1.0``
+        (default) keeps the full history; values below 1 trade long-run
+        estimate sharpness for faster adaptation to load changes
+        (bridging the replace/merge trade-off of Figure 10).
+    """
+
+    epsilon: float = 0.05
+    delta: float = 0.1
+    window_size: int = 1024
+    mu: float = 0.05
+    rows: int | None = None
+    cols: int | None = None
+    merge_matrices: bool = False
+    pooled_estimates: bool = False
+    merge_decay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
+        if self.mu < 0.0:
+            raise ValueError(f"mu must be >= 0, got {self.mu}")
+        if self.rows is not None and self.rows < 1:
+            raise ValueError(f"rows must be >= 1, got {self.rows}")
+        if self.cols is not None and self.cols < 1:
+            raise ValueError(f"cols must be >= 1, got {self.cols}")
+        if not 0.0 <= self.merge_decay <= 1.0:
+            raise ValueError(
+                f"merge_decay must be in [0, 1], got {self.merge_decay}"
+            )
+
+    @property
+    def sketch_shape(self) -> tuple[int, int]:
+        """Effective ``(rows, cols)`` of the F and W matrices."""
+        auto_rows, auto_cols = dims_for(self.epsilon, self.delta)
+        return (
+            self.rows if self.rows is not None else auto_rows,
+            self.cols if self.cols is not None else auto_cols,
+        )
+
+    @classmethod
+    def paper_defaults(cls) -> "POSGConfig":
+        """The exact configuration of Section V-A: N=1024, mu=0.05, r=4, c=54."""
+        return cls(epsilon=0.05, delta=0.1, window_size=1024, mu=0.05, rows=4, cols=54)
+
+    def memory_bits(self, stream_length: int, universe_size: int) -> int:
+        """Rough per-instance memory footprint in bits (Theorem 3.2).
+
+        Two ``r x c`` matrices of counters of ``log2(m)`` bits plus the hash
+        function domain of ``log2(n)`` bits per row.
+        """
+        rows, cols = self.sketch_shape
+        counter_bits = max(1, math.ceil(math.log2(max(2, stream_length))))
+        domain_bits = max(1, math.ceil(math.log2(max(2, universe_size))))
+        return 2 * rows * cols * counter_bits + rows * domain_bits

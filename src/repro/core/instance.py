@@ -1,0 +1,188 @@
+"""Operator-instance side of POSG: the START/STABILIZING state machine.
+
+Figure 2 of the paper.  Each instance folds every executed tuple into its
+:class:`~repro.core.matrices.FWPair` and, every ``N`` executed tuples:
+
+- in START: creates a snapshot ``S = W/F`` and moves to STABILIZING
+  (Figure 2.A);
+- in STABILIZING with relative error ``eta > mu``: refreshes the snapshot
+  and stays (Figure 2.B);
+- in STABILIZING with ``eta <= mu``: ships a copy of ``(F, W)`` to the
+  scheduler, resets both matrices and returns to START (Figure 2.C).
+
+The tracker also keeps the instance's measured cumulated execution time
+``C_op`` needed to answer :class:`~repro.core.messages.SyncRequest`
+messages with ``Delta_op = C_op - C_hat[op]``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair
+from repro.core.messages import ControlMessage, MatricesMessage, SyncReply, SyncRequest
+from repro.sketches.hashing import TwoUniversalHashFamily
+
+
+class InstanceState(enum.Enum):
+    """States of the per-instance FSM (Figure 2)."""
+
+    START = "start"
+    STABILIZING = "stabilizing"
+
+
+class InstanceTracker:
+    """Tracks tuple execution times on one operator instance.
+
+    Parameters
+    ----------
+    instance_id:
+        Index of this instance in ``[0, k)``.
+    config:
+        Shared POSG parameters (window size ``N``, tolerance ``mu``, ...).
+    hashes:
+        The hash family shared with the scheduler; *must* be the same
+        object (or an equal family) across all parties.
+
+    Usage
+    -----
+    The hosting engine calls :meth:`execute` once per tuple *after*
+    measuring its execution time, passing along any
+    :class:`~repro.core.messages.SyncRequest` that was piggy-backed on the
+    tuple.  The returned control messages must be delivered to the
+    scheduler (with whatever latency the engine models).
+    """
+
+    def __init__(
+        self,
+        instance_id: int,
+        config: POSGConfig,
+        hashes: TwoUniversalHashFamily,
+    ) -> None:
+        if instance_id < 0:
+            raise ValueError(f"instance_id must be >= 0, got {instance_id}")
+        rows, cols = config.sketch_shape
+        if (hashes.rows, hashes.cols) != (rows, cols):
+            raise ValueError(
+                f"hash family shape {(hashes.rows, hashes.cols)} does not match "
+                f"config sketch shape {(rows, cols)}"
+            )
+        self._instance_id = instance_id
+        self._config = config
+        self._pair = FWPair(hashes)
+        self._state = InstanceState.START
+        self._snapshot: np.ndarray | None = None
+        self._window_count = 0
+        self._cumulated_time = 0.0
+        self._tuples_executed = 0
+        self._matrices_sent = 0
+        self._snapshot_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        item: int,
+        execution_time: float,
+        sync_request: SyncRequest | None = None,
+    ) -> list[ControlMessage]:
+        """Record one executed tuple; return control messages to deliver.
+
+        ``sync_request``, if given, is the request piggy-backed on this
+        tuple; under FIFO execution, answering it *now* means ``C_op``
+        covers exactly the tuples assigned up to and including this one,
+        which is the prefix the scheduler's ``c_hat_at_send`` estimated.
+        """
+        outgoing: list[ControlMessage] = []
+        self._pair.update(item, execution_time)
+        self._cumulated_time += execution_time
+        self._tuples_executed += 1
+        self._window_count += 1
+
+        if sync_request is not None:
+            if sync_request.instance != self._instance_id:
+                raise ValueError(
+                    f"sync request for instance {sync_request.instance} "
+                    f"delivered to instance {self._instance_id}"
+                )
+            outgoing.append(
+                SyncReply(
+                    instance=self._instance_id,
+                    epoch=sync_request.epoch,
+                    delta=self._cumulated_time - sync_request.c_hat_at_send,
+                )
+            )
+
+        if self._window_count >= self._config.window_size:
+            self._window_count = 0
+            message = self._window_boundary()
+            if message is not None:
+                outgoing.append(message)
+        return outgoing
+
+    def _window_boundary(self) -> MatricesMessage | None:
+        """FSM transition after ``N`` executed tuples (Figure 2)."""
+        if self._state is InstanceState.START:
+            self._snapshot = self._pair.snapshot()
+            self._state = InstanceState.STABILIZING
+            return None
+        # STABILIZING
+        assert self._snapshot is not None
+        eta = self._pair.relative_error(self._snapshot)
+        if eta > self._config.mu:
+            self._snapshot = self._pair.snapshot()
+            self._snapshot_refreshes += 1
+            return None
+        message = MatricesMessage(
+            instance=self._instance_id,
+            matrices=self._pair.copy(),
+            tuples_observed=self._pair.tuples_seen,
+        )
+        self._pair.reset()
+        self._snapshot = None
+        self._state = InstanceState.START
+        self._matrices_sent += 1
+        return message
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def instance_id(self) -> int:
+        """Index of this instance."""
+        return self._instance_id
+
+    @property
+    def state(self) -> InstanceState:
+        """Current FSM state."""
+        return self._state
+
+    @property
+    def cumulated_time(self) -> float:
+        """``C_op`` — measured cumulated execution time since start."""
+        return self._cumulated_time
+
+    @property
+    def tuples_executed(self) -> int:
+        """Total tuples executed since start."""
+        return self._tuples_executed
+
+    @property
+    def matrices_sent(self) -> int:
+        """How many stable ``(F, W)`` pairs were shipped so far."""
+        return self._matrices_sent
+
+    @property
+    def snapshot_refreshes(self) -> int:
+        """How many times instability forced a snapshot refresh."""
+        return self._snapshot_refreshes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InstanceTracker(id={self._instance_id}, state={self._state.value}, "
+            f"executed={self._tuples_executed}, sent={self._matrices_sent})"
+        )

@@ -1,0 +1,202 @@
+"""The F/W Count-Min matrix pair at the heart of POSG.
+
+Each operator instance maintains two Count-Min sketches sharing the same
+2-universal hash functions (Figure 1.A of the paper):
+
+- ``F`` tracks per-item frequencies ``f_t`` (update value 1);
+- ``W`` tracks per-item *cumulated* execution times
+  ``W_t = sum of measured w_t`` (update value = measured time).
+
+The per-item execution time estimate is the cell ratio ``W/F`` taken at
+the row where ``F``'s cell is minimal (Listing III.2, UPDATEC), i.e. the
+row least polluted by collisions.
+
+This module also implements the *snapshot* ``S[i,j] = W[i,j]/F[i,j]`` and
+the relative-error stability criterion of Eq. 1:
+
+    eta = sum_ij |S[i,j] - W[i,j]/F[i,j]| / sum_ij S[i,j]  <=  mu
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.hashing import TwoUniversalHashFamily, random_hash_family
+
+
+def make_shared_hashes(
+    config: POSGConfig, rng: np.random.Generator | None = None
+) -> TwoUniversalHashFamily:
+    """Draw the hash family shared by the scheduler and every instance.
+
+    The POSG protocol requires all parties to use the *same* functions
+    (Listing III.1 line 4), so engines call this once and distribute the
+    result.
+    """
+    rows, cols = config.sketch_shape
+    return random_hash_family(rows, cols, rng=rng)
+
+
+class FWPair:
+    """The two Count-Min matrices of one operator instance.
+
+    Parameters
+    ----------
+    hashes:
+        Hash family shared with the scheduler and sibling instances.
+    """
+
+    __slots__ = ("_freq", "_work")
+
+    def __init__(self, hashes: TwoUniversalHashFamily) -> None:
+        self._freq = CountMinSketch(hashes)
+        self._work = CountMinSketch(hashes)
+
+    # ------------------------------------------------------------------
+    # ingestion (Listing III.1)
+    # ------------------------------------------------------------------
+    def update(self, item: int, execution_time: float) -> None:
+        """Fold one executed tuple into both matrices."""
+        if execution_time < 0:
+            raise ValueError(f"execution_time must be >= 0, got {execution_time}")
+        self._freq.update(item, 1.0)
+        self._work.update(item, execution_time)
+
+    # ------------------------------------------------------------------
+    # estimation (Listing III.2, UPDATEC)
+    # ------------------------------------------------------------------
+    def estimate(self, item: int) -> float:
+        """Estimated execution time of ``item``: ``W/F`` at the min-F row.
+
+        If the item hashes only to empty cells (never observed, e.g. right
+        after a reset) the estimate falls back to the global mean execution
+        time seen by this pair, or ``0.0`` on a completely empty pair.  The
+        paper does not specify this corner case; the fallback keeps the
+        scheduler's greedy choice meaningful during warm-up.
+        """
+        # Hot path of the scheduler (called once per tuple): plain scalar
+        # indexing beats numpy fancy indexing at these matrix sizes.
+        freq_matrix = self._freq.matrix
+        work_matrix = self._work.matrix
+        best_freq = float("inf")
+        best_work = 0.0
+        for row, col in enumerate(self._freq.hashes.hash_all(item)):
+            cell = freq_matrix[row, col]
+            if cell < best_freq:
+                best_freq = cell
+                best_work = work_matrix[row, col]
+        if best_freq <= 0:
+            return self.mean_execution_time()
+        return float(best_work / best_freq)
+
+    def mean_execution_time(self) -> float:
+        """Average measured execution time over everything folded in."""
+        if self._freq.total_weight <= 0:
+            return 0.0
+        return self._work.total_weight / self._freq.total_weight
+
+    # ------------------------------------------------------------------
+    # snapshots and stability (Figure 2 / Eq. 1)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> np.ndarray:
+        """Elementwise ratio matrix ``S = W / F`` (0 where ``F`` is 0)."""
+        freq = self._freq.matrix
+        work = self._work.matrix
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(freq > 0, work / np.where(freq > 0, freq, 1.0), 0.0)
+        return ratio
+
+    def relative_error(self, previous_snapshot: np.ndarray) -> float:
+        """Relative error ``eta`` between a previous snapshot and now (Eq. 1).
+
+        Returns ``0.0`` when the previous snapshot is entirely zero and the
+        matrices still are, and ``inf`` when the previous snapshot is zero
+        but the matrices are not (any change from nothing is unstable).
+        """
+        current = self.snapshot()
+        denominator = float(previous_snapshot.sum())
+        numerator = float(np.abs(previous_snapshot - current).sum())
+        if denominator <= 0:
+            return 0.0 if numerator == 0.0 else float("inf")
+        return numerator / denominator
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero both matrices (after shipping them to the scheduler)."""
+        self._freq.reset()
+        self._work.reset()
+
+    def scale(self, factor: float) -> None:
+        """Age both matrices by ``factor`` (see CountMinSketch.scale)."""
+        self._freq.scale(factor)
+        self._work.scale(factor)
+
+    def copy(self) -> "FWPair":
+        """Deep copy (what actually travels in a :class:`MatricesMessage`)."""
+        clone = FWPair.__new__(FWPair)
+        clone._freq = self._freq.copy()
+        clone._work = self._work.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of both matrices (shared hashes
+        stored once)."""
+        return {
+            "hashes": self.hashes.to_dict(),
+            "freq": self._freq.to_dict(),
+            "work": self._work.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, hashes: TwoUniversalHashFamily | None = None
+    ) -> "FWPair":
+        """Rebuild from :meth:`to_dict` (optionally sharing a family)."""
+        family = (
+            hashes
+            if hashes is not None
+            else TwoUniversalHashFamily.from_dict(payload["hashes"])
+        )
+        pair = cls.__new__(cls)
+        pair._freq = CountMinSketch.from_dict(payload["freq"], hashes=family)
+        pair._work = CountMinSketch.from_dict(payload["work"], hashes=family)
+        return pair
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def freq(self) -> CountMinSketch:
+        """The frequency sketch ``F``."""
+        return self._freq
+
+    @property
+    def work(self) -> CountMinSketch:
+        """The cumulated-execution-time sketch ``W``."""
+        return self._work
+
+    @property
+    def hashes(self) -> TwoUniversalHashFamily:
+        """The shared hash family."""
+        return self._freq.hashes
+
+    @property
+    def tuples_seen(self) -> int:
+        """Number of tuples folded in since the last reset."""
+        return self._freq.update_count
+
+    def message_size_bits(self, counter_bits: int = 64) -> int:
+        """Wire size of shipping this pair, for communication accounting."""
+        rows, cols = self._freq.shape
+        return 2 * rows * cols * counter_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows, cols = self._freq.shape
+        return f"FWPair(rows={rows}, cols={cols}, tuples_seen={self.tuples_seen})"

@@ -1,0 +1,95 @@
+"""Control-plane messages exchanged between instances and the scheduler.
+
+Three message kinds exist in POSG (Figures 1 and 3 of the paper):
+
+- :class:`MatricesMessage` — an instance ships its ``(F, W)`` pair to the
+  scheduler after reaching stability (Figure 1.B / Figure 2.C);
+- :class:`SyncRequest` — the scheduler, entering SEND_ALL, piggy-backs one
+  request per instance on outgoing data tuples, carrying its current
+  estimate ``C_hat[op]`` (Figure 1.D);
+- :class:`SyncReply` — the instance answers with
+  ``Delta_op = C_op - C_hat[op]``, the gap between its measured cumulated
+  execution time and the scheduler's estimate (Figure 1.E).
+
+Messages are plain frozen dataclasses so both the simulator and the
+Storm-like engine can route them as opaque payloads; ``epoch`` tags let
+the scheduler discard stale replies after a new synchronization round
+preempts an unfinished one (Figure 3.F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.matrices import FWPair
+
+
+@dataclass(frozen=True)
+class MatricesMessage:
+    """An instance's stable ``(F, W)`` pair bound for the scheduler."""
+
+    instance: int
+    matrices: "FWPair"
+    #: number of tuples the instance folded into this pair before shipping
+    tuples_observed: int
+
+    def size_bits(self) -> int:
+        """Wire size (communication-complexity accounting, Theorem 3.3)."""
+        return self.matrices.message_size_bits()
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Scheduler -> instance: "what is your true cumulated time?".
+
+    Piggy-backed on a data tuple; carries the scheduler's estimate for the
+    target instance at send time so the instance can compute the delta.
+    """
+
+    instance: int
+    epoch: int
+    c_hat_at_send: float
+
+    def size_bits(self) -> int:
+        """One float on the wire (the rest rides along with the tuple)."""
+        return 64
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """Instance -> scheduler: ``Delta_op = C_op - C_hat[op]``."""
+
+    instance: int
+    epoch: int
+    delta: float
+
+    def size_bits(self) -> int:
+        """One float on the wire."""
+        return 64
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Instance -> scheduler: periodic load snapshot.
+
+    Not part of POSG — this is the control message of the *reactive*
+    scheduling baseline the paper argues against in Section III
+    ("periodically collect at the scheduler the load of the operator
+    instances ... input tuples are scheduled on the basis of a previous,
+    possibly stale, load state").
+    """
+
+    instance: int
+    #: measured cumulated execution time at report time
+    cumulated_time: float
+    #: tuples executed at report time
+    tuples_executed: int
+
+    def size_bits(self) -> int:
+        """One float plus one counter on the wire."""
+        return 128
+
+
+ControlMessage = Union[MatricesMessage, SyncRequest, SyncReply, LoadReport]

@@ -1,0 +1,119 @@
+"""The reactive-scheduling baseline (Section III's rejected alternative).
+
+The paper motivates POSG by dismissing two classical designs: offline
+cost models (inflexible) and *reactive* scheduling, where the scheduler
+"periodically collect[s] the load of the operator instances" and routes
+tuples "on the basis of a previous, possibly stale, load state", paying
+"a periodic overhead even if the load distribution ... does not change".
+
+:class:`ReactiveGrouping` implements a fair version of that design so
+the claim is measurable:
+
+- every instance reports its measured cumulated execution time after
+  each ``report_interval`` executed tuples (the periodic overhead);
+- the scheduler routes each tuple to the instance minimizing
+  ``reported_time + in_flight * mean_tuple_cost``, where ``in_flight``
+  is the number of tuples assigned to the instance but not yet covered
+  by its last report — i.e. it extrapolates with the *average* cost
+  because, unlike POSG, it knows nothing about the content-dependence of
+  execution times.
+
+It reacts to load imbalance with one report-latency of staleness but can
+never anticipate that a particular tuple is expensive — exactly the gap
+POSG's sketches close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grouping import GroupingPolicy, InstanceAgent, RouteDecision
+from repro.core.messages import ControlMessage, LoadReport, SyncRequest
+
+
+class _ReportingAgent(InstanceAgent):
+    """Instance-side half: emit a LoadReport every ``interval`` tuples."""
+
+    def __init__(self, instance_id: int, interval: int) -> None:
+        self.instance_id = instance_id
+        self.interval = interval
+        self.cumulated_time = 0.0
+        self.tuples_executed = 0
+
+    def on_executed(
+        self,
+        item: int,
+        execution_time: float,
+        sync_request: SyncRequest | None = None,
+    ) -> list[ControlMessage]:
+        self.cumulated_time += execution_time
+        self.tuples_executed += 1
+        if self.tuples_executed % self.interval == 0:
+            return [
+                LoadReport(
+                    instance=self.instance_id,
+                    cumulated_time=self.cumulated_time,
+                    tuples_executed=self.tuples_executed,
+                )
+            ]
+        return []
+
+
+class ReactiveGrouping(GroupingPolicy):
+    """Schedule on periodically reported (stale) per-instance loads."""
+
+    name = "reactive"
+
+    def __init__(self, report_interval: int = 256) -> None:
+        super().__init__()
+        if report_interval < 1:
+            raise ValueError(
+                f"report_interval must be >= 1, got {report_interval}"
+            )
+        self._interval = report_interval
+        self._reported: np.ndarray | None = None
+        self._reported_executed: np.ndarray | None = None
+        self._assigned: np.ndarray | None = None
+        self._mean_cost = 0.0
+        self._rr_counter = 0
+        self._reports_received = 0
+
+    def setup(self, k: int, rng: np.random.Generator | None = None) -> None:
+        super().setup(k, rng)
+        self._reported = np.zeros(k, dtype=np.float64)
+        self._reported_executed = np.zeros(k, dtype=np.float64)
+        self._assigned = np.zeros(k, dtype=np.float64)
+        self._rr_counter = 0
+        self._reports_received = 0
+
+    def route(self, item: int) -> RouteDecision:
+        assert self._reported is not None and self._assigned is not None
+        assert self._reported_executed is not None
+        if self._reports_received == 0:
+            # no load information yet: fall back to round robin
+            instance = self._rr_counter % self.k
+            self._rr_counter += 1
+        else:
+            in_flight = self._assigned - self._reported_executed
+            projected = self._reported + in_flight * self._mean_cost
+            instance = int(np.argmin(projected))
+        self._assigned[instance] += 1.0
+        return RouteDecision(instance)
+
+    def on_control(self, message: ControlMessage) -> None:
+        if not isinstance(message, LoadReport):
+            raise TypeError(f"reactive scheduler got {message!r}")
+        assert self._reported is not None and self._reported_executed is not None
+        self._reported[message.instance] = message.cumulated_time
+        self._reported_executed[message.instance] = message.tuples_executed
+        if message.tuples_executed > 0:
+            self._mean_cost = message.cumulated_time / message.tuples_executed
+        self._reports_received += 1
+
+    def create_instance_agent(self, instance_id: int) -> InstanceAgent:
+        return _ReportingAgent(instance_id, self._interval)
+
+    @property
+    def reports_received(self) -> int:
+        """Load reports delivered so far (overhead accounting)."""
+        return self._reports_received

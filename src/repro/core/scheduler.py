@@ -1,0 +1,303 @@
+"""Scheduler side of POSG: the four-state machine of Figure 3.
+
+The scheduler owns:
+
+- ``C_hat`` — a length-``k`` vector of *estimated* cumulated execution
+  times, one per operator instance;
+- the latest ``(F, W)`` matrix pair received from each instance.
+
+States and transitions (Figure 3):
+
+- **ROUND_ROBIN** — bootstrap: no execution-time information yet, tuples
+  are assigned round-robin and ``C_hat`` is not updated.  Incoming
+  matrices are collected (3.A); once a pair has arrived from *every*
+  instance the scheduler moves to SEND_ALL (3.B).
+- **SEND_ALL** — the next ``k`` tuples are assigned round-robin
+  (``i mod k``), each piggy-backing a :class:`SyncRequest` carrying the
+  scheduler's estimate for its target; ``C_hat`` is updated with
+  estimates.  After all ``k`` requests are out, WAIT_ALL (3.C).
+- **WAIT_ALL** — scheduling already runs greedily (SUBMIT + UPDATEC);
+  :class:`SyncReply` messages are collected (3.D) and, once complete,
+  ``C_hat[op] += Delta_op`` for every instance and the scheduler enters
+  RUN (3.E).
+- **RUN** — steady state: each tuple goes to ``argmin C_hat`` and
+  ``C_hat`` grows by the tuple's estimated execution time.
+
+In any state but ROUND_ROBIN, receiving an updated matrix pair restarts
+the synchronization: the epoch counter bumps and the scheduler re-enters
+SEND_ALL (3.F); replies from stale epochs are discarded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair
+from repro.core.messages import ControlMessage, MatricesMessage, SyncReply, SyncRequest
+
+
+class SchedulerState(enum.Enum):
+    """States of the scheduler FSM (Figure 3)."""
+
+    ROUND_ROBIN = "round_robin"
+    SEND_ALL = "send_all"
+    WAIT_ALL = "wait_all"
+    RUN = "run"
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Outcome of submitting one tuple to the scheduler.
+
+    ``sync_request`` must be piggy-backed on the tuple and handed to the
+    target instance by the hosting engine.
+    """
+
+    instance: int
+    sync_request: SyncRequest | None
+    state: SchedulerState
+
+
+class POSGScheduler:
+    """The POSG scheduling operator ``S`` (Listing III.2 + Figure 3).
+
+    Parameters
+    ----------
+    k:
+        Number of parallel instances of the downstream operator.
+    config:
+        Shared POSG parameters.
+
+    The hosting engine drives the scheduler through two entry points:
+    :meth:`submit` for every data tuple and :meth:`on_message` for every
+    control message arriving from the instances.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        config: POSGConfig | None = None,
+        latency_hints: "np.ndarray | list[float] | None" = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._config = config if config is not None else POSGConfig()
+        if latency_hints is None:
+            self._latency_hints = None
+        else:
+            hints = np.asarray(latency_hints, dtype=np.float64)
+            if hints.shape != (k,):
+                raise ValueError(
+                    f"latency_hints must have shape ({k},), got {hints.shape}"
+                )
+            if np.any(hints < 0):
+                raise ValueError("latency hints must be >= 0")
+            self._latency_hints = hints
+        # Latency-aware extension: per-instance cumulated delivery cost.
+        # Kept separate from C_hat so the Delta synchronization (which
+        # re-aligns C_hat with the instances' measured *execution* time)
+        # does not erase it.
+        self._latency_debt = np.zeros(k, dtype=np.float64)
+        self._state = SchedulerState.ROUND_ROBIN
+        self._c_hat = np.zeros(k, dtype=np.float64)
+        self._matrices: dict[int, FWPair] = {}
+        self._rr_counter = 0
+        self._epoch = 0
+        self._sendall_counter = 0
+        self._pending_replies: set[int] = set()
+        self._pending_deltas: dict[int, float] = {}
+        # statistics
+        self._tuples_scheduled = 0
+        self._sync_rounds_completed = 0
+        self._matrices_received = 0
+        self._stale_replies_dropped = 0
+        self._control_bits_received = 0
+        self._control_bits_sent = 0
+
+    # ------------------------------------------------------------------
+    # data path (SUBMIT + UPDATEC, Listing III.2)
+    # ------------------------------------------------------------------
+    def submit(self, item: int) -> SchedulingDecision:
+        """Choose the instance for one incoming tuple."""
+        self._tuples_scheduled += 1
+        if self._state is SchedulerState.ROUND_ROBIN:
+            instance = self._rr_counter % self._k
+            self._rr_counter += 1
+            return SchedulingDecision(instance, None, SchedulerState.ROUND_ROBIN)
+
+        if self._state is SchedulerState.SEND_ALL:
+            instance = self._sendall_counter % self._k
+            self._sendall_counter += 1
+            self._update_c_hat(item, instance)
+            request = SyncRequest(
+                instance=instance,
+                epoch=self._epoch,
+                c_hat_at_send=float(self._c_hat[instance]),
+            )
+            self._control_bits_sent += request.size_bits()
+            if self._sendall_counter >= self._k:
+                self._state = SchedulerState.WAIT_ALL
+            return SchedulingDecision(instance, request, SchedulerState.SEND_ALL)
+
+        # WAIT_ALL and RUN schedule greedily (Greedy Online Scheduler).
+        # The latency-aware extension (the paper's stated future work)
+        # charges every assignment its instance's delivery latency, so
+        # distant instances receive a proportionally smaller share.
+        if self._latency_hints is None:
+            instance = int(np.argmin(self._c_hat))
+        else:
+            instance = int(
+                np.argmin(self._c_hat + self._latency_debt + self._latency_hints)
+            )
+            self._latency_debt[instance] += self._latency_hints[instance]
+        self._update_c_hat(item, instance)
+        return SchedulingDecision(instance, None, self._state)
+
+    def _update_c_hat(self, item: int, instance: int) -> None:
+        """UPDATEC: grow the estimate by the tuple's estimated time."""
+        self._c_hat[instance] += self.estimate(item, instance)
+
+    def estimate(self, item: int, instance: int) -> float:
+        """Estimated execution time of ``item`` on ``instance``.
+
+        Paper behaviour (Listing III.2): read the target instance's
+        matrices.  With ``config.pooled_estimates`` the estimate averages
+        over every instance's matrices instead (see
+        :class:`~repro.core.config.POSGConfig`).
+        """
+        if self._config.pooled_estimates and self._matrices:
+            return sum(pair.estimate(item) for pair in self._matrices.values()) / len(
+                self._matrices
+            )
+        pair = self._matrices.get(instance)
+        return pair.estimate(item) if pair is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # control path
+    # ------------------------------------------------------------------
+    def on_message(self, message: ControlMessage) -> None:
+        """Deliver a control message (matrices or sync reply)."""
+        if isinstance(message, MatricesMessage):
+            self._on_matrices(message)
+        elif isinstance(message, SyncReply):
+            self._on_sync_reply(message)
+        else:
+            raise TypeError(f"unexpected control message: {message!r}")
+
+    def _on_matrices(self, message: MatricesMessage) -> None:
+        if not 0 <= message.instance < self._k:
+            raise ValueError(f"matrices from unknown instance {message.instance}")
+        stored = self._matrices.get(message.instance)
+        if stored is not None and self._config.merge_matrices:
+            # The instance reset after shipping, so the incoming pair holds
+            # only fresh samples; merging accumulates the full history
+            # (Count-Min sketches are linear).  An optional decay ages the
+            # history so stale load characteristics fade out.
+            if self._config.merge_decay < 1.0:
+                stored.scale(self._config.merge_decay)
+            stored.freq.merge(message.matrices.freq)
+            stored.work.merge(message.matrices.work)
+        else:
+            self._matrices[message.instance] = message.matrices
+        self._matrices_received += 1
+        self._control_bits_received += message.size_bits()
+        if self._state is SchedulerState.ROUND_ROBIN:
+            if len(self._matrices) == self._k:
+                self._begin_sync_round()  # Figure 3.B
+        else:
+            self._begin_sync_round()  # Figure 3.F
+
+    def _begin_sync_round(self) -> None:
+        """Enter SEND_ALL with a fresh epoch."""
+        self._epoch += 1
+        self._sendall_counter = 0
+        self._pending_replies = set(range(self._k))
+        self._pending_deltas = {}
+        self._state = SchedulerState.SEND_ALL
+
+    def _on_sync_reply(self, reply: SyncReply) -> None:
+        if reply.epoch != self._epoch:
+            self._stale_replies_dropped += 1
+            return
+        if reply.instance not in self._pending_replies:
+            self._stale_replies_dropped += 1
+            return
+        self._control_bits_received += reply.size_bits()
+        self._pending_replies.discard(reply.instance)
+        self._pending_deltas[reply.instance] = reply.delta
+        if not self._pending_replies and self._state is SchedulerState.WAIT_ALL:
+            self._resynchronize()  # Figure 3.E
+
+    def _resynchronize(self) -> None:
+        """Fold every ``Delta_op`` into ``C_hat`` and enter RUN."""
+        for instance, delta in self._pending_deltas.items():
+            self._c_hat[instance] += delta
+        self._pending_deltas = {}
+        self._sync_rounds_completed += 1
+        self._state = SchedulerState.RUN
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of downstream instances."""
+        return self._k
+
+    @property
+    def config(self) -> POSGConfig:
+        """The POSG configuration in force."""
+        return self._config
+
+    @property
+    def state(self) -> SchedulerState:
+        """Current FSM state."""
+        return self._state
+
+    @property
+    def epoch(self) -> int:
+        """Current synchronization epoch."""
+        return self._epoch
+
+    @property
+    def c_hat(self) -> np.ndarray:
+        """Read-only view of the estimated cumulated execution times."""
+        view = self._c_hat.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def tuples_scheduled(self) -> int:
+        """Total tuples submitted so far."""
+        return self._tuples_scheduled
+
+    @property
+    def sync_rounds_completed(self) -> int:
+        """Completed synchronizations (WAIT_ALL -> RUN transitions)."""
+        return self._sync_rounds_completed
+
+    @property
+    def matrices_received(self) -> int:
+        """Matrix pairs received from instances so far."""
+        return self._matrices_received
+
+    @property
+    def stale_replies_dropped(self) -> int:
+        """Sync replies discarded because their epoch was preempted."""
+        return self._stale_replies_dropped
+
+    @property
+    def control_bits(self) -> int:
+        """Total control-plane traffic touched by the scheduler, in bits."""
+        return self._control_bits_received + self._control_bits_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"POSGScheduler(k={self._k}, state={self._state.value}, "
+            f"epoch={self._epoch}, scheduled={self._tuples_scheduled})"
+        )

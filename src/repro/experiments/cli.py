@@ -1,0 +1,101 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments figure4 --reps 5
+    python -m repro.experiments figure10 --scale 0.5
+    python -m repro.experiments all --reps 3 --scale 0.25
+
+Each figure command prints the same series the paper plots (see
+EXPERIMENTS.md for the interpretation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments import figures
+from repro.experiments.report import render_figure
+
+#: command name -> zero-argument callable producing a FigureResult
+FIGURES: dict[str, Callable] = {
+    "figure4": figures.figure4_distributions,
+    "figure5": figures.figure5_overprovisioning,
+    "figure6": figures.figure6_wmax,
+    "figure7": figures.figure7_wn,
+    "figure8": figures.figure8_instances,
+    "figure9": figures.figure9_epsilon,
+    "figure10": figures.figure10_timeseries,
+    "figure11": figures.figure11_prototype_timeseries,
+    "figure12": figures.figure12_twitter,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all", "list"],
+        help="which figure to regenerate ('all' runs everything, "
+        "'list' shows what is available)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="randomized streams per configuration (paper: 100; default 5)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="stream-length scale factor (1.0 = paper sizes)",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render an ASCII plot of each figure",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="directory to write <figure>.json result files into",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        for name, function in sorted(FIGURES.items()):
+            summary = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {summary}")
+        return 0
+    if args.reps is not None:
+        os.environ["REPRO_REPS"] = str(args.reps)
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        result = FIGURES[name]()
+        print(render_figure(result))
+        if args.plot:
+            from repro.experiments.plotting import plot_figure
+
+            print()
+            print(plot_figure(result))
+        if args.output is not None:
+            directory = pathlib.Path(args.output)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{name}.json"
+            result.save(path)
+            print(f"(saved to {path})")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

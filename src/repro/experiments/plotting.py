@@ -1,0 +1,151 @@
+"""Terminal plots for figure results (no plotting library required).
+
+The paper's figures are line/series plots; this module renders their
+reproduction as ASCII so ``python -m repro.experiments figureN --plot``
+gives an immediate visual check without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.3g}"
+    if abs(value) >= 1:
+        return f"{value:.4g}"
+    return f"{value:.2g}"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[float]],
+    x: Sequence[float] | None = None,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more named series as an ASCII line plot.
+
+    Each series gets a marker character; points falling on the same cell
+    show the marker of the last series drawn.  NaN values are skipped.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {lengths}")
+    (length,) = lengths
+    if length == 0:
+        raise ValueError("series are empty")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    xs = list(x) if x is not None else list(range(length))
+    if len(xs) != length:
+        raise ValueError("x must align with the series")
+
+    finite = [
+        value
+        for values in series.values()
+        for value in values
+        if not math.isnan(value)
+    ]
+    if not finite:
+        raise ValueError("series contain no finite values")
+    y_lo, y_hi = min(finite), max(finite)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    markers = "*+ox#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} {name}")
+        for x_value, y_value in zip(xs, values):
+            if math.isnan(y_value):
+                continue
+            col = round((x_value - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y_value - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_hi)
+    bottom_tick = _format_tick(y_lo)
+    label_width = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick
+        elif row_index == height - 1:
+            label = bottom_tick
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = f"{'':>{label_width}} +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        f"{'':>{label_width}}  {_format_tick(x_lo)}"
+        + " " * max(1, width - len(_format_tick(x_lo)) - len(_format_tick(x_hi)))
+        + _format_tick(x_hi)
+    )
+    lines.append(f"{'':>{label_width}}  legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_figure(result) -> str:
+    """Best-effort plot of a FigureResult's main series.
+
+    Chooses sensible x/y columns per figure family; falls back to the
+    first two numeric columns.
+    """
+    rows = result.rows
+    if not rows:
+        return "(no rows to plot)"
+    columns = result.columns
+    # time-series figures: index/bin_start on x, *mean columns as series
+    for x_column in ("index", "bin_start"):
+        if x_column in columns:
+            xs = [row[x_column] for row in rows]
+            series = {
+                column: [float(row[column]) for row in rows]
+                for column in columns
+                if column.endswith("mean") or column.endswith("_L")
+            }
+            if series:
+                return ascii_plot(series, x=xs, title=result.description,
+                                  y_label="ms")
+    # sweep figures: first column on x; if a 'policy' column exists, one
+    # series per policy, else plot min/mean/max
+    x_column = columns[0]
+    if "policy" in columns:
+        policies = sorted({row["policy"] for row in rows})
+        xs = sorted({row[x_column] for row in rows})
+        series = {}
+        for policy in policies:
+            by_x = {row[x_column]: row["mean"] for row in rows
+                    if row["policy"] == policy}
+            series[policy] = [float(by_x.get(x, float("nan"))) for x in xs]
+        return ascii_plot(series, x=list(range(len(xs))),
+                          title=result.description, y_label="ms")
+    xs = [float(row[x_column]) for row in rows]
+    series = {
+        column: [float(row[column]) for row in rows]
+        for column in ("min", "mean", "max")
+        if column in columns
+    }
+    if not series:
+        return "(no numeric series to plot)"
+    return ascii_plot(series, x=list(range(len(xs))),
+                      title=result.description)

@@ -1,0 +1,110 @@
+"""The discrete-event simulation core.
+
+A :class:`Simulation` owns a virtual clock and an event queue.  Processes
+(plain Python objects) schedule callbacks with :meth:`Simulation.at` /
+:meth:`Simulation.after`; :meth:`Simulation.run` drains events in
+timestamp order, advancing the clock.  Time never flows backwards and the
+engine is single-threaded, so simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.simulator.events import Event, EventQueue
+
+
+class Simulation:
+    """A virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self, time: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        return self._queue.push(time, action, priority)
+
+    def after(
+        self, delay: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self._now + delay, action, priority)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the queue drains (or a limit is reached).
+
+        Parameters
+        ----------
+        until:
+            Stop before executing any event later than this time; the
+            clock is left at ``until``.
+        max_events:
+            Safety valve against runaway simulations.
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise RuntimeError("simulation is already running (re-entrant run)")
+        self._running = True
+        try:
+            processed = 0
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.action()
+                self._events_processed += 1
+                processed += 1
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one event; returns ``False`` when none remain."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.action()
+        self._events_processed += 1
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

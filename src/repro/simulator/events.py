@@ -1,0 +1,75 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``: ties at the same
+timestamp resolve by explicit priority, then insertion order, which makes
+every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    ``action`` is excluded from ordering; comparisons use only
+    ``(time, priority, sequence)``.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self, time: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at ``time``; returns the (cancellable) event."""
+        if time != time or time == float("inf"):  # NaN or infinite
+            raise ValueError(f"event time must be finite, got {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,55 @@
+"""Network latency models.
+
+The paper's completion-time metric includes network latencies (Section
+II); its simulations focus on queuing delay, so the default everywhere is
+zero data-plane latency and a small constant control-plane latency (the
+matrices/sync round trips of Figure 1 travel over the network and the
+time series of Figure 10 shows the resulting adaptation lag).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class LatencyModel(abc.ABC):
+    """Per-message network delay, in milliseconds."""
+
+    @abc.abstractmethod
+    def sample(self) -> float:
+        """Delay for the next message."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` milliseconds."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """The constant delay."""
+        return self._value
+
+    def sample(self) -> float:
+        return self._value
+
+
+class UniformLatency(LatencyModel):
+    """Uniform jitter in ``[low, high]`` milliseconds."""
+
+    def __init__(
+        self, low: float, high: float, rng: np.random.Generator | None = None
+    ) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample(self) -> float:
+        return float(self._rng.uniform(self._low, self._high))

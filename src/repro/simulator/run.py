@@ -1,0 +1,242 @@
+"""Fast direct simulation of the single scheduling stage.
+
+This is the workhorse behind every simulated figure of the paper.  It
+exploits the structure of the topology (one scheduler in front of ``k``
+FIFO instances, constant-rate arrivals) to avoid a full event loop for
+the data plane:
+
+- tuples are processed in arrival order; routing a tuple to instance
+  ``i`` sets ``start = max(arrival + data_latency, busy_until[i])`` and
+  ``finish = start + w``, which is exactly FIFO non-preemptive service;
+- control messages (matrices, sync replies) are generated when their
+  carrying tuple *finishes executing* and delivered to the scheduler
+  after a control-plane latency, through a small priority queue drained
+  before every routing decision.
+
+Correctness relies on one invariant: a control message's delivery time is
+never earlier than its generating tuple's arrival time, so draining the
+queue up to the current arrival timestamp observes every message that a
+full event-driven simulation would have delivered.  The equivalence is
+tested against :class:`repro.simulator.topology.StageTopology`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.grouping import GroupingPolicy, POSGGrouping
+from repro.core.scheduler import SchedulerState
+from repro.simulator.metrics import CompletionStats
+from repro.simulator.network import ConstantLatency, LatencyModel
+from repro.workloads.nonstationary import LoadShiftScenario
+from repro.workloads.synthetic import Stream
+
+#: oracle signature handed to policy factories: (item, instance) -> true
+#: execution time at the *current* stream position
+Oracle = Callable[[int, int], float]
+PolicyFactory = Callable[[Oracle], GroupingPolicy]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    stats: CompletionStats
+    policy: GroupingPolicy
+    #: (tuple_index, new_state) whenever a POSG scheduler changed state
+    state_transitions: list[tuple[int, SchedulerState]] = field(default_factory=list)
+    control_messages: int = 0
+    control_bits: int = 0
+    #: optional backlog trace: (sample_index, per-instance pending work in
+    #: ms at that arrival), produced when ``sample_queues_every`` is set
+    queue_samples: "np.ndarray | None" = None
+    queue_sample_indices: "np.ndarray | None" = None
+
+    @property
+    def average_completion_time(self) -> float:
+        """The paper's ``L`` metric, in milliseconds."""
+        return self.stats.average_completion_time
+
+    def run_entry_index(self) -> int | None:
+        """Stream position where the POSG scheduler first entered RUN."""
+        for index, state in self.state_transitions:
+            if state is SchedulerState.RUN:
+                return index
+        return None
+
+
+def _as_latency(latency: LatencyModel | float) -> LatencyModel:
+    if isinstance(latency, LatencyModel):
+        return latency
+    return ConstantLatency(float(latency))
+
+
+def _as_latency_list(
+    latency: "LatencyModel | float | list", k: int
+) -> list[LatencyModel]:
+    """Normalize a data-latency spec to one model per instance.
+
+    Accepts a single model/number (shared by all instances) or a list of
+    ``k`` models/numbers (heterogeneous network paths, used by the
+    latency-aware scheduling extension).
+    """
+    if isinstance(latency, (list, tuple)):
+        if len(latency) != k:
+            raise ValueError(
+                f"need one data latency per instance: got {len(latency)} for k={k}"
+            )
+        return [_as_latency(entry) for entry in latency]
+    shared = _as_latency(latency)
+    return [shared] * k
+
+
+def simulate_stream(
+    stream: Stream,
+    policy: GroupingPolicy | PolicyFactory,
+    k: int = 5,
+    scenario: LoadShiftScenario | None = None,
+    data_latency: "LatencyModel | float | list" = 0.0,
+    control_latency: LatencyModel | float = 1.0,
+    rng: np.random.Generator | None = None,
+    sample_queues_every: int | None = None,
+) -> SimulationResult:
+    """Simulate one stream through one grouping policy.
+
+    Parameters
+    ----------
+    stream:
+        The materialized input stream (items, base times, arrivals).
+    policy:
+        A :class:`~repro.core.grouping.GroupingPolicy`, or a factory
+        called with the simulation's oracle (for the Full Knowledge
+        baseline, which needs exact execution times).
+    k:
+        Number of downstream operator instances.
+    scenario:
+        Per-instance execution-time multipliers; uniform instances when
+        omitted.  The scenario must cover ``k`` instances.
+    data_latency, control_latency:
+        Network models for tuples and control messages, in milliseconds.
+        ``data_latency`` additionally accepts a length-``k`` list for
+        heterogeneous per-instance network paths.
+    rng:
+        Seeds the policy's internal randomness (hash functions, ...).
+    sample_queues_every:
+        When set, record every instance's pending work (milliseconds of
+        backlog) at every N-th arrival; the trace lands in
+        ``SimulationResult.queue_samples``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if scenario is None:
+        scenario = LoadShiftScenario.constant(k)
+    if scenario.k < k:
+        raise ValueError(
+            f"scenario covers {scenario.k} instances but k={k} requested"
+        )
+    data_lat = _as_latency_list(data_latency, k)
+    control_lat = _as_latency(control_latency)
+
+    # Oracle closure for Full Knowledge: reads the loop's current index.
+    position = [0]
+
+    def oracle(item: int, instance: int) -> float:
+        return stream.time_of(item) * scenario.multiplier(instance, position[0])
+
+    if not isinstance(policy, GroupingPolicy):
+        policy = policy(oracle)
+    policy.setup(k, rng)
+
+    agents = [policy.create_instance_agent(instance) for instance in range(k)]
+    has_agents = any(agent is not None for agent in agents)
+    track_states = isinstance(policy, POSGGrouping)
+    previous_state = policy.state if track_states else None
+
+    items = stream.items
+    base_times = stream.base_times
+    arrivals = stream.arrivals
+    m = stream.m
+
+    busy_until = [0.0] * k
+    completions = np.empty(m, dtype=np.float64)
+    assignments = np.empty(m, dtype=np.int64)
+    control_queue: list[tuple[float, int, object]] = []
+    control_seq = 0
+    control_messages = 0
+    control_bits = 0
+    state_transitions: list[tuple[int, SchedulerState]] = []
+    if sample_queues_every is not None and sample_queues_every < 1:
+        raise ValueError(
+            f"sample_queues_every must be >= 1, got {sample_queues_every}"
+        )
+    queue_samples: list[list[float]] = []
+    queue_sample_indices: list[int] = []
+
+    for j in range(m):
+        arrival = arrivals[j]
+        position[0] = j
+        if sample_queues_every is not None and j % sample_queues_every == 0:
+            queue_sample_indices.append(j)
+            queue_samples.append(
+                [max(0.0, busy - arrival) for busy in busy_until]
+            )
+
+        # Deliver every control message due by now (see module docstring).
+        while control_queue and control_queue[0][0] <= arrival:
+            _, _, message = heapq.heappop(control_queue)
+            policy.on_control(message)
+
+        decision = policy.route(int(items[j]))
+        instance = decision.instance
+        if not 0 <= instance < k:
+            raise ValueError(
+                f"policy routed tuple {j} to invalid instance {instance}"
+            )
+
+        at_instance = arrival + data_lat[instance].sample()
+        start = at_instance if at_instance > busy_until[instance] else busy_until[instance]
+        execution_time = base_times[j] * scenario.multiplier(instance, j)
+        finish = start + execution_time
+        busy_until[instance] = finish
+        completions[j] = finish - arrival
+        assignments[j] = instance
+
+        if has_agents and agents[instance] is not None:
+            messages = agents[instance].on_executed(
+                int(items[j]), execution_time, decision.sync_request
+            )
+            for message in messages:
+                delivery = finish + control_lat.sample()
+                heapq.heappush(control_queue, (delivery, control_seq, message))
+                control_seq += 1
+                control_messages += 1
+                control_bits += message.size_bits()
+        if decision.sync_request is not None:
+            control_messages += 1
+            control_bits += decision.sync_request.size_bits()
+
+        if track_states:
+            current_state = policy.state
+            if current_state is not previous_state:
+                state_transitions.append((j, current_state))
+                previous_state = current_state
+
+    return SimulationResult(
+        stats=CompletionStats(completions, assignments),
+        policy=policy,
+        state_transitions=state_transitions,
+        control_messages=control_messages,
+        control_bits=control_bits,
+        queue_samples=(
+            np.asarray(queue_samples) if sample_queues_every is not None else None
+        ),
+        queue_sample_indices=(
+            np.asarray(queue_sample_indices, dtype=np.int64)
+            if sample_queues_every is not None
+            else None
+        ),
+    )

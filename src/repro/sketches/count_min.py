@@ -1,0 +1,292 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, 2005).
+
+The sketch is an ``r x c`` matrix of counters with one 2-universal hash
+function per row.  Reading item ``t`` increments ``F[i, h_i(t)]`` on every
+row; a point query returns the minimum cell over the item's row cells,
+which overestimates the true frequency by at most ``eps * (m - f_t)`` with
+probability at least ``1 - delta`` when ``r = ceil(ln 1/delta)`` and
+``c = ceil(e / eps)``.
+
+POSG (Section III of the paper) uses two variants side by side:
+
+- the plain frequency sketch ``F`` (``update value = 1``);
+- the generalized sketch ``W`` where each update carries a non-negative
+  value ``v_t`` (the measured execution time), so a cell accumulates the
+  cumulated execution time of all items colliding there.
+
+Both are served by :class:`CountMinSketch`, which accepts an arbitrary
+update weight.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import TwoUniversalHashFamily, random_hash_family
+
+
+def dims_for(epsilon: float, delta: float) -> tuple[int, int]:
+    """Return the sketch dimensions ``(rows, cols)`` for an accuracy target.
+
+    ``rows = ceil(ln(1/delta))`` and ``cols = ceil(e/epsilon)`` guarantee an
+    ``(epsilon, delta)``-additive approximation of point queries.
+
+    Examples from the paper: ``epsilon=0.05 -> cols=55`` (the paper rounds
+    to 54), ``delta=0.1 -> rows=3`` (the paper rounds up to 4; we use
+    ``ceil`` which gives 3 for 0.1 — callers wanting the paper's exact
+    r=4/c=54 can pass dimensions explicitly).
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    rows = max(1, math.ceil(math.log(1.0 / delta)))
+    cols = max(1, math.ceil(math.e / epsilon))
+    return rows, cols
+
+
+class CountMinSketch:
+    """A Count-Min sketch with optional weighted updates.
+
+    Parameters
+    ----------
+    hashes:
+        The shared hash family; its ``rows``/``cols`` fix the matrix shape.
+    dtype:
+        Counter dtype; ``float64`` by default because POSG accumulates
+        execution times (fractions of milliseconds).
+
+    Notes
+    -----
+    The sketch exposes its matrix as the read-only property :attr:`matrix`
+    so POSG can snapshot, serialize and merge sketches; mutate only through
+    :meth:`update`/:meth:`reset`/:meth:`merge`.
+    """
+
+    __slots__ = ("_hashes", "_matrix", "_total_weight", "_update_count")
+
+    def __init__(self, hashes: TwoUniversalHashFamily, dtype=np.float64) -> None:
+        self._hashes = hashes
+        self._matrix = np.zeros((hashes.rows, hashes.cols), dtype=dtype)
+        self._total_weight = 0.0
+        self._update_count = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_accuracy(
+        cls,
+        epsilon: float,
+        delta: float,
+        rng: np.random.Generator | None = None,
+    ) -> "CountMinSketch":
+        """Build a sketch sized for an ``(epsilon, delta)`` guarantee."""
+        rows, cols = dims_for(epsilon, delta)
+        return cls(random_hash_family(rows, cols, rng=rng))
+
+    # ------------------------------------------------------------------
+    # stream ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: int, weight: float = 1.0) -> None:
+        """Fold one occurrence of ``item`` (with ``weight``) into the sketch.
+
+        Time complexity is ``O(rows) = O(log 1/delta)`` (Theorem 3.1).
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        matrix = self._matrix
+        for row, col in enumerate(self._hashes.hash_all(item)):
+            matrix[row, col] += weight
+        self._total_weight += weight
+        self._update_count += 1
+
+    def update_conservative(self, item: int, weight: float = 1.0) -> None:
+        """Conservative update (Estan & Varghese): raise each of the
+        item's cells only up to ``query(item) + weight``.
+
+        Tightens point-query overestimates for frequency counting while
+        preserving the no-underestimate guarantee.  Note that POSG's
+        ``W/F`` ratio estimator requires ``F`` and ``W`` to grow in
+        lockstep (cell ratios are then mixture means), so the runtime
+        algorithm uses plain updates; this variant exists for sketch-level
+        comparisons and downstream users.
+
+        Conservative sketches lose linearity: :meth:`merge` of two
+        conservatively-built sketches still never underestimates, but may
+        overestimate more than a single conservatively-built sketch of
+        the concatenated stream.
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        matrix = self._matrix
+        cells = list(enumerate(self._hashes.hash_all(item)))
+        target = min(matrix[row, col] for row, col in cells) + weight
+        for row, col in cells:
+            if matrix[row, col] < target:
+                matrix[row, col] = target
+        self._total_weight += weight
+        self._update_count += 1
+
+    def update_many(self, items: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Vectorized bulk update (used by workload preprocessing)."""
+        items = np.asarray(items)
+        if items.size == 0:
+            return
+        buckets = self._hashes.hash_vector(items)
+        if weights is None:
+            weights = np.ones(items.shape[0], dtype=self._matrix.dtype)
+        else:
+            weights = np.asarray(weights, dtype=self._matrix.dtype)
+            if weights.shape != items.shape:
+                raise ValueError("items and weights must have the same shape")
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+        for row in range(buckets.shape[0]):
+            np.add.at(self._matrix[row], buckets[row], weights)
+        self._total_weight += float(weights.sum())
+        self._update_count += items.shape[0]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, item: int) -> float:
+        """Point query: ``min_i matrix[i, h_i(item)]`` (never underestimates)."""
+        matrix = self._matrix
+        return float(
+            min(matrix[row, col] for row, col in enumerate(self._hashes.hash_all(item)))
+        )
+
+    def cells(self, item: int) -> np.ndarray:
+        """Return the item's cell values on every row (shape ``(rows,)``)."""
+        cols = self._hashes.hash_all(item)
+        return self._matrix[np.arange(self._hashes.rows), list(cols)]
+
+    def argmin_row(self, item: int) -> int:
+        """Row index whose cell for ``item`` holds the minimum value."""
+        values = self.cells(item)
+        return int(np.argmin(values))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter (POSG resets after shipping matrices)."""
+        self._matrix.fill(0)
+        self._total_weight = 0.0
+        self._update_count = 0
+
+    def copy(self) -> "CountMinSketch":
+        """Deep copy sharing the (immutable) hash family."""
+        clone = CountMinSketch(self._hashes, dtype=self._matrix.dtype)
+        clone._matrix = self._matrix.copy()
+        clone._total_weight = self._total_weight
+        clone._update_count = self._update_count
+        return clone
+
+    def scale(self, factor: float) -> None:
+        """Multiply every counter by ``factor`` (exponential aging).
+
+        Scaling preserves all cell *ratios* (the quantity POSG estimates
+        from) while down-weighting history relative to future merges.
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        self._matrix *= factor
+        self._total_weight *= factor
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add ``other``'s counters into this sketch (linear sketch property).
+
+        Both sketches must have been built from the *same* hash family.
+        """
+        if other._hashes is not self._hashes and other._hashes != self._hashes:
+            raise ValueError("cannot merge sketches with different hash families")
+        if other._matrix.shape != self._matrix.shape:
+            raise ValueError("cannot merge sketches with different shapes")
+        self._matrix += other._matrix
+        self._total_weight += other._total_weight
+        self._update_count += other._update_count
+
+    # ------------------------------------------------------------------
+    # serialization (what actually crosses the network in a deployment)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot, including the hash family."""
+        return {
+            "hashes": self._hashes.to_dict(),
+            "matrix": self._matrix.tolist(),
+            "total_weight": self._total_weight,
+            "update_count": self._update_count,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, hashes: TwoUniversalHashFamily | None = None
+    ) -> "CountMinSketch":
+        """Rebuild from :meth:`to_dict`; pass ``hashes`` to share an
+        existing family object (required for :meth:`merge` with ``is``
+        identity)."""
+        family = (
+            hashes
+            if hashes is not None
+            else TwoUniversalHashFamily.from_dict(payload["hashes"])
+        )
+        sketch = cls(family)
+        matrix = np.asarray(payload["matrix"], dtype=sketch._matrix.dtype)
+        if matrix.shape != sketch._matrix.shape:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match family shape "
+                f"{sketch._matrix.shape}"
+            )
+        sketch._matrix = matrix
+        sketch._total_weight = float(payload["total_weight"])
+        sketch._update_count = int(payload["update_count"])
+        return sketch
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def hashes(self) -> TwoUniversalHashFamily:
+        """The hash family shared with sibling sketches."""
+        return self._hashes
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw ``rows x cols`` counter matrix (do not mutate)."""
+        return self._matrix
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, cols)`` of the counter matrix."""
+        return self._matrix.shape
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all update weights seen since the last reset."""
+        return self._total_weight
+
+    @property
+    def update_count(self) -> int:
+        """Number of updates folded in since the last reset."""
+        return self._update_count
+
+    def error_bound(self) -> float:
+        """The additive error ``eps * m`` implied by the current width.
+
+        With width ``c``, the per-row overestimate of a point query has
+        expectation at most ``total_weight / c``; the Count-Min guarantee
+        bounds it by ``(e/c) * total_weight`` with per-row probability
+        ``1/e``.
+        """
+        return math.e / self._matrix.shape[1] * self._total_weight
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows, cols = self.shape
+        return (
+            f"CountMinSketch(rows={rows}, cols={cols}, "
+            f"updates={self._update_count}, weight={self._total_weight:.3f})"
+        )

@@ -1,0 +1,308 @@
+"""The local cluster: wiring, routing, reliability, lifecycle.
+
+:class:`LocalCluster` plays the role of Storm's LocalCluster plus the
+pieces of nimbus/worker plumbing the experiments need: it instantiates
+one executor per task, binds groupings, routes emissions with a transfer
+latency, runs the acker (timeouts, ``max.spout.pending``), dispatches
+POSG execution reports and control messages with a control-plane
+latency, and collects :class:`~repro.storm.metrics.TopologyMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.simulator.engine import Simulation
+from repro.storm.acker import AckTracker
+from repro.storm.executor import BoltExecutor, SpoutExecutor
+from repro.storm.grouping import CustomStreamGrouping, StreamGrouping
+from repro.storm.metrics import TopologyMetrics
+from repro.storm.topology import BoltSpec, SpoutSpec, Topology
+from repro.storm.tuples import StormTuple, Values
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Runtime knobs (defaults mirror Storm's where they exist).
+
+    Times are virtual milliseconds.
+    """
+
+    #: topology.message.timeout.secs — Storm defaults to 30 s
+    message_timeout: float = 30_000.0
+    #: topology.max.spout.pending — None disables backpressure
+    max_spout_pending: int | None = None
+    #: network hop for data tuples between tasks
+    transfer_latency: float = 0.0
+    #: network hop for control messages (POSG matrices / sync / acks)
+    control_latency: float = 1.0
+    #: delay before re-polling an idle or backpressured spout
+    idle_backoff: float = 1.0
+    #: auto-ack inputs that the bolt did not ack/fail itself
+    auto_ack: bool = True
+    #: how often the acker sweeps for timed-out trees
+    timeout_sweep_interval: float = 1_000.0
+    #: seed for ack-id generation
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.message_timeout <= 0:
+            raise ValueError("message_timeout must be > 0")
+        if self.max_spout_pending is not None and self.max_spout_pending < 1:
+            raise ValueError("max_spout_pending must be >= 1 or None")
+        if self.transfer_latency < 0 or self.control_latency < 0:
+            raise ValueError("latencies must be >= 0")
+        if self.idle_backoff <= 0:
+            raise ValueError("idle_backoff must be > 0")
+        if self.timeout_sweep_interval <= 0:
+            raise ValueError("timeout_sweep_interval must be > 0")
+
+
+class LocalCluster:
+    """Runs one topology to completion on virtual time."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.sim = Simulation()
+        self.metrics = TopologyMetrics()
+        self.acker = AckTracker(
+            self.config.message_timeout,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        self._topology: Topology | None = None
+        self._spout_executors: list[SpoutExecutor] = []
+        self._bolt_executors: dict[str, list[BoltExecutor]] = {}
+        #: groupings wanting execution reports, per bolt name
+        self._reporting_groupings: dict[str, list[CustomStreamGrouping]] = {}
+        self._msg_roots: dict[Any, SpoutExecutor] = {}
+        self._sweep_scheduled = False
+        self._submitted = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, topology: Topology) -> None:
+        """Instantiate tasks, bind groupings, open components."""
+        if self._submitted:
+            raise RuntimeError("cluster already has a topology")
+        self._submitted = True
+        self._topology = topology
+
+        for bolt_spec in topology.bolts.values():
+            executors = [
+                BoltExecutor(self, bolt_spec, index, bolt_spec.factory())
+                for index in range(bolt_spec.parallelism)
+            ]
+            self._bolt_executors[bolt_spec.name] = executors
+            for executor in executors:
+                executor.prepare()
+
+        for bolt_spec in topology.bolts.values():
+            for subscription in bolt_spec.subscriptions:
+                grouping = subscription.grouping
+                grouping.prepare(
+                    subscription.source, list(range(bolt_spec.parallelism))
+                )
+                if (
+                    isinstance(grouping, CustomStreamGrouping)
+                    and grouping.wants_execution_reports()
+                ):
+                    self._reporting_groupings.setdefault(
+                        bolt_spec.name, []
+                    ).append(grouping)
+
+        for spout_spec in topology.spouts.values():
+            for index in range(spout_spec.parallelism):
+                executor = SpoutExecutor(
+                    self, spout_spec, index, spout_spec.factory()
+                )
+                self._spout_executors.append(executor)
+                executor.open()
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event loop; returns the final virtual time."""
+        if not self._submitted:
+            raise RuntimeError("submit a topology before running")
+        final = self.sim.run(until=until)
+        self.shutdown()
+        return final
+
+    def shutdown(self) -> None:
+        """Close every component (idempotent)."""
+        topology = self._topology
+        if topology is None:
+            return
+        for executor in self._spout_executors:
+            executor.spout.close()
+        for executors in self._bolt_executors.values():
+            for executor in executors:
+                executor.bolt.cleanup()
+
+    def on_spout_exhausted(self) -> None:
+        """A spout signalled it will never emit again (no-op hook)."""
+
+    # ------------------------------------------------------------------
+    # emission and routing
+    # ------------------------------------------------------------------
+    def spout_emit(
+        self, spec: SpoutSpec, task_index: int, values: Values, msg_id: Any
+    ) -> None:
+        """Route one spout emission to every subscriber."""
+        assert self._topology is not None
+        root_id = None
+        if msg_id is not None:
+            root_ack = self.acker.fresh_ack_id()
+            self.acker.register_root(msg_id, root_ack, self.sim.now)
+            self._msg_roots[msg_id] = self._find_spout_executor(spec, task_index)
+            self.metrics.record_emit()
+            self._ensure_sweep()
+            root_id = msg_id
+            # the root edge is acked once the first hop's edges exist; we
+            # model the spout's own edge as immediately acked after fan-out
+        proto = StormTuple(
+            values=values,
+            fields=spec.output_fields,
+            source_component=spec.name,
+            source_task=task_index,
+            root_id=root_id,
+        )
+        self._route(proto)
+        if msg_id is not None:
+            # complete the root edge (the fan-out registered child edges)
+            result = self.acker.ack(msg_id, root_ack)
+            if result is not None:
+                # degenerate: no subscriber -> the tree completes instantly
+                _, emitted_at = result
+                self.metrics.record_completion(msg_id, self.sim.now - emitted_at)
+                self._notify_spout(msg_id, failed=False)
+
+    def bolt_emit(
+        self,
+        spec: BoltSpec,
+        task_index: int,
+        values: Values,
+        anchors: list[StormTuple],
+    ) -> None:
+        """Route one bolt emission, inheriting anchors."""
+        root_id = None
+        for anchor in anchors:
+            if anchor.root_id is not None:
+                root_id = anchor.root_id  # single-root model (see DESIGN.md)
+                break
+        proto = StormTuple(
+            values=values,
+            fields=spec.output_fields,
+            source_component=spec.name,
+            source_task=task_index,
+            root_id=root_id,
+        )
+        self._route(proto)
+
+    def _route(self, proto: StormTuple) -> None:
+        assert self._topology is not None
+        for bolt_spec, grouping in self._topology.downstream_of(
+            proto.source_component
+        ):
+            proto.sync_request = None
+            tasks = grouping.choose_tasks(proto)
+            sync_request = proto.sync_request  # set by POSG-style groupings
+            for position, task in enumerate(tasks):
+                if not 0 <= task < bolt_spec.parallelism:
+                    raise ValueError(
+                        f"grouping chose invalid task {task} for bolt "
+                        f"{bolt_spec.name!r}"
+                    )
+                edge = StormTuple(
+                    values=list(proto.values),
+                    fields=proto.fields,
+                    source_component=proto.source_component,
+                    source_task=proto.source_task,
+                    root_id=proto.root_id,
+                    sync_request=sync_request if position == 0 else None,
+                )
+                if edge.root_id is not None:
+                    edge.ack_id = self.acker.fresh_ack_id()
+                    self.acker.register_edge(edge.root_id, edge.ack_id)
+                if sync_request is not None and position == 0:
+                    self.metrics.record_control_message()
+                executor = self._bolt_executors[bolt_spec.name][task]
+                self.sim.after(
+                    self.config.transfer_latency,
+                    (lambda ex, tup: lambda: ex.enqueue(tup))(executor, edge),
+                )
+        proto.sync_request = None
+
+    # ------------------------------------------------------------------
+    # reliability
+    # ------------------------------------------------------------------
+    def ack_tuple(self, tup: StormTuple) -> None:
+        """A bolt acked one of its inputs."""
+        if tup.root_id is None:
+            return
+        result = self.acker.ack(tup.root_id, tup.ack_id)
+        if result is not None:
+            _, emitted_at = result
+            self.metrics.record_completion(tup.root_id, self.sim.now - emitted_at)
+            self._notify_spout(tup.root_id, failed=False)
+
+    def fail_tuple(self, tup: StormTuple) -> None:
+        """A bolt failed one of its inputs: fail the whole tree."""
+        if tup.root_id is None:
+            return
+        if self.acker.fail(tup.root_id):
+            self.metrics.record_failure(tup.root_id)
+            self._notify_spout(tup.root_id, failed=True)
+
+    def _notify_spout(self, msg_id: Any, failed: bool) -> None:
+        executor = self._msg_roots.pop(msg_id, None)
+        if executor is None:
+            return
+        callback = executor.spout.fail if failed else executor.spout.ack
+        self.sim.after(self.config.control_latency, lambda: callback(msg_id))
+
+    def _find_spout_executor(
+        self, spec: SpoutSpec, task_index: int
+    ) -> SpoutExecutor:
+        for executor in self._spout_executors:
+            if executor.spec is spec and executor.task_index == task_index:
+                return executor
+        raise KeyError(f"no executor for spout {spec.name!r} task {task_index}")
+
+    # ------------------------------------------------------------------
+    # timeouts
+    # ------------------------------------------------------------------
+    def _ensure_sweep(self) -> None:
+        if not self._sweep_scheduled:
+            self._sweep_scheduled = True
+            self.sim.after(self.config.timeout_sweep_interval, self._sweep)
+
+    def _sweep(self) -> None:
+        self._sweep_scheduled = False
+        for msg_id in self.acker.expire(self.sim.now):
+            self.metrics.record_timeout(msg_id)
+            self._notify_spout(msg_id, failed=True)
+        if self.acker.pending_count > 0 or not self._all_spouts_exhausted():
+            self._ensure_sweep()
+
+    def _all_spouts_exhausted(self) -> bool:
+        return all(executor.exhausted for executor in self._spout_executors)
+
+    # ------------------------------------------------------------------
+    # POSG execution reports
+    # ------------------------------------------------------------------
+    def report_execution(
+        self, spec: BoltSpec, task_index: int, tup: StormTuple, duration: float
+    ) -> None:
+        """A bolt task executed a tuple; notify reporting groupings."""
+        self.metrics.record_execution(spec.name, task_index)
+        for grouping in self._reporting_groupings.get(spec.name, ()):
+            messages = grouping.on_execution(task_index, tup, duration)
+            for message in messages:
+                self.metrics.record_control_message()
+                self.sim.after(
+                    self.config.control_latency,
+                    (lambda g, msg: lambda: g.on_control(msg))(grouping, message),
+                )

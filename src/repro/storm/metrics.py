@@ -1,0 +1,101 @@
+"""Per-topology metrics: completion latencies, timeouts, task activity."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class TopologyMetrics:
+    """Collected while a topology runs on the local cluster."""
+
+    def __init__(self) -> None:
+        self._completions: dict[Any, float] = {}
+        self._timeouts: list[Any] = []
+        self._failures: list[Any] = []
+        self._executed_per_task: dict[tuple[str, int], int] = {}
+        self._emitted = 0
+        self._control_messages = 0
+
+    # ------------------------------------------------------------------
+    # recording (called by the cluster)
+    # ------------------------------------------------------------------
+    def record_emit(self) -> None:
+        self._emitted += 1
+
+    def record_completion(self, msg_id: Any, latency: float) -> None:
+        self._completions[msg_id] = latency
+
+    def record_timeout(self, msg_id: Any) -> None:
+        self._timeouts.append(msg_id)
+
+    def record_failure(self, msg_id: Any) -> None:
+        self._failures.append(msg_id)
+
+    def record_execution(self, component: str, task_index: int) -> None:
+        key = (component, task_index)
+        self._executed_per_task[key] = self._executed_per_task.get(key, 0) + 1
+
+    def record_control_message(self) -> None:
+        self._control_messages += 1
+
+    # ------------------------------------------------------------------
+    # reading (after the run)
+    # ------------------------------------------------------------------
+    @property
+    def emitted(self) -> int:
+        """Anchored tuples emitted by spouts."""
+        return self._emitted
+
+    @property
+    def completed(self) -> int:
+        """Tuple trees fully acked."""
+        return len(self._completions)
+
+    @property
+    def timed_out(self) -> int:
+        """Tuple trees failed by timeout (the Figure 11/12 statistic)."""
+        return len(self._timeouts)
+
+    @property
+    def failed(self) -> int:
+        """Tuple trees failed explicitly by a bolt."""
+        return len(self._failures)
+
+    @property
+    def control_messages(self) -> int:
+        """Control-plane messages exchanged (POSG overhead accounting)."""
+        return self._control_messages
+
+    def completion_latencies(self) -> np.ndarray:
+        """Latencies of completed trees, ordered by message id.
+
+        Message ids must be sortable (the stream spouts use the tuple's
+        stream index).
+        """
+        if not self._completions:
+            return np.array([], dtype=np.float64)
+        ordered = sorted(self._completions)
+        return np.array([self._completions[mid] for mid in ordered])
+
+    def completed_ids(self) -> list:
+        """Sorted message ids of completed trees."""
+        return sorted(self._completions)
+
+    def average_completion_time(self) -> float:
+        """Mean completion latency over *completed* tuples (paper's L)."""
+        latencies = self.completion_latencies()
+        if latencies.size == 0:
+            raise ValueError("no tuple completed")
+        return float(latencies.mean())
+
+    def executions(self, component: str, task_index: int) -> int:
+        """Tuples executed by one task."""
+        return self._executed_per_task.get((component, task_index), 0)
+
+    def task_execution_counts(self, component: str, parallelism: int) -> np.ndarray:
+        """Executed-tuple counts for every task of a component."""
+        return np.array(
+            [self.executions(component, index) for index in range(parallelism)]
+        )

@@ -1,0 +1,94 @@
+"""POSG as a Storm ``CustomStreamGrouping`` (the paper's prototype).
+
+Figure 1's deployment: the grouping runs inside the upstream component's
+output path (our scheduler-side FSM); every downstream bolt task hosts an
+:class:`~repro.core.instance.InstanceTracker` (the instance-side FSM)
+whose control messages travel back to the grouping over the cluster's
+control plane with latency.
+
+The piggy-backing of sync requests (Figure 1.D) uses the tuple's
+``sync_request`` slot: :meth:`choose_tasks` stores the request on the
+prototype tuple and the cluster attaches it to the chosen task's copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import POSGGrouping
+from repro.core.scheduler import POSGScheduler, SchedulerState
+from repro.storm.grouping import CustomStreamGrouping
+from repro.storm.tuples import StormTuple
+
+
+class POSGShuffleGrouping(CustomStreamGrouping):
+    """Drop-in replacement for Storm's shuffle grouping.
+
+    Parameters
+    ----------
+    item_field:
+        Name of the tuple field carrying the attribute value that drives
+        the execution time (the paper's single "fixed and known attribute").
+    config:
+        POSG parameters; paper defaults when omitted.
+    rng:
+        Seeds the shared hash functions.
+    """
+
+    def __init__(
+        self,
+        item_field: str = "value",
+        config: POSGConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._item_field = item_field
+        self._policy = POSGGrouping(config)
+        self._rng = rng
+        self._agents: dict[int, object] = {}
+
+    def prepare(self, source: str, target_tasks: list[int]) -> None:
+        super().prepare(source, target_tasks)
+        self._policy.setup(len(target_tasks), self._rng)
+        self._agents = {
+            position: self._policy.create_instance_agent(position)
+            for position in range(len(target_tasks))
+        }
+
+    def choose_tasks(self, tup: StormTuple) -> list[int]:
+        item = int(tup.value(self._item_field))
+        decision = self._policy.route(item)
+        tup.sync_request = decision.sync_request
+        return [self._target_tasks[decision.instance]]
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def wants_execution_reports(self) -> bool:
+        return True
+
+    def on_execution(self, task: int, tup: StormTuple, duration: float) -> list:
+        item = int(tup.value(self._item_field))
+        agent = self._agents[task]
+        return agent.on_executed(item, duration, tup.sync_request)
+
+    def on_control(self, message) -> None:
+        self._policy.on_control(message)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def scheduler(self) -> POSGScheduler:
+        """The scheduler-side FSM."""
+        return self._policy.scheduler
+
+    @property
+    def state(self) -> SchedulerState:
+        """Scheduler FSM state."""
+        return self._policy.state
+
+    @property
+    def policy(self) -> POSGGrouping:
+        """The underlying engine-agnostic policy."""
+        return self._policy

@@ -1,0 +1,52 @@
+"""Tests for the Theorem 4.2 machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import gusfield_worst_case, verify_theorem_42
+
+
+class TestVerify:
+    def test_simple_sequence_holds(self):
+        check = verify_theorem_42([1.0, 2.0, 3.0, 4.0], 2)
+        assert check.holds
+        assert check.bound == 1.5
+
+    def test_zero_weights(self):
+        check = verify_theorem_42([0.0, 0.0], 3)
+        assert check.holds
+        assert check.ratio == 1.0
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_random_sequences_hold(self, k):
+        rng = np.random.default_rng(k)
+        for _ in range(10):
+            weights = rng.exponential(10.0, size=100).tolist()
+            assert verify_theorem_42(weights, k).holds
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property(self, weights, k):
+        assert verify_theorem_42(weights, k).holds
+
+
+class TestGusfield:
+    @pytest.mark.parametrize("k", [2, 3, 5, 10])
+    def test_worst_case_is_tight(self, k):
+        check = gusfield_worst_case(k)
+        assert check.holds
+        assert check.tight
+        assert check.ratio == pytest.approx(2.0 - 1.0 / k)
+
+    def test_k_one_trivially_tight(self):
+        check = gusfield_worst_case(1)
+        assert check.ratio == pytest.approx(1.0)
+
+    def test_scales_with_wmax(self):
+        check = gusfield_worst_case(4, w_max=10.0)
+        assert check.gos_makespan == pytest.approx(10.0 * (2.0 - 0.25))

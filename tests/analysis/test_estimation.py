@@ -1,0 +1,103 @@
+"""Tests for the Theorem 4.3 machinery and Section IV-B bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimation import (
+    expected_estimator_ratio,
+    independent_rows_bound,
+    markov_tail_bound,
+    paper_numerical_application,
+    simulate_estimator_ratios,
+)
+
+
+class TestClosedForm:
+    def test_paper_numbers(self):
+        """k=55, n=4096, w in 1..64: E{W_v/C_v} in [32.08, 32.92]."""
+        app = paper_numerical_application()
+        assert app.expectation_low == pytest.approx(32.08, abs=0.01)
+        assert app.expectation_high == pytest.approx(32.92, abs=0.01)
+
+    def test_tail_bounds_match_paper(self):
+        """(33/48)^10 <= 0.024."""
+        app = paper_numerical_application()
+        assert app.markov_bound_at_48 == pytest.approx(33.0 / 48.0)
+        assert app.min_rows_bound_at_48 <= 0.024
+
+    def test_single_column_collapses_to_global_mean(self):
+        """c=1: every item collides with everything -> estimate = mean."""
+        weights = [1.0, 2.0, 3.0, 4.0]
+        for w in weights:
+            expected = expected_estimator_ratio(w, weights, cols=1)
+            assert expected == pytest.approx(np.mean(weights))
+
+    def test_many_columns_approaches_exact_value(self):
+        """c -> inf: no collisions -> estimate = w_v."""
+        weights = [1.0, 2.0, 3.0, 4.0]
+        for w in weights:
+            expected = expected_estimator_ratio(w, weights, cols=10**6)
+            assert expected == pytest.approx(w, rel=1e-4)
+
+    def test_monotone_in_w_v(self):
+        weights = list(np.linspace(1, 64, 64))
+        values = [expected_estimator_ratio(w, weights, 55) for w in weights]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ValueError):
+            expected_estimator_ratio(1.0, [1.0], 10)
+
+    def test_rejects_bad_cols(self):
+        with pytest.raises(ValueError):
+            expected_estimator_ratio(1.0, [1.0, 2.0], 0)
+
+
+class TestTailBounds:
+    def test_markov(self):
+        assert markov_tail_bound(33.0, 48.0) == pytest.approx(33.0 / 48.0)
+
+    def test_markov_capped_at_one(self):
+        assert markov_tail_bound(100.0, 1.0) == 1.0
+
+    def test_markov_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            markov_tail_bound(1.0, 0.0)
+
+    def test_rows_bound(self):
+        assert independent_rows_bound(0.5, 3) == pytest.approx(0.125)
+
+    def test_rows_bound_validation(self):
+        with pytest.raises(ValueError):
+            independent_rows_bound(1.5, 2)
+        with pytest.raises(ValueError):
+            independent_rows_bound(0.5, 0)
+
+
+class TestMonteCarlo:
+    def test_empirical_mean_matches_theorem(self):
+        """The closed form must match simulation within Monte-Carlo error."""
+        rng = np.random.default_rng(7)
+        n, cols = 256, 16
+        weights = np.repeat(np.arange(1.0, 9.0), n // 8)
+        ratios = simulate_estimator_ratios(weights, cols, trials=400, rng=rng)
+        empirical = ratios.mean(axis=0)
+        for v in (0, n // 2, n - 1):
+            theoretical = expected_estimator_ratio(float(weights[v]), weights, cols)
+            assert empirical[v] == pytest.approx(theoretical, rel=0.05)
+
+    def test_ratios_within_range(self):
+        rng = np.random.default_rng(8)
+        weights = np.repeat(np.arange(1.0, 5.0), 16)
+        ratios = simulate_estimator_ratios(weights, 8, trials=50, rng=rng)
+        assert ratios.min() >= 1.0 - 1e-9
+        assert ratios.max() <= 4.0 + 1e-9
+
+    def test_result_independent_of_occurrences(self):
+        """The theorem notes E{W_v/C_v} does not depend on m."""
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        weights = np.repeat(np.arange(1.0, 5.0), 8)
+        a = simulate_estimator_ratios(weights, 8, occurrences=1, trials=20, rng=rng1)
+        b = simulate_estimator_ratios(weights, 8, occurrences=999, trials=20, rng=rng2)
+        np.testing.assert_allclose(a, b)

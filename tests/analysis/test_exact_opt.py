@@ -1,0 +1,90 @@
+"""Theorem 4.2 against the *exact* optimum (branch and bound)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import exact_optimal_makespan
+from repro.core.gos import (
+    adversarial_sequence,
+    greedy_online_schedule,
+    makespan,
+    opt_lower_bound,
+)
+
+
+def brute_force_opt(weights, k):
+    """Reference: enumerate every assignment (tiny inputs only)."""
+    best = float("inf")
+    for assignment in itertools.product(range(k), repeat=len(weights)):
+        loads = [0.0] * k
+        for weight, machine in zip(weights, assignment):
+            loads[machine] += weight
+        best = min(best, max(loads))
+    return best
+
+
+class TestExactSolver:
+    def test_empty(self):
+        assert exact_optimal_makespan([], 3) == 0.0
+
+    def test_single_task(self):
+        assert exact_optimal_makespan([7.0], 2) == 7.0
+
+    def test_perfect_split(self):
+        assert exact_optimal_makespan([3.0, 3.0, 2.0, 2.0, 1.0, 1.0], 2) == 6.0
+
+    def test_gusfield_instance(self):
+        # OPT on the adversarial sequence is exactly w_max
+        k = 3
+        assert exact_optimal_makespan(adversarial_sequence(k), k) == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            exact_optimal_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            exact_optimal_makespan([-1.0], 2)
+        with pytest.raises(ValueError):
+            exact_optimal_makespan([1.0] * 21, 2)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=1, max_size=7),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, weights, k):
+        assert exact_optimal_makespan(weights, k) == pytest.approx(
+            brute_force_opt(weights, k)
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_below_lower_bound(self, weights, k):
+        opt = exact_optimal_makespan(weights, k)
+        assert opt >= opt_lower_bound(weights, k) - 1e-9
+
+
+class TestTheorem42AgainstTrueOpt:
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=64.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gos_within_bound_of_exact_opt(self, weights, k):
+        """The real theorem: C_GOS <= (2 - 1/k) * C_OPT (exact)."""
+        _, loads = greedy_online_schedule(weights, k)
+        opt = exact_optimal_makespan(weights, k)
+        assert makespan(loads) <= (2 - 1 / k) * opt + 1e-9
+
+    def test_adversarial_is_tight_against_exact_opt(self):
+        for k in (2, 3, 4):
+            weights = adversarial_sequence(k)
+            _, loads = greedy_online_schedule(weights, k)
+            opt = exact_optimal_makespan(weights, k)
+            assert makespan(loads) == pytest.approx((2 - 1 / k) * opt)

@@ -1,0 +1,166 @@
+"""Tests for the reactive-scheduling and DKG baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.dkg import DKGGrouping
+from repro.core.grouping import RoundRobinGrouping
+from repro.core.messages import LoadReport
+from repro.core.reactive import ReactiveGrouping
+from repro.simulator.run import simulate_stream
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+
+def skewed_stream(m=16_384, n=512, k=4, seed=0):
+    spec = StreamSpec(m=m, n=n, k=k)
+    return generate_stream(ZipfItems(n, 1.2), spec, np.random.default_rng(seed))
+
+
+class TestReactiveGrouping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveGrouping(report_interval=0)
+
+    def test_round_robin_until_first_report(self):
+        policy = ReactiveGrouping(report_interval=4)
+        policy.setup(3)
+        picks = [policy.route(0).instance for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_agent_reports_every_interval(self):
+        policy = ReactiveGrouping(report_interval=3)
+        policy.setup(2)
+        agent = policy.create_instance_agent(0)
+        messages = []
+        for _ in range(7):
+            messages.extend(agent.on_executed(1, 2.0))
+        reports = [msg for msg in messages if isinstance(msg, LoadReport)]
+        assert len(reports) == 2
+        assert reports[-1].cumulated_time == pytest.approx(12.0)
+        assert reports[-1].tuples_executed == 6
+
+    def test_routes_to_least_reported_load(self):
+        policy = ReactiveGrouping(report_interval=4)
+        policy.setup(2)
+        policy.on_control(LoadReport(instance=0, cumulated_time=100.0,
+                                     tuples_executed=10))
+        policy.on_control(LoadReport(instance=1, cumulated_time=10.0,
+                                     tuples_executed=10))
+        assert policy.route(5).instance == 1
+        assert policy.reports_received == 2
+
+    def test_extrapolates_with_mean_cost(self):
+        policy = ReactiveGrouping(report_interval=4)
+        policy.setup(2)
+        policy.on_control(LoadReport(0, 100.0, 10))  # mean cost 10
+        policy.on_control(LoadReport(1, 95.0, 10))
+        # instance 1 lighter; after one assignment its projection is
+        # 95 + 10 = 105 > 100, so the next goes to instance 0
+        assert policy.route(5).instance == 1
+        assert policy.route(5).instance == 0
+
+    def test_rejects_foreign_messages(self):
+        policy = ReactiveGrouping()
+        policy.setup(2)
+        with pytest.raises(TypeError):
+            policy.on_control("junk")
+
+    def test_reactive_beats_round_robin(self):
+        """Load feedback, even stale, helps over blind rotation."""
+        stream = skewed_stream()
+        rr = simulate_stream(stream, RoundRobinGrouping(), k=4)
+        reactive = simulate_stream(
+            stream, ReactiveGrouping(report_interval=64), k=4,
+            rng=np.random.default_rng(1),
+        )
+        assert (reactive.stats.average_completion_time
+                < rr.stats.average_completion_time)
+
+    def test_posg_beats_reactive_under_control_plane_latency(self):
+        """The paper's Section III argument, measured end to end: reactive
+        scheduling acts on a "previous, possibly stale, load state", so a
+        slow control plane hurts it; POSG's proactive estimates do not
+        need fresh state, only (rare) sketch deliveries."""
+        from repro.core.config import POSGConfig
+        from repro.core.grouping import POSGGrouping
+
+        config = POSGConfig(window_size=64, rows=4, cols=54,
+                            merge_matrices=True, pooled_estimates=True)
+        control_latency = 200.0
+        reactive_L, posg_L = [], []
+        for seed in range(3):
+            stream = skewed_stream(seed=seed)
+            reactive = simulate_stream(
+                stream, ReactiveGrouping(report_interval=256), k=4,
+                control_latency=control_latency,
+                rng=np.random.default_rng(1),
+            )
+            posg = simulate_stream(
+                stream, POSGGrouping(config), k=4,
+                control_latency=control_latency,
+                rng=np.random.default_rng(1),
+            )
+            reactive_L.append(reactive.stats.average_completion_time)
+            posg_L.append(posg.stats.average_completion_time)
+        assert np.mean(posg_L) < np.mean(reactive_L)
+
+
+class TestDKGGrouping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DKGGrouping(warmup=0)
+        with pytest.raises(ValueError):
+            DKGGrouping(phi=0.0)
+
+    def test_key_affinity_after_placement(self):
+        policy = DKGGrouping(warmup=100, phi=0.01)
+        policy.setup(4, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            policy.route(int(rng.zipf(1.5) % 50))
+        assert policy.placed
+        # after placement every key routes deterministically
+        for item in range(50):
+            first = policy.route(item).instance
+            assert policy.route(item).instance == first
+
+    def test_heavy_hitters_get_placed(self):
+        policy = DKGGrouping(warmup=500, phi=0.05)
+        policy.setup(4, np.random.default_rng(0))
+        rng = np.random.default_rng(2)
+        for _ in range(600):
+            # item 0 is 30% of the stream
+            item = 0 if rng.random() < 0.3 else int(rng.integers(1, 1000))
+            policy.route(item)
+        assert policy.heavy_hitter_count >= 1
+
+    def test_balances_counts_better_than_plain_key_grouping(self):
+        from repro.core.grouping import KeyGrouping
+
+        stream = skewed_stream(m=20_000, n=256, seed=3)
+        dkg = simulate_stream(
+            stream, DKGGrouping(warmup=2048, phi=0.005), k=4,
+            rng=np.random.default_rng(4),
+        )
+        key = simulate_stream(
+            stream, KeyGrouping(), k=4, rng=np.random.default_rng(4)
+        )
+
+        def imbalance(result):
+            counts = result.stats.instance_tuple_counts(4).astype(float)
+            return counts.max() / counts.mean()
+
+        assert imbalance(dkg) < imbalance(key)
+
+    def test_loses_to_shuffle_grouping_on_content_skew(self):
+        """Section VI: key grouping underperforms under shuffle grouping
+        when execution time depends on the tuple."""
+        stream = skewed_stream(m=20_000, n=256, seed=5)
+        dkg = simulate_stream(
+            stream, DKGGrouping(warmup=2048, phi=0.005), k=4,
+            rng=np.random.default_rng(6),
+        )
+        rr = simulate_stream(stream, RoundRobinGrouping(), k=4)
+        assert (rr.stats.average_completion_time
+                < dkg.stats.average_completion_time)

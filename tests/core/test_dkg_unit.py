@@ -1,0 +1,52 @@
+"""Additional DKG unit coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.dkg import DKGGrouping
+
+
+class TestDKGUnit:
+    def test_default_capacity_covers_phi(self):
+        policy = DKGGrouping(phi=0.01)
+        assert policy._capacity >= int(1 / 0.01)
+
+    def test_not_placed_before_warmup(self):
+        policy = DKGGrouping(warmup=1000)
+        policy.setup(2, np.random.default_rng(0))
+        for _ in range(10):
+            policy.route(1)
+        assert not policy.placed
+        assert policy.heavy_hitter_count == 0
+
+    def test_placement_happens_exactly_at_warmup(self):
+        policy = DKGGrouping(warmup=50, phi=0.01)
+        policy.setup(2, np.random.default_rng(0))
+        for index in range(49):
+            policy.route(index % 5)
+        assert not policy.placed
+        policy.route(0)
+        assert policy.placed
+
+    def test_light_keys_keep_hash_route(self):
+        policy = DKGGrouping(warmup=50, phi=0.5)  # nothing is 50%-heavy
+        policy.setup(4, np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            policy.route(int(rng.integers(0, 40)))
+        assert policy.placed
+        # un-placed keys still deterministically follow the hash
+        for item in range(40):
+            a = policy.route(item).instance
+            b = policy.route(item).instance
+            assert a == b
+
+    def test_setup_resets_state(self):
+        policy = DKGGrouping(warmup=10)
+        policy.setup(2, np.random.default_rng(0))
+        for _ in range(20):
+            policy.route(1)
+        assert policy.placed
+        policy.setup(2, np.random.default_rng(0))
+        assert not policy.placed
+        assert policy.heavy_hitter_count == 0

@@ -1,0 +1,61 @@
+"""Property tests tying the GOS makespan view to the queueing view."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gos import (
+    completion_times_online,
+    greedy_online_schedule,
+    makespan,
+)
+
+
+class TestCompletionModelProperties:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=20.0),
+                 min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_batch_arrivals_reduce_to_makespan(self, weights, k):
+        """If every task arrives at time 0, the last completion time on
+        the greedy schedule equals the greedy makespan."""
+        assignment, loads = greedy_online_schedule(weights, k)
+        arrivals = [0.0] * len(weights)
+        completions = completion_times_online(arrivals, weights, assignment, k)
+        assert max(completions) == np.float64(makespan(loads)) or \
+            abs(max(completions) - makespan(loads)) < 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=20.0),
+                 min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_later_arrivals_never_increase_completion(self, weights, k, gap):
+        """Spacing arrivals out can only reduce queueing delay."""
+        assignment, _ = greedy_online_schedule(weights, k)
+        batch = completion_times_online(
+            [0.0] * len(weights), weights, assignment, k
+        )
+        spaced_arrivals = [gap * j for j in range(len(weights))]
+        spaced = completion_times_online(
+            spaced_arrivals, weights, assignment, k
+        )
+        assert sum(spaced) <= sum(batch) + 1e-6
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=20.0),
+                 min_size=2, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_machines_bounded_regression(self, weights):
+        """Provable: C_greedy(3) <= (2 - 1/3) OPT(3) <= (5/3) C_greedy(2)
+        (OPT can only improve with more machines).  Strict monotonicity of
+        greedy in k is not guaranteed in general, so we assert the bound
+        that is."""
+        _, loads_k = greedy_online_schedule(weights, 2)
+        _, loads_k1 = greedy_online_schedule(weights, 3)
+        assert makespan(loads_k1) <= (5.0 / 3.0) * makespan(loads_k) + 1e-9

@@ -1,0 +1,139 @@
+"""Tests for the operator-instance FSM (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.core.instance import InstanceState, InstanceTracker
+from repro.core.matrices import make_shared_hashes
+from repro.core.messages import MatricesMessage, SyncReply, SyncRequest
+
+
+def make_tracker(window=8, mu=0.05, seed=0, instance_id=0, rows=3, cols=16):
+    cfg = POSGConfig(window_size=window, mu=mu, rows=rows, cols=cols)
+    hashes = make_shared_hashes(cfg, np.random.default_rng(seed))
+    return InstanceTracker(instance_id, cfg, hashes)
+
+
+def run_constant_stream(tracker, count, item=1, time=2.0):
+    messages = []
+    for _ in range(count):
+        messages.extend(tracker.execute(item, time))
+    return messages
+
+
+class TestConstruction:
+    def test_rejects_negative_id(self):
+        cfg = POSGConfig(rows=2, cols=8)
+        hashes = make_shared_hashes(cfg, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            InstanceTracker(-1, cfg, hashes)
+
+    def test_rejects_mismatched_hashes(self):
+        cfg = POSGConfig(rows=2, cols=8)
+        wrong = make_shared_hashes(POSGConfig(rows=3, cols=8), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            InstanceTracker(0, cfg, wrong)
+
+    def test_starts_in_start_state(self):
+        assert make_tracker().state is InstanceState.START
+
+
+class TestFSM:
+    def test_first_window_creates_snapshot(self):
+        tracker = make_tracker(window=4)
+        messages = run_constant_stream(tracker, 4)
+        assert messages == []
+        assert tracker.state is InstanceState.STABILIZING
+
+    def test_stable_stream_ships_after_two_windows(self):
+        """A constant stream is immediately stable: 2N tuples -> 1 message."""
+        tracker = make_tracker(window=4)
+        messages = run_constant_stream(tracker, 8)
+        assert len(messages) == 1
+        assert isinstance(messages[0], MatricesMessage)
+        assert tracker.state is InstanceState.START
+        assert tracker.matrices_sent == 1
+
+    def test_matrices_reset_after_send(self):
+        tracker = make_tracker(window=4)
+        run_constant_stream(tracker, 8)
+        # After the reset the tracker starts a fresh window.
+        assert tracker.state is InstanceState.START
+        messages = run_constant_stream(tracker, 8)
+        assert len(messages) == 1
+        assert messages[0].tuples_observed == 8
+
+    def test_shipped_matrices_are_a_snapshot_copy(self):
+        tracker = make_tracker(window=4)
+        messages = run_constant_stream(tracker, 8, item=3, time=5.0)
+        shipped = messages[0].matrices
+        run_constant_stream(tracker, 3, item=3, time=99.0)
+        # The shipped copy is unaffected by later executions.
+        assert shipped.estimate(3) == pytest.approx(5.0)
+
+    def test_unstable_stream_keeps_stabilizing(self):
+        """Alternating execution-time regimes push eta above mu."""
+        tracker = make_tracker(window=4, mu=0.01)
+        messages = []
+        time = 1.0
+        for i in range(24):
+            # change the regime every window so snapshots never settle
+            if i % 4 == 0:
+                time *= 3.0
+            messages.extend(tracker.execute(1, time))
+        assert messages == []
+        assert tracker.state is InstanceState.STABILIZING
+        assert tracker.snapshot_refreshes >= 2
+
+    def test_mid_window_no_transition(self):
+        tracker = make_tracker(window=10)
+        run_constant_stream(tracker, 9)
+        assert tracker.state is InstanceState.START
+
+    def test_tuples_observed_counts_window(self):
+        tracker = make_tracker(window=4)
+        messages = run_constant_stream(tracker, 8)
+        assert messages[0].tuples_observed == 8
+
+
+class TestSyncReplies:
+    def test_reply_carries_delta(self):
+        tracker = make_tracker(window=100)
+        run_constant_stream(tracker, 3, time=2.0)  # C_op = 6.0
+        request = SyncRequest(instance=0, epoch=1, c_hat_at_send=5.0)
+        messages = tracker.execute(1, 2.0, sync_request=request)  # C_op = 8.0
+        replies = [m for m in messages if isinstance(m, SyncReply)]
+        assert len(replies) == 1
+        assert replies[0].delta == pytest.approx(8.0 - 5.0)
+        assert replies[0].epoch == 1
+        assert replies[0].instance == 0
+
+    def test_reply_and_matrices_can_coincide(self):
+        tracker = make_tracker(window=2)
+        run_constant_stream(tracker, 3)
+        request = SyncRequest(instance=0, epoch=1, c_hat_at_send=0.0)
+        messages = tracker.execute(1, 2.0, sync_request=request)
+        kinds = {type(m) for m in messages}
+        assert kinds == {SyncReply, MatricesMessage}
+
+    def test_rejects_misrouted_request(self):
+        tracker = make_tracker(instance_id=2)
+        request = SyncRequest(instance=0, epoch=1, c_hat_at_send=0.0)
+        with pytest.raises(ValueError):
+            tracker.execute(1, 1.0, sync_request=request)
+
+
+class TestAccounting:
+    def test_cumulated_time(self):
+        tracker = make_tracker(window=100)
+        run_constant_stream(tracker, 5, time=3.0)
+        assert tracker.cumulated_time == pytest.approx(15.0)
+
+    def test_tuples_executed(self):
+        tracker = make_tracker(window=100)
+        run_constant_stream(tracker, 7)
+        assert tracker.tuples_executed == 7
+
+    def test_instance_id(self):
+        assert make_tracker(instance_id=3).instance_id == 3

@@ -1,0 +1,180 @@
+"""Tests for the F/W matrix pair, snapshots and Eq. 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair, make_shared_hashes
+
+
+@pytest.fixture
+def pair():
+    hashes = make_shared_hashes(POSGConfig.paper_defaults(), np.random.default_rng(0))
+    return FWPair(hashes)
+
+
+class TestSharedHashes:
+    def test_shape_matches_config(self):
+        cfg = POSGConfig(rows=4, cols=54)
+        hashes = make_shared_hashes(cfg, np.random.default_rng(1))
+        assert hashes.rows == 4
+        assert hashes.cols == 54
+
+    def test_pair_sketches_share_family(self, pair):
+        assert pair.freq.hashes is pair.work.hashes
+
+
+class TestUpdateAndEstimate:
+    def test_single_item_exact(self, pair):
+        for _ in range(5):
+            pair.update(7, 3.0)
+        assert pair.estimate(7) == pytest.approx(3.0)
+
+    def test_rejects_negative_time(self, pair):
+        with pytest.raises(ValueError):
+            pair.update(1, -0.5)
+
+    def test_estimate_unseen_item_falls_back_to_mean(self, pair):
+        # With an empty pair, the estimate is 0; with data, the global mean.
+        assert pair.estimate(999) == 0.0
+        pair.update(1, 10.0)
+        pair.update(2, 20.0)
+        unseen = 4095
+        # The unseen item may collide; it either gets a collision ratio or
+        # the mean. Both are within [min, max] observed times.
+        assert 0.0 <= pair.estimate(unseen) <= 20.0
+
+    def test_estimate_within_observed_range(self, pair):
+        """w_min <= W_v/C_v <= w_max (Section IV-B, trivial bound)."""
+        rng = np.random.default_rng(2)
+        times = {}
+        for item in range(200):
+            times[item] = float(rng.uniform(1.0, 64.0))
+        for _ in range(3000):
+            item = int(rng.integers(0, 200))
+            pair.update(item, times[item])
+        w_min, w_max = min(times.values()), max(times.values())
+        for item in range(200):
+            est = pair.estimate(item)
+            assert w_min - 1e-9 <= est <= w_max + 1e-9
+
+    def test_mean_execution_time(self, pair):
+        pair.update(1, 2.0)
+        pair.update(2, 4.0)
+        assert pair.mean_execution_time() == pytest.approx(3.0)
+
+    def test_estimate_accuracy_on_skewed_stream(self, pair):
+        """Frequent items should be estimated nearly exactly."""
+        rng = np.random.default_rng(3)
+        heavy_time = 42.0
+        for _ in range(5000):
+            pair.update(0, heavy_time)
+        for _ in range(500):
+            pair.update(int(rng.integers(1, 4096)), float(rng.uniform(1, 64)))
+        assert pair.estimate(0) == pytest.approx(heavy_time, rel=0.15)
+
+
+class TestSnapshot:
+    def test_empty_snapshot_is_zero(self, pair):
+        assert np.all(pair.snapshot() == 0.0)
+
+    def test_snapshot_is_ratio(self, pair):
+        pair.update(5, 10.0)
+        pair.update(5, 20.0)
+        snap = pair.snapshot()
+        cells = [(row, col) for row, col in enumerate(pair.hashes.hash_all(5))]
+        for row, col in cells:
+            assert snap[row, col] == pytest.approx(15.0)
+
+    def test_relative_error_zero_when_unchanged(self, pair):
+        pair.update(1, 2.0)
+        snap = pair.snapshot()
+        assert pair.relative_error(snap) == 0.0
+
+    def test_relative_error_zero_for_proportional_growth(self, pair):
+        """Doubling every (item, time) pair keeps all ratios identical."""
+        pair.update(1, 2.0)
+        pair.update(2, 8.0)
+        snap = pair.snapshot()
+        pair.update(1, 2.0)
+        pair.update(2, 8.0)
+        assert pair.relative_error(snap) == pytest.approx(0.0, abs=1e-12)
+
+    def test_relative_error_detects_change(self, pair):
+        pair.update(1, 2.0)
+        snap = pair.snapshot()
+        pair.update(1, 50.0)  # same item, very different time: ratio shifts
+        assert pair.relative_error(snap) > 0.1
+
+    def test_relative_error_inf_from_empty_to_nonempty(self, pair):
+        snap = pair.snapshot()
+        pair.update(1, 1.0)
+        assert pair.relative_error(snap) == float("inf")
+
+    def test_relative_error_zero_empty_to_empty(self, pair):
+        snap = pair.snapshot()
+        assert pair.relative_error(snap) == 0.0
+
+
+class TestLifecycle:
+    def test_reset(self, pair):
+        pair.update(1, 5.0)
+        pair.reset()
+        assert pair.tuples_seen == 0
+        assert pair.estimate(1) == 0.0
+
+    def test_copy_independent(self, pair):
+        pair.update(1, 5.0)
+        clone = pair.copy()
+        pair.update(1, 100.0)
+        assert clone.estimate(1) == pytest.approx(5.0)
+
+    def test_message_size_bits(self, pair):
+        rows, cols = pair.freq.shape
+        assert pair.message_size_bits() == 2 * rows * cols * 64
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.floats(min_value=0.01, max_value=64.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_bounded_by_extremes(self, updates):
+        hashes = make_shared_hashes(
+            POSGConfig(rows=3, cols=16), np.random.default_rng(5)
+        )
+        pair = FWPair(hashes)
+        for item, time in updates:
+            pair.update(item, time)
+        lo = min(t for _, t in updates)
+        hi = max(t for _, t in updates)
+        for item, _ in updates:
+            assert lo - 1e-9 <= pair.estimate(item) <= hi + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_nonnegative(self, updates):
+        hashes = make_shared_hashes(
+            POSGConfig(rows=2, cols=8), np.random.default_rng(6)
+        )
+        pair = FWPair(hashes)
+        for item, time in updates:
+            pair.update(item, time)
+        assert np.all(pair.snapshot() >= 0.0)

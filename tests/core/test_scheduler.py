@@ -1,0 +1,244 @@
+"""Tests for the POSG scheduler FSM (Figure 3) and the sync protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair, make_shared_hashes
+from repro.core.messages import MatricesMessage, SyncReply
+from repro.core.scheduler import POSGScheduler, SchedulerState
+
+
+@pytest.fixture
+def config():
+    return POSGConfig(window_size=4, rows=3, cols=16)
+
+
+@pytest.fixture
+def hashes(config):
+    return make_shared_hashes(config, np.random.default_rng(0))
+
+
+def matrices_from(hashes, instance, samples):
+    """Build a MatricesMessage from (item, time) samples."""
+    pair = FWPair(hashes)
+    for item, time in samples:
+        pair.update(item, time)
+    return MatricesMessage(instance=instance, matrices=pair, tuples_observed=len(samples))
+
+
+def feed_all_matrices(scheduler, hashes, k, samples=((1, 2.0),)):
+    for instance in range(k):
+        scheduler.on_message(matrices_from(hashes, instance, samples))
+
+
+def complete_sync(scheduler, deltas=None):
+    """Drive SEND_ALL -> WAIT_ALL -> RUN with zero-delta replies."""
+    k = scheduler.k
+    decisions = [scheduler.submit(1) for _ in range(k)]
+    for decision in decisions:
+        assert decision.sync_request is not None
+        delta = 0.0 if deltas is None else deltas[decision.instance]
+        scheduler.on_message(
+            SyncReply(
+                instance=decision.instance,
+                epoch=decision.sync_request.epoch,
+                delta=delta,
+            )
+        )
+    return decisions
+
+
+class TestConstruction:
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            POSGScheduler(0)
+
+    def test_starts_round_robin(self, config):
+        assert POSGScheduler(3, config).state is SchedulerState.ROUND_ROBIN
+
+
+class TestRoundRobinState:
+    def test_assigns_round_robin(self, config):
+        scheduler = POSGScheduler(3, config)
+        instances = [scheduler.submit(i).instance for i in range(7)]
+        assert instances == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_c_hat_untouched(self, config):
+        scheduler = POSGScheduler(3, config)
+        for i in range(5):
+            scheduler.submit(i)
+        assert np.all(scheduler.c_hat == 0.0)
+
+    def test_partial_matrices_stays_round_robin(self, config, hashes):
+        scheduler = POSGScheduler(3, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 2.0)]))
+        scheduler.on_message(matrices_from(hashes, 1, [(1, 2.0)]))
+        assert scheduler.state is SchedulerState.ROUND_ROBIN
+
+    def test_all_matrices_move_to_send_all(self, config, hashes):
+        scheduler = POSGScheduler(3, config)
+        feed_all_matrices(scheduler, hashes, 3)
+        assert scheduler.state is SchedulerState.SEND_ALL
+        assert scheduler.epoch == 1
+
+    def test_rejects_unknown_instance(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        with pytest.raises(ValueError):
+            scheduler.on_message(matrices_from(hashes, 5, [(1, 2.0)]))
+
+
+class TestSendAllState:
+    def test_next_k_tuples_round_robin_with_requests(self, config, hashes):
+        k = 3
+        scheduler = POSGScheduler(k, config)
+        feed_all_matrices(scheduler, hashes, k)
+        decisions = [scheduler.submit(1) for _ in range(k)]
+        assert [d.instance for d in decisions] == [0, 1, 2]
+        assert all(d.sync_request is not None for d in decisions)
+        assert all(d.sync_request.epoch == 1 for d in decisions)
+        assert scheduler.state is SchedulerState.WAIT_ALL
+
+    def test_request_carries_updated_c_hat(self, config, hashes):
+        """c_hat_at_send includes the carrying tuple's own estimate."""
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2, samples=[(7, 5.0)] * 4)
+        decision = scheduler.submit(7)
+        assert decision.sync_request.c_hat_at_send == pytest.approx(5.0)
+
+    def test_c_hat_updated_with_estimates(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2, samples=[(7, 5.0)] * 4)
+        scheduler.submit(7)
+        scheduler.submit(7)
+        assert scheduler.c_hat[0] == pytest.approx(5.0)
+        assert scheduler.c_hat[1] == pytest.approx(5.0)
+
+
+class TestWaitAllState:
+    def test_greedy_scheduling_while_waiting(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2, samples=[(7, 5.0)] * 4)
+        scheduler.submit(7)
+        scheduler.submit(7)
+        assert scheduler.state is SchedulerState.WAIT_ALL
+        # Both instances at 5.0; next goes to instance 0 (argmin tie-break).
+        decision = scheduler.submit(7)
+        assert decision.instance == 0
+        assert decision.sync_request is None
+
+    def test_all_replies_resynchronize_and_run(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2, samples=[(7, 5.0)] * 4)
+        complete_sync(scheduler, deltas={0: 10.0, 1: -2.0})
+        assert scheduler.state is SchedulerState.RUN
+        assert scheduler.c_hat[0] == pytest.approx(5.0 + 10.0)
+        assert scheduler.c_hat[1] == pytest.approx(5.0 - 2.0)
+        assert scheduler.sync_rounds_completed == 1
+
+    def test_stale_epoch_reply_dropped(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2)
+        scheduler.submit(1)
+        scheduler.submit(1)
+        scheduler.on_message(SyncReply(instance=0, epoch=99, delta=1000.0))
+        assert scheduler.stale_replies_dropped == 1
+        assert scheduler.state is SchedulerState.WAIT_ALL
+
+    def test_duplicate_reply_dropped(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2)
+        decisions = [scheduler.submit(1) for _ in range(2)]
+        epoch = decisions[0].sync_request.epoch
+        scheduler.on_message(SyncReply(instance=0, epoch=epoch, delta=1.0))
+        scheduler.on_message(SyncReply(instance=0, epoch=epoch, delta=1.0))
+        assert scheduler.stale_replies_dropped == 1
+
+
+class TestRunState:
+    def test_greedy_assignment(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2, samples=[(7, 5.0)] * 4)
+        complete_sync(scheduler)
+        # c_hat = [5, 5]; submit three more estimated-5 tuples.
+        picks = [scheduler.submit(7).instance for _ in range(3)]
+        assert picks == [0, 1, 0]
+
+    def test_heavy_items_spread(self, config, hashes):
+        """Items with very different estimates balance cumulated load."""
+        k = 2
+        scheduler = POSGScheduler(k, config)
+        samples = [(1, 10.0)] * 8 + [(2, 1.0)] * 8
+        feed_all_matrices(scheduler, hashes, k, samples=samples)
+        complete_sync(scheduler)
+        base = scheduler.c_hat.copy()
+        # one heavy to the least-loaded, then ten light ones
+        heavy = scheduler.submit(1).instance
+        light_picks = [scheduler.submit(2).instance for _ in range(10)]
+        other = 1 - heavy
+        assert light_picks.count(other) > light_picks.count(heavy)
+
+    def test_new_matrices_restart_sync(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2)
+        complete_sync(scheduler)
+        assert scheduler.state is SchedulerState.RUN
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 3.0)]))
+        assert scheduler.state is SchedulerState.SEND_ALL
+        assert scheduler.epoch == 2
+
+    def test_matrices_during_wait_all_restart_sync(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2)
+        scheduler.submit(1)
+        scheduler.submit(1)
+        assert scheduler.state is SchedulerState.WAIT_ALL
+        scheduler.on_message(matrices_from(hashes, 1, [(1, 3.0)]))
+        assert scheduler.state is SchedulerState.SEND_ALL
+        assert scheduler.epoch == 2
+
+    def test_k_equals_one_degenerate(self, config, hashes):
+        scheduler = POSGScheduler(1, config)
+        assert scheduler.submit(1).instance == 0
+        feed_all_matrices(scheduler, hashes, 1)
+        decision = scheduler.submit(1)
+        assert decision.instance == 0
+        assert decision.sync_request is not None
+        scheduler.on_message(
+            SyncReply(instance=0, epoch=decision.sync_request.epoch, delta=0.0)
+        )
+        assert scheduler.state is SchedulerState.RUN
+        assert scheduler.submit(1).instance == 0
+
+
+class TestAccounting:
+    def test_tuples_scheduled(self, config):
+        scheduler = POSGScheduler(2, config)
+        for i in range(5):
+            scheduler.submit(i)
+        assert scheduler.tuples_scheduled == 5
+
+    def test_matrices_received(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        feed_all_matrices(scheduler, hashes, 2)
+        assert scheduler.matrices_received == 2
+
+    def test_control_bits_grow(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        assert scheduler.control_bits == 0
+        feed_all_matrices(scheduler, hashes, 2)
+        after_matrices = scheduler.control_bits
+        assert after_matrices > 0
+        complete_sync(scheduler)
+        assert scheduler.control_bits > after_matrices
+
+    def test_estimate_readonly_helper(self, config, hashes):
+        scheduler = POSGScheduler(2, config)
+        assert scheduler.estimate(1, 0) == 0.0
+        feed_all_matrices(scheduler, hashes, 2, samples=[(1, 4.0)] * 4)
+        assert scheduler.estimate(1, 0) == pytest.approx(4.0)
+
+    def test_rejects_unknown_message_type(self, config):
+        scheduler = POSGScheduler(2, config)
+        with pytest.raises(TypeError):
+            scheduler.on_message("not a message")

@@ -1,0 +1,121 @@
+"""Property-based fuzzing of the scheduler FSM.
+
+Random interleavings of submissions and control messages must never
+crash the scheduler, and its invariants must hold at every step:
+
+- decisions always target a valid instance;
+- C_hat entries stay finite;
+- the FSM only makes legal transitions;
+- sync requests are emitted only in SEND_ALL, exactly k per epoch.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair, make_shared_hashes
+from repro.core.messages import MatricesMessage, SyncReply
+from repro.core.scheduler import POSGScheduler, SchedulerState
+
+#: legal FSM transitions (Figure 3), plus self-loops
+LEGAL = {
+    SchedulerState.ROUND_ROBIN: {SchedulerState.ROUND_ROBIN,
+                                 SchedulerState.SEND_ALL},
+    SchedulerState.SEND_ALL: {SchedulerState.SEND_ALL,
+                              SchedulerState.WAIT_ALL},
+    SchedulerState.WAIT_ALL: {SchedulerState.WAIT_ALL,
+                              SchedulerState.SEND_ALL,
+                              SchedulerState.RUN},
+    SchedulerState.RUN: {SchedulerState.RUN, SchedulerState.SEND_ALL},
+}
+
+
+@st.composite
+def action_sequences(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    actions = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("submit"),
+                          st.integers(min_value=0, max_value=50)),
+                st.tuples(st.just("matrices"),
+                          st.integers(min_value=0, max_value=3)),
+                st.tuples(st.just("reply"),
+                          st.integers(min_value=0, max_value=3),
+                          st.integers(min_value=0, max_value=5),
+                          st.floats(min_value=-100, max_value=100,
+                                    allow_nan=False)),
+            ),
+            max_size=120,
+        )
+    )
+    return k, actions
+
+
+class TestSchedulerFuzz:
+    @given(action_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_random_interleavings_hold_invariants(self, scenario):
+        k, actions = scenario
+        config = POSGConfig(rows=2, cols=8, window_size=16)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(k, config)
+        previous_state = scheduler.state
+        epoch_requests: dict[int, int] = {}
+
+        for action in actions:
+            if action[0] == "submit":
+                decision = scheduler.submit(action[1])
+                assert 0 <= decision.instance < k
+                if decision.sync_request is not None:
+                    assert decision.state is SchedulerState.SEND_ALL
+                    epoch = decision.sync_request.epoch
+                    epoch_requests[epoch] = epoch_requests.get(epoch, 0) + 1
+                    assert epoch_requests[epoch] <= k
+            elif action[0] == "matrices":
+                instance = action[1] % k
+                pair = FWPair(hashes)
+                pair.update(1, 2.0)
+                scheduler.on_message(
+                    MatricesMessage(instance=instance, matrices=pair,
+                                    tuples_observed=1)
+                )
+            else:  # reply
+                _, instance, epoch, delta = action
+                scheduler.on_message(
+                    SyncReply(instance=instance % k, epoch=epoch, delta=delta)
+                )
+            assert scheduler.state in LEGAL[previous_state], (
+                f"illegal transition {previous_state} -> {scheduler.state}"
+            )
+            previous_state = scheduler.state
+            assert np.all(np.isfinite(scheduler.c_hat))
+
+    @given(action_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_counters_are_consistent(self, scenario):
+        k, actions = scenario
+        config = POSGConfig(rows=2, cols=8)
+        hashes = make_shared_hashes(config, np.random.default_rng(1))
+        scheduler = POSGScheduler(k, config)
+        submits = 0
+        matrices = 0
+        for action in actions:
+            if action[0] == "submit":
+                scheduler.submit(action[1])
+                submits += 1
+            elif action[0] == "matrices":
+                pair = FWPair(hashes)
+                scheduler.on_message(
+                    MatricesMessage(instance=action[1] % k, matrices=pair,
+                                    tuples_observed=0)
+                )
+                matrices += 1
+            else:
+                scheduler.on_message(
+                    SyncReply(instance=action[1] % k, epoch=action[2],
+                              delta=action[3])
+                )
+        assert scheduler.tuples_scheduled == submits
+        assert scheduler.matrices_received == matrices

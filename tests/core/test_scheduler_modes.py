@@ -1,0 +1,80 @@
+"""Tests for the scheduler's matrix-update and estimation modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair, make_shared_hashes
+from repro.core.messages import MatricesMessage
+from repro.core.scheduler import POSGScheduler
+
+
+def matrices_from(hashes, instance, samples):
+    pair = FWPair(hashes)
+    for item, time in samples:
+        pair.update(item, time)
+    return MatricesMessage(instance=instance, matrices=pair,
+                           tuples_observed=len(samples))
+
+
+class TestReplaceMode:
+    def test_new_matrices_replace_old(self):
+        config = POSGConfig(rows=2, cols=8, merge_matrices=False)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(1, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 10.0)] * 4))
+        assert scheduler.estimate(1, 0) == pytest.approx(10.0)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 20.0)] * 4))
+        # replace: old samples forgotten entirely
+        assert scheduler.estimate(1, 0) == pytest.approx(20.0)
+
+
+class TestMergeMode:
+    def test_new_matrices_merge_into_old(self):
+        config = POSGConfig(rows=2, cols=8, merge_matrices=True)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(1, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 10.0)] * 4))
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 20.0)] * 4))
+        # merge: estimate is the sample-weighted average of both batches
+        assert scheduler.estimate(1, 0) == pytest.approx(15.0)
+
+    def test_first_matrices_stored_directly(self):
+        config = POSGConfig(rows=2, cols=8, merge_matrices=True)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(1, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 10.0)]))
+        assert scheduler.estimate(1, 0) == pytest.approx(10.0)
+
+
+class TestPooledEstimates:
+    def test_pooled_averages_across_instances(self):
+        config = POSGConfig(rows=2, cols=8, pooled_estimates=True)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(2, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 10.0)] * 4))
+        scheduler.on_message(matrices_from(hashes, 1, [(1, 30.0)] * 4))
+        assert scheduler.estimate(1, 0) == pytest.approx(20.0)
+        assert scheduler.estimate(1, 1) == pytest.approx(20.0)
+
+    def test_per_instance_without_pooling(self):
+        config = POSGConfig(rows=2, cols=8, pooled_estimates=False)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(2, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 10.0)] * 4))
+        scheduler.on_message(matrices_from(hashes, 1, [(1, 30.0)] * 4))
+        assert scheduler.estimate(1, 0) == pytest.approx(10.0)
+        assert scheduler.estimate(1, 1) == pytest.approx(30.0)
+
+    def test_pooled_with_partial_matrices(self):
+        """Pooling averages over whatever instances have reported."""
+        config = POSGConfig(rows=2, cols=8, pooled_estimates=True)
+        hashes = make_shared_hashes(config, np.random.default_rng(0))
+        scheduler = POSGScheduler(3, config)
+        scheduler.on_message(matrices_from(hashes, 0, [(1, 12.0)] * 2))
+        assert scheduler.estimate(1, 2) == pytest.approx(12.0)
+
+    def test_pooled_empty_returns_zero(self):
+        config = POSGConfig(rows=2, cols=8, pooled_estimates=True)
+        scheduler = POSGScheduler(2, config)
+        assert scheduler.estimate(1, 0) == 0.0

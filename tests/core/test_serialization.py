@@ -1,0 +1,69 @@
+"""Round-trip serialization of the control-plane payloads.
+
+In a real deployment the (F, W) pairs cross the network; these tests
+prove the sketches survive a JSON round trip bit-exactly, so the
+engine-internal object passing is a faithful stand-in for wire transfer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.core.matrices import FWPair, make_shared_hashes
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.hashing import random_hash_family
+
+
+class TestCountMinRoundTrip:
+    def test_json_round_trip(self):
+        cm = CountMinSketch(random_hash_family(3, 16, rng=np.random.default_rng(0)))
+        for item in range(50):
+            cm.update(item, float(item % 7))
+        payload = json.loads(json.dumps(cm.to_dict()))
+        clone = CountMinSketch.from_dict(payload)
+        np.testing.assert_array_equal(clone.matrix, cm.matrix)
+        assert clone.total_weight == cm.total_weight
+        assert clone.update_count == cm.update_count
+        for item in range(50):
+            assert clone.query(item) == cm.query(item)
+
+    def test_shared_family_enables_merge(self):
+        family = random_hash_family(2, 8, rng=np.random.default_rng(1))
+        a = CountMinSketch(family)
+        a.update(1, 2.0)
+        payload = a.to_dict()
+        b = CountMinSketch.from_dict(payload, hashes=family)
+        a.merge(b)  # merging requires an equal family; must not raise
+        assert a.query(1) == pytest.approx(4.0)
+
+    def test_shape_mismatch_rejected(self):
+        family = random_hash_family(2, 8, rng=np.random.default_rng(2))
+        cm = CountMinSketch(family)
+        payload = cm.to_dict()
+        wrong = random_hash_family(3, 8, rng=np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            CountMinSketch.from_dict(payload, hashes=wrong)
+
+
+class TestFWPairRoundTrip:
+    def test_json_round_trip_preserves_estimates(self):
+        config = POSGConfig(rows=3, cols=16)
+        pair = FWPair(make_shared_hashes(config, np.random.default_rng(4)))
+        rng = np.random.default_rng(5)
+        for _ in range(500):
+            pair.update(int(rng.integers(0, 100)), float(rng.uniform(1, 64)))
+        payload = json.loads(json.dumps(pair.to_dict()))
+        clone = FWPair.from_dict(payload)
+        for item in range(100):
+            assert clone.estimate(item) == pytest.approx(pair.estimate(item))
+        np.testing.assert_allclose(clone.snapshot(), pair.snapshot())
+
+    def test_round_trip_then_update_diverges_independently(self):
+        config = POSGConfig(rows=2, cols=8)
+        pair = FWPair(make_shared_hashes(config, np.random.default_rng(6)))
+        pair.update(1, 5.0)
+        clone = FWPair.from_dict(pair.to_dict())
+        pair.update(1, 100.0)
+        assert clone.estimate(1) == pytest.approx(5.0)

@@ -1,0 +1,44 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure4", "--reps", "2"])
+        assert args.figure == "figure4"
+        assert args.reps == 2
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_all_nine_figures_registered(self):
+        assert len(FIGURES) == 9
+        assert set(FIGURES) == {f"figure{i}" for i in range(4, 13)}
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_runs_one_figure_tiny(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_REPS", raising=False)
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        code = main(["figure5", "--reps", "1", "--scale", "0.03125"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out
+        assert "over_provisioning" in out
+
+    def test_env_propagation(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_REPS", raising=False)
+        main(["figure5", "--reps", "1", "--scale", "0.03125"])
+        import os
+        assert os.environ["REPRO_REPS"] == "1"

@@ -1,0 +1,50 @@
+"""Structural tests for the remaining sweep figures (6 and 7)."""
+
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.experiments.figures import figure6_wmax, figure7_wn
+from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_REPS", "1")
+    monkeypatch.setenv("REPRO_SCALE", "0.03125")
+
+
+def tiny_settings():
+    return ExperimentSettings(
+        k=2, reps=1, base_seed=3,
+        posg_config=POSGConfig(window_size=32, rows=2, cols=16),
+    )
+
+
+class TestFigure6:
+    def test_structure(self):
+        result = figure6_wmax(tiny_settings(), w_max_values=(2, 64))
+        assert result.name == "figure6"
+        assert len(result.rows) == 4  # 2 sweep points x 2 policies
+        assert {row["policy"] for row in result.rows} == {"round_robin", "posg"}
+
+    def test_wn_clamped_to_wmax(self):
+        """w_n cannot exceed the number of integer values in the range."""
+        result = figure6_wmax(tiny_settings(), w_max_values=(2,))
+        assert result.rows  # would raise inside if w_n > n of values
+
+    def test_rr_speedup_is_one(self):
+        result = figure6_wmax(tiny_settings(), w_max_values=(8,))
+        rr_row = next(r for r in result.rows if r["policy"] == "round_robin")
+        assert rr_row["speedup_mean"] == 1.0
+
+
+class TestFigure7:
+    def test_structure(self):
+        result = figure7_wn(tiny_settings(), w_n_values=(2, 16))
+        assert result.name == "figure7"
+        assert [row["w_n"] for row in result.rows] == [2, 2, 16, 16]
+
+    def test_summaries_ordered(self):
+        result = figure7_wn(tiny_settings(), w_n_values=(4,))
+        for row in result.rows:
+            assert row["min"] <= row["mean"] <= row["max"]

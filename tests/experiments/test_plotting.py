@@ -1,0 +1,94 @@
+"""Tests for the ASCII plot renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plotting import ascii_plot, plot_figure
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        plot = ascii_plot({"line": [0.0, 1.0, 2.0, 3.0]}, title="t",
+                          y_label="y")
+        assert "t" in plot
+        assert "legend: * line" in plot
+        assert "*" in plot
+
+    def test_extremes_on_correct_rows(self):
+        plot = ascii_plot({"a": [0.0, 10.0]}, height=5, width=10)
+        lines = plot.splitlines()
+        assert "*" in lines[0]      # max on top row
+        assert "*" in lines[4]      # min on bottom row
+
+    def test_multiple_series_distinct_markers(self):
+        plot = ascii_plot({"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "* a" in plot
+        assert "+ b" in plot
+
+    def test_nan_skipped(self):
+        plot = ascii_plot({"a": [0.0, math.nan, 2.0]})
+        assert plot  # renders without error
+
+    def test_constant_series(self):
+        plot = ascii_plot({"flat": [5.0, 5.0, 5.0]})
+        assert "*" in plot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0]}, width=2)
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [math.nan]})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0, 2.0]}, x=[0.0])
+
+
+class TestPlotFigure:
+    def test_time_series_figure(self):
+        result = FigureResult(
+            name="figure10", description="d",
+            columns=["index", "posg_mean", "rr_mean"],
+            rows=[{"index": i, "posg_mean": float(i), "rr_mean": 2.0 * i}
+                  for i in range(10)],
+        )
+        plot = plot_figure(result)
+        assert "posg_mean" in plot
+        assert "rr_mean" in plot
+
+    def test_policy_sweep_figure(self):
+        result = FigureResult(
+            name="figure4", description="d",
+            columns=["distribution", "policy", "min", "mean", "max"],
+            rows=[
+                {"distribution": d, "policy": p, "min": 1.0, "mean": 2.0,
+                 "max": 3.0}
+                for d in ("uniform", "zipf-1")
+                for p in ("posg", "round_robin")
+            ],
+        )
+        plot = plot_figure(result)
+        assert "posg" in plot
+        assert "round_robin" in plot
+
+    def test_min_mean_max_figure(self):
+        result = FigureResult(
+            name="figure5", description="d",
+            columns=["over_provisioning", "min", "mean", "max"],
+            rows=[{"over_provisioning": 1.0, "min": 0.9, "mean": 1.0,
+                   "max": 1.1},
+                  {"over_provisioning": 1.1, "min": 0.8, "mean": 0.9,
+                   "max": 1.0}],
+        )
+        plot = plot_figure(result)
+        assert "mean" in plot
+
+    def test_empty_rows(self):
+        result = FigureResult(name="x", description="d", columns=["a"])
+        assert plot_figure(result) == "(no rows to plot)"

@@ -1,0 +1,34 @@
+"""Tests for the ASCII report renderer."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_table, render_figure
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([], ["a"]) == "(no rows)"
+
+    def test_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.125}]
+        table = format_table(rows, ["a", "b"])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("b")
+        assert "100" in lines[3]
+        assert "0.12" in lines[3]  # floats rendered at 2 decimals
+
+    def test_missing_cell_blank(self):
+        table = format_table([{"a": 1}], ["a", "b"])
+        assert table.splitlines()[2].strip().startswith("1")
+
+
+class TestRenderFigure:
+    def test_includes_notes(self):
+        result = FigureResult(
+            name="fig", description="desc", columns=["x"],
+            rows=[{"x": 1}], notes=["hello"],
+        )
+        text = render_figure(result)
+        assert "== fig: desc ==" in text
+        assert "note: hello" in text
+        assert "1" in text

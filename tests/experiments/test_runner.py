@@ -1,0 +1,81 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.experiments.runner import (
+    ExperimentSettings,
+    compare_policies,
+    env_reps,
+    env_scale,
+)
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+
+def tiny_settings(reps=2):
+    return ExperimentSettings(
+        k=2, reps=reps, base_seed=5,
+        posg_config=POSGConfig(window_size=32, rows=2, cols=16),
+    )
+
+
+def stream_factory(rng):
+    spec = StreamSpec(m=512, n=64, w_n=8, k=2)
+    return generate_stream(ZipfItems(64, 1.0), spec, rng)
+
+
+class TestEnv:
+    def test_env_reps_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPS", raising=False)
+        assert env_reps(7) == 7
+
+    def test_env_reps_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "3")
+        assert env_reps(7) == 3
+
+    def test_env_reps_rejects_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "0")
+        with pytest.raises(ValueError):
+            env_reps()
+
+    def test_env_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+
+    def test_env_scale_rejects_negative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            env_scale()
+
+
+class TestComparePolicies:
+    def test_all_policies_run(self):
+        outcomes = compare_policies(stream_factory, tiny_settings())
+        assert set(outcomes) == {"round_robin", "posg", "full_knowledge"}
+        for outcome in outcomes.values():
+            assert len(outcome.completion_times) == 2
+            assert len(outcome.speedups) == 2
+
+    def test_round_robin_speedup_is_one(self):
+        outcomes = compare_policies(stream_factory, tiny_settings())
+        assert all(s == pytest.approx(1.0) for s in outcomes["round_robin"].speedups)
+
+    def test_summaries(self):
+        outcomes = compare_policies(stream_factory, tiny_settings(reps=3))
+        summary = outcomes["posg"].summary()
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+        speedup = outcomes["posg"].speedup_summary()
+        assert speedup["min"] <= speedup["mean"] <= speedup["max"]
+
+    def test_deterministic_given_settings(self):
+        a = compare_policies(stream_factory, tiny_settings())
+        b = compare_policies(stream_factory, tiny_settings())
+        assert a["posg"].completion_times == b["posg"].completion_times
+
+    def test_full_knowledge_wins(self):
+        outcomes = compare_policies(stream_factory, tiny_settings(reps=3))
+        fk = outcomes["full_knowledge"].summary()["mean"]
+        rr = outcomes["round_robin"].summary()["mean"]
+        assert fk < rr

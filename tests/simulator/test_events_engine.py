@@ -1,0 +1,137 @@
+"""Tests for the event queue and the simulation engine."""
+
+import pytest
+
+from repro.simulator.engine import Simulation
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("late"), priority=1)
+        queue.push(1.0, lambda: order.append("first"), priority=-1)
+        queue.push(1.0, lambda: order.append("second"), priority=-1)
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["first", "second", "late"]
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+    def test_rejects_infinite_time(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(float("inf"), lambda: None)
+        with pytest.raises(ValueError):
+            queue.push(float("nan"), lambda: None)
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue
+
+
+class TestSimulation:
+    def test_clock_advances(self):
+        sim = Simulation()
+        times = []
+        sim.at(1.0, lambda: times.append(sim.now))
+        sim.at(3.5, lambda: times.append(sim.now))
+        final = sim.run()
+        assert times == [1.0, 3.5]
+        assert final == 3.5
+
+    def test_after_relative_scheduling(self):
+        sim = Simulation()
+        seen = []
+        sim.at(2.0, lambda: sim.after(1.5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulation()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulation()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        sim.at(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulation()
+        for t in range(5):
+            sim.at(float(t), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+        assert sim.pending == 2
+
+    def test_step(self):
+        sim = Simulation()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert seen == [1]
+
+    def test_cascading_events_same_time(self):
+        """An event may schedule another event at the current instant."""
+        sim = Simulation()
+        order = []
+        def first():
+            order.append("first")
+            sim.after(0.0, lambda: order.append("chained"))
+        sim.at(1.0, first)
+        sim.at(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "chained"]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulation()
+        def nested():
+            sim.run()
+        sim.at(1.0, nested)
+        with pytest.raises(RuntimeError):
+            sim.run()

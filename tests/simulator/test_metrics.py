@@ -1,0 +1,110 @@
+"""Tests for completion-time metrics."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.metrics import CompletionStats, aggregate_runs
+
+
+def make_stats(completions, assignments=None):
+    completions = np.asarray(completions, dtype=float)
+    if assignments is None:
+        assignments = np.zeros(len(completions), dtype=int)
+    return CompletionStats(completions, np.asarray(assignments))
+
+
+class TestBasics:
+    def test_average(self):
+        stats = make_stats([1.0, 2.0, 3.0])
+        assert stats.average_completion_time == 2.0
+
+    def test_total(self):
+        assert make_stats([1.0, 2.0]).total_completion_time == 3.0
+
+    def test_max_and_percentile(self):
+        stats = make_stats(np.arange(1, 101, dtype=float))
+        assert stats.max_completion_time == 100.0
+        assert stats.percentile(50) == pytest.approx(50.5)
+
+    def test_m(self):
+        assert make_stats([1.0, 2.0, 3.0]).m == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_stats([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_stats([-1.0])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            CompletionStats(np.array([1.0]), np.array([0, 1]))
+
+    def test_readonly_views(self):
+        stats = make_stats([1.0, 2.0])
+        with pytest.raises(ValueError):
+            stats.completions[0] = 9.0
+        with pytest.raises(ValueError):
+            stats.assignments[0] = 9
+
+
+class TestSpeedup:
+    def test_speedup_definition(self):
+        """S_L = sum(l_RR) / sum(l_POSG)."""
+        posg = make_stats([1.0, 1.0])
+        rr = make_stats([2.0, 2.0])
+        assert posg.speedup_over(rr) == 2.0
+
+    def test_speedup_below_one_when_slower(self):
+        slow = make_stats([4.0])
+        fast = make_stats([2.0])
+        assert slow.speedup_over(fast) == 0.5
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_stats([1.0]).speedup_over(make_stats([1.0, 2.0]))
+
+
+class TestInstanceCounts:
+    def test_counts(self):
+        stats = make_stats([1.0] * 5, [0, 1, 1, 2, 0])
+        np.testing.assert_array_equal(stats.instance_tuple_counts(4), [2, 2, 1, 0])
+
+
+class TestTimeSeries:
+    def test_bins(self):
+        completions = np.concatenate([np.full(10, 1.0), np.full(10, 3.0)])
+        stats = make_stats(completions)
+        series = stats.time_series(bin_size=10)
+        assert len(series) == 2
+        np.testing.assert_allclose(series.mean, [1.0, 3.0])
+        np.testing.assert_allclose(series.minimum, [1.0, 3.0])
+        np.testing.assert_allclose(series.maximum, [1.0, 3.0])
+
+    def test_partial_last_bin(self):
+        stats = make_stats([1.0, 2.0, 3.0])
+        series = stats.time_series(bin_size=2)
+        assert len(series) == 2
+        assert series.mean[1] == 3.0
+
+    def test_min_mean_max_ordering(self):
+        rng = np.random.default_rng(0)
+        stats = make_stats(rng.uniform(0, 10, size=100))
+        series = stats.time_series(bin_size=25)
+        assert np.all(series.minimum <= series.mean)
+        assert np.all(series.mean <= series.maximum)
+
+    def test_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            make_stats([1.0]).time_series(bin_size=0)
+
+
+class TestAggregateRuns:
+    def test_aggregate(self):
+        agg = aggregate_runs([1.0, 2.0, 3.0])
+        assert agg == {"min": 1.0, "mean": 2.0, "max": 3.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])

@@ -1,0 +1,70 @@
+"""Tests for the backlog-trace instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import RoundRobinGrouping
+from repro.simulator.run import simulate_stream
+from repro.workloads.distributions import UniformItems
+from repro.workloads.synthetic import Stream, StreamSpec, generate_stream
+
+
+def small_stream(m=1000, n=64, k=3, seed=0, **overrides):
+    spec = StreamSpec(m=m, n=n, w_n=8, k=k, **overrides)
+    return generate_stream(UniformItems(n), spec, np.random.default_rng(seed))
+
+
+class TestQueueSampling:
+    def test_disabled_by_default(self):
+        result = simulate_stream(small_stream(m=50), RoundRobinGrouping(), k=3)
+        assert result.queue_samples is None
+        assert result.queue_sample_indices is None
+
+    def test_sample_shape(self):
+        result = simulate_stream(
+            small_stream(m=1000), RoundRobinGrouping(), k=3,
+            sample_queues_every=100,
+        )
+        assert result.queue_samples.shape == (10, 3)
+        np.testing.assert_array_equal(
+            result.queue_sample_indices, np.arange(0, 1000, 100)
+        )
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            simulate_stream(
+                small_stream(m=10), RoundRobinGrouping(), k=2,
+                sample_queues_every=0,
+            )
+
+    def test_backlogs_nonnegative(self):
+        result = simulate_stream(
+            small_stream(m=2000), RoundRobinGrouping(), k=3,
+            sample_queues_every=50,
+        )
+        assert np.all(result.queue_samples >= 0)
+
+    def test_overloaded_instance_backlog_grows(self):
+        """Single slow instance at rho > 1: backlog grows monotonically
+        on average."""
+        stream = Stream(
+            items=np.zeros(500, dtype=np.int64),
+            base_times=np.full(500, 10.0),
+            arrivals=np.arange(500, dtype=np.float64) * 5.0,  # rho = 2
+            n=1,
+            time_table=np.array([10.0]),
+        )
+        result = simulate_stream(
+            stream, RoundRobinGrouping(), k=1, sample_queues_every=100
+        )
+        backlog = result.queue_samples[:, 0]
+        assert backlog[-1] > backlog[0]
+        assert backlog[-1] > 1000.0  # ~500 tuples * 5ms excess / sampled late
+
+    def test_idle_system_backlog_zero(self):
+        stream = small_stream(m=300, over_provisioning=50.0)
+        result = simulate_stream(
+            stream, RoundRobinGrouping(), k=3, sample_queues_every=50
+        )
+        # massively over-provisioned: queues are empty at almost every sample
+        assert np.mean(result.queue_samples == 0.0) > 0.9

@@ -1,0 +1,183 @@
+"""Tests for the fast single-stage simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import (
+    FullKnowledgeGrouping,
+    POSGGrouping,
+    RoundRobinGrouping,
+)
+from repro.core.scheduler import SchedulerState
+from repro.simulator.network import ConstantLatency, UniformLatency
+from repro.simulator.run import simulate_stream
+from repro.workloads.distributions import UniformItems, ZipfItems
+from repro.workloads.nonstationary import LoadShiftScenario
+from repro.workloads.synthetic import Stream, StreamSpec, generate_stream
+
+
+def small_stream(seed=0, m=2048, n=256, k=5, **overrides):
+    spec = StreamSpec(m=m, n=n, k=k, **overrides)
+    return generate_stream(ZipfItems(n, 1.0), spec, np.random.default_rng(seed))
+
+
+def tiny_config():
+    return POSGConfig(window_size=64, rows=2, cols=16)
+
+
+class TestRoundRobinBaseline:
+    def test_assignments_cycle(self):
+        stream = small_stream(m=10, k=2)
+        result = simulate_stream(stream, RoundRobinGrouping(), k=2)
+        np.testing.assert_array_equal(result.stats.assignments % 2,
+                                      np.arange(10) % 2)
+
+    def test_section_ii_example(self):
+        """The a0,b1,a2 example: RR wastes 8s of queuing delay."""
+        stream = Stream(
+            items=np.array([0, 1, 0]),
+            base_times=np.array([10.0, 1.0, 10.0]),
+            arrivals=np.array([0.0, 1.0, 2.0]),
+            n=2,
+            time_table=np.array([10.0, 1.0]),
+        )
+        result = simulate_stream(stream, RoundRobinGrouping(), k=2)
+        assert result.stats.total_completion_time == pytest.approx(29.0)
+
+    def test_full_knowledge_beats_rr_on_example(self):
+        stream = Stream(
+            items=np.array([0, 1, 0]),
+            base_times=np.array([10.0, 1.0, 10.0]),
+            arrivals=np.array([0.0, 1.0, 2.0]),
+            n=2,
+            time_table=np.array([10.0, 1.0]),
+        )
+        result = simulate_stream(
+            stream, lambda oracle: FullKnowledgeGrouping(oracle), k=2
+        )
+        assert result.stats.total_completion_time == pytest.approx(21.0)
+
+
+class TestInvariants:
+    def test_completions_at_least_execution_time(self):
+        stream = small_stream()
+        result = simulate_stream(stream, RoundRobinGrouping(), k=5)
+        assert np.all(result.stats.completions >= stream.base_times - 1e-9)
+
+    def test_fifo_per_instance(self):
+        """Tuples on the same instance finish in assignment order."""
+        stream = small_stream(m=500)
+        result = simulate_stream(stream, RoundRobinGrouping(), k=3)
+        finish = stream.arrivals + result.stats.completions
+        for instance in range(3):
+            mask = result.stats.assignments == instance
+            assert np.all(np.diff(finish[mask]) >= -1e-9)
+
+    def test_data_latency_adds_to_completion(self):
+        stream = small_stream(m=200, over_provisioning=5.0)
+        base = simulate_stream(stream, RoundRobinGrouping(), k=5)
+        delayed = simulate_stream(
+            stream, RoundRobinGrouping(), k=5, data_latency=ConstantLatency(3.0)
+        )
+        # With a heavily over-provisioned system there is no queuing, so
+        # the 3ms network hop shifts every completion by exactly 3ms.
+        np.testing.assert_allclose(
+            delayed.stats.completions, base.stats.completions + 3.0
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            simulate_stream(small_stream(), RoundRobinGrouping(), k=0)
+
+    def test_rejects_short_scenario(self):
+        with pytest.raises(ValueError):
+            simulate_stream(
+                small_stream(), RoundRobinGrouping(), k=5,
+                scenario=LoadShiftScenario.constant(2),
+            )
+
+    def test_heterogeneous_instances_slow_down(self):
+        stream = small_stream(m=1000)
+        uniform = simulate_stream(stream, RoundRobinGrouping(), k=5)
+        slowed = simulate_stream(
+            stream, RoundRobinGrouping(), k=5,
+            scenario=LoadShiftScenario.constant(5, (2.0, 2.0, 2.0, 2.0, 2.0)),
+        )
+        assert (
+            slowed.stats.average_completion_time
+            > uniform.stats.average_completion_time
+        )
+
+
+class TestPOSGLifecycle:
+    def test_posg_reaches_run_state(self):
+        stream = small_stream(m=4096)
+        policy = POSGGrouping(tiny_config())
+        result = simulate_stream(
+            stream, policy, k=5, rng=np.random.default_rng(1)
+        )
+        assert policy.state is SchedulerState.RUN
+        assert result.run_entry_index() is not None
+        assert policy.scheduler.sync_rounds_completed >= 1
+
+    def test_state_transitions_ordered(self):
+        stream = small_stream(m=4096)
+        policy = POSGGrouping(tiny_config())
+        result = simulate_stream(stream, policy, k=5, rng=np.random.default_rng(1))
+        indices = [index for index, _ in result.state_transitions]
+        assert indices == sorted(indices)
+        states = [state for _, state in result.state_transitions]
+        assert states[0] is SchedulerState.SEND_ALL
+
+    def test_control_messages_counted(self):
+        stream = small_stream(m=4096)
+        policy = POSGGrouping(tiny_config())
+        result = simulate_stream(stream, policy, k=5, rng=np.random.default_rng(1))
+        assert result.control_messages > 0
+        assert result.control_bits > 0
+
+    def test_rr_has_no_control_traffic(self):
+        result = simulate_stream(small_stream(m=256), RoundRobinGrouping(), k=5)
+        assert result.control_messages == 0
+        assert result.state_transitions == []
+
+    def test_posg_beats_rr_on_skewed_stream(self):
+        """The headline claim, on one seeded stream."""
+        stream = small_stream(seed=3, m=8192)
+        rr = simulate_stream(stream, RoundRobinGrouping(), k=5)
+        posg = simulate_stream(
+            stream, POSGGrouping(POSGConfig(window_size=256)), k=5,
+            rng=np.random.default_rng(2),
+        )
+        assert posg.stats.speedup_over(rr.stats) > 1.0
+
+    def test_full_knowledge_at_least_as_good_as_posg(self):
+        stream = small_stream(seed=4, m=8192)
+        posg = simulate_stream(
+            stream, POSGGrouping(POSGConfig(window_size=256)), k=5,
+            rng=np.random.default_rng(2),
+        )
+        fk = simulate_stream(
+            stream, lambda oracle: FullKnowledgeGrouping(oracle), k=5
+        )
+        # allow 5% tolerance: FK is a greedy heuristic, not the optimum
+        assert (
+            fk.stats.average_completion_time
+            <= posg.stats.average_completion_time * 1.05
+        )
+
+
+class TestLatencyModels:
+    def test_uniform_latency_bounds(self):
+        latency = UniformLatency(1.0, 2.0, np.random.default_rng(0))
+        samples = [latency.sample() for _ in range(100)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+
+    def test_constant_latency_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_latency_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)

@@ -1,0 +1,82 @@
+"""Tests for the conservative-update Count-Min variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.hashing import random_hash_family
+
+
+def make_pair(rows=3, cols=16, seed=0):
+    """Two sketches over the same hash family: plain and conservative."""
+    family = random_hash_family(rows, cols, rng=np.random.default_rng(seed))
+    return CountMinSketch(family), CountMinSketch(family)
+
+
+class TestConservativeUpdate:
+    def test_single_item_exact(self):
+        plain, conservative = make_pair()
+        for _ in range(10):
+            conservative.update_conservative(5)
+        assert conservative.query(5) == 10
+
+    def test_never_underestimates(self):
+        _, cm = make_pair(cols=8)
+        rng = np.random.default_rng(1)
+        truth = {}
+        for item in rng.integers(0, 60, size=2000):
+            cm.update_conservative(int(item))
+            truth[int(item)] = truth.get(int(item), 0) + 1
+        for item, freq in truth.items():
+            assert cm.query(item) >= freq
+
+    def test_tighter_than_plain(self):
+        """On a colliding stream, conservative error <= plain error."""
+        plain, conservative = make_pair(rows=2, cols=8, seed=2)
+        rng = np.random.default_rng(3)
+        items = rng.integers(0, 100, size=3000)
+        truth = {}
+        for item in items:
+            plain.update(int(item))
+            conservative.update_conservative(int(item))
+            truth[int(item)] = truth.get(int(item), 0) + 1
+        plain_error = sum(plain.query(i) - f for i, f in truth.items())
+        conservative_error = sum(
+            conservative.query(i) - f for i, f in truth.items()
+        )
+        assert conservative_error <= plain_error
+        assert conservative_error < 0.9 * plain_error  # strictly better here
+
+    def test_rejects_negative_weight(self):
+        _, cm = make_pair()
+        with pytest.raises(ValueError):
+            cm.update_conservative(1, -1.0)
+
+    def test_weighted(self):
+        _, cm = make_pair()
+        cm.update_conservative(3, 2.5)
+        cm.update_conservative(3, 1.5)
+        assert cm.query(3) == pytest.approx(4.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_dominated_by_plain_cellwise(self, items):
+        """Every conservative cell is <= the corresponding plain cell."""
+        plain, conservative = make_pair(rows=3, cols=8, seed=4)
+        for item in items:
+            plain.update(item)
+            conservative.update_conservative(item)
+        assert np.all(conservative.matrix <= plain.matrix + 1e-9)
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_no_underestimate_property(self, items):
+        _, cm = make_pair(rows=2, cols=8, seed=5)
+        truth = {}
+        for item in items:
+            cm.update_conservative(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item, freq in truth.items():
+            assert cm.query(item) >= freq - 1e-9

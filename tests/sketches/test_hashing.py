@@ -1,0 +1,148 @@
+"""Tests for the Carter–Wegman 2-universal hash family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.hashing import (
+    MERSENNE_PRIME_61,
+    TwoUniversalHashFamily,
+    next_prime,
+    random_hash_family,
+    _is_prime,
+)
+
+
+class TestPrimality:
+    def test_small_primes_recognized(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 7919):
+            assert _is_prime(p)
+
+    def test_small_composites_rejected(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 7917):
+            assert not _is_prime(c)
+
+    def test_mersenne_61_is_prime(self):
+        assert _is_prime(MERSENNE_PRIME_61)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Miller-Rabin stress values.
+        for c in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not _is_prime(c)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(4096) == 4099
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_next_prime_is_prime_and_greater(self, value):
+        p = next_prime(value)
+        assert p > value
+        assert _is_prime(p)
+
+
+class TestFamilyConstruction:
+    def test_random_family_shape(self):
+        fam = random_hash_family(4, 54, rng=np.random.default_rng(1))
+        assert fam.rows == 4
+        assert fam.cols == 54
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            random_hash_family(0, 10)
+
+    def test_rejects_zero_cols(self):
+        with pytest.raises(ValueError):
+            random_hash_family(2, 0)
+
+    def test_rejects_mismatched_coefficients(self):
+        with pytest.raises(ValueError):
+            TwoUniversalHashFamily(a=(1, 2), b=(0,), cols=8)
+
+    def test_rejects_a_zero(self):
+        with pytest.raises(ValueError):
+            TwoUniversalHashFamily(a=(0,), b=(0,), cols=8)
+
+    def test_rejects_composite_prime(self):
+        with pytest.raises(ValueError):
+            TwoUniversalHashFamily(a=(1,), b=(0,), cols=8, prime=10)
+
+    def test_deterministic_given_seed(self):
+        fam1 = random_hash_family(3, 16, rng=np.random.default_rng(42))
+        fam2 = random_hash_family(3, 16, rng=np.random.default_rng(42))
+        assert fam1 == fam2
+
+
+class TestEvaluation:
+    def test_range(self):
+        fam = random_hash_family(4, 16, rng=np.random.default_rng(7))
+        for item in range(200):
+            for row in range(fam.rows):
+                assert 0 <= fam.hash(row, item) < 16
+
+    def test_hash_all_matches_hash(self):
+        fam = random_hash_family(4, 16, rng=np.random.default_rng(7))
+        for item in (0, 1, 4095, 123456):
+            assert fam.hash_all(item) == tuple(
+                fam.hash(row, item) for row in range(fam.rows)
+            )
+
+    def test_hash_vector_matches_scalar(self):
+        fam = random_hash_family(4, 54, rng=np.random.default_rng(3))
+        items = np.arange(0, 500, 7)
+        buckets = fam.hash_vector(items)
+        assert buckets.shape == (4, items.size)
+        for j, item in enumerate(items):
+            for row in range(4):
+                assert buckets[row, j] == fam.hash(row, int(item))
+
+    def test_hash_vector_empty(self):
+        fam = random_hash_family(2, 8, rng=np.random.default_rng(0))
+        out = fam.hash_vector(np.array([], dtype=np.int64))
+        assert out.shape == (2, 0)
+
+    def test_collision_rate_near_two_universal_bound(self):
+        """Empirical collision probability over random pairs stays near 1/c."""
+        rng = np.random.default_rng(11)
+        cols = 64
+        trials, collisions = 0, 0
+        for _ in range(30):
+            fam = random_hash_family(1, cols, rng=rng)
+            xs = rng.integers(0, 1 << 30, size=200)
+            ys = rng.integers(0, 1 << 30, size=200)
+            for x, y in zip(xs, ys):
+                if x == y:
+                    continue
+                trials += 1
+                if fam.hash(0, int(x)) == fam.hash(0, int(y)):
+                    collisions += 1
+        # 2-universality bounds the rate at 1/64 ~ 1.6%; allow 3x slack.
+        assert collisions / trials < 3.0 / cols
+
+    def test_distribution_roughly_uniform(self):
+        fam = random_hash_family(1, 8, rng=np.random.default_rng(5))
+        counts = np.zeros(8)
+        for item in range(8000):
+            counts[fam.hash(0, item)] += 1
+        assert counts.min() > 0.5 * 1000
+        assert counts.max() < 1.5 * 1000
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        fam = random_hash_family(4, 54, rng=np.random.default_rng(9))
+        clone = TwoUniversalHashFamily.from_dict(fam.to_dict())
+        assert clone == fam
+        for item in (0, 17, 4095):
+            assert clone.hash_all(item) == fam.hash_all(item)
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_hashes(self, item):
+        fam = random_hash_family(3, 31, rng=np.random.default_rng(2))
+        clone = TwoUniversalHashFamily.from_dict(fam.to_dict())
+        assert clone.hash_all(item) == fam.hash_all(item)

@@ -1,0 +1,40 @@
+"""Tests for the large-integer fallback path of vectorized hashing."""
+
+import numpy as np
+
+from repro.sketches.hashing import TwoUniversalHashFamily, random_hash_family
+
+
+class TestBigIntFallback:
+    def test_vector_matches_scalar_near_overflow(self):
+        """Items large enough that a*item overflows int64 must take the
+        object-arithmetic path and still agree with scalar evaluation."""
+        fam = random_hash_family(3, 54, rng=np.random.default_rng(0))
+        huge = np.array([(1 << 60) - 1, (1 << 59) + 12345, 7], dtype=np.uint64)
+        buckets = fam.hash_vector(huge)
+        for j, item in enumerate(huge.tolist()):
+            for row in range(3):
+                assert buckets[row, j] == fam.hash(row, int(item))
+
+    def test_forced_fallback_with_max_coefficients(self):
+        """Coefficients near the prime force the slow path even for small
+        items."""
+        prime = (1 << 61) - 1
+        fam = TwoUniversalHashFamily(
+            a=(prime - 1, prime - 2), b=(prime - 1, 0), cols=16, prime=prime
+        )
+        items = np.array([0, 1, 2, 100], dtype=np.uint64)
+        buckets = fam.hash_vector(items)
+        for j, item in enumerate(items.tolist()):
+            for row in range(2):
+                assert buckets[row, j] == fam.hash(row, int(item))
+
+    def test_fast_and_slow_paths_consistent(self):
+        """The same family must give identical buckets regardless of which
+        path the input sizes select."""
+        fam = random_hash_family(2, 32, rng=np.random.default_rng(1))
+        small = np.arange(10, dtype=np.uint64)
+        mixed = np.concatenate([small, np.array([1 << 60], dtype=np.uint64)])
+        fast = fam.hash_vector(small)
+        slow = fam.hash_vector(mixed)[:, :10]
+        np.testing.assert_array_equal(fast, slow)

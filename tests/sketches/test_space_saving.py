@@ -1,0 +1,129 @@
+"""Tests for the Space-Saving heavy-hitters summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(4).update(1, -1.0)
+
+    def test_exact_below_capacity(self):
+        ss = SpaceSaving(10)
+        for item, count in [(1, 5), (2, 3), (3, 1)]:
+            for _ in range(count):
+                ss.update(item)
+        assert ss.estimate(1) == 5
+        assert ss.estimate(2) == 3
+        assert ss.estimate(3) == 1
+        assert ss.guaranteed_count(1) == 5
+        assert len(ss) == 3
+
+    def test_unmonitored_estimates_zero(self):
+        ss = SpaceSaving(2)
+        ss.update(1)
+        assert ss.estimate(99) == 0.0
+        assert 99 not in ss
+        assert 1 in ss
+
+    def test_eviction_inherits_count(self):
+        ss = SpaceSaving(2)
+        ss.update(1)  # count 1
+        ss.update(2)  # count 1
+        ss.update(2)  # count 2
+        ss.update(3)  # evicts 1 (min), inherits count 1 -> count 2, error 1
+        assert ss.estimate(3) == 2
+        assert ss.guaranteed_count(3) == 1
+        assert 1 not in ss
+
+    def test_total(self):
+        ss = SpaceSaving(2)
+        for _ in range(7):
+            ss.update(0)
+        assert ss.total == 7
+
+
+class TestGuarantees:
+    def test_never_underestimates(self):
+        rng = np.random.default_rng(0)
+        ss = SpaceSaving(32)
+        truth = {}
+        items = rng.zipf(1.5, size=5000) % 500
+        for item in items:
+            ss.update(int(item))
+            truth[int(item)] = truth.get(int(item), 0) + 1
+        for item, freq in truth.items():
+            if item in ss:
+                assert ss.estimate(item) >= freq
+
+    def test_error_bounded_by_m_over_capacity(self):
+        rng = np.random.default_rng(1)
+        capacity = 50
+        ss = SpaceSaving(capacity)
+        truth = {}
+        items = rng.zipf(1.3, size=8000) % 1000
+        for item in items:
+            ss.update(int(item))
+            truth[int(item)] = truth.get(int(item), 0) + 1
+        m = ss.total
+        for item, count in ss.monitored():
+            assert count - truth.get(item, 0) <= m / capacity + 1e-9
+
+    def test_heavy_hitters_no_false_negatives(self):
+        """Every true phi-heavy item is reported when capacity > 1/phi."""
+        rng = np.random.default_rng(2)
+        phi = 0.05
+        ss = SpaceSaving(int(2 / phi))
+        truth = {}
+        # two genuinely heavy items in a sea of noise
+        for _ in range(2000):
+            item = int(rng.choice([7, 13], p=[0.6, 0.4])) if rng.random() < 0.5 \
+                else int(rng.integers(100, 10_000))
+            ss.update(item)
+            truth[item] = truth.get(item, 0) + 1
+        reported = {item for item, _ in ss.heavy_hitters(phi)}
+        for item, freq in truth.items():
+            if freq > phi * ss.total:
+                assert item in reported
+
+    def test_heavy_hitters_sorted_descending(self):
+        ss = SpaceSaving(8)
+        for item, count in [(1, 10), (2, 30), (3, 20)]:
+            for _ in range(count):
+                ss.update(item)
+        hitters = ss.heavy_hitters(0.1)
+        counts = [count for _, count in hitters]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_heavy_hitters_phi_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(4).heavy_hitters(0.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_size_never_exceeds_capacity(self, items):
+        ss = SpaceSaving(5)
+        for item in items:
+            ss.update(item)
+        assert len(ss) <= 5
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_monitored_counts_sum_bounded(self, items):
+        """Counts over-cover the stream: sum(counts) >= m is possible only
+        through inherited errors; sum(count - error) <= m always."""
+        ss = SpaceSaving(4)
+        for item in items:
+            ss.update(item)
+        guaranteed = sum(ss.guaranteed_count(item) for item, _ in ss.monitored())
+        assert guaranteed <= len(items) + 1e-9

@@ -1,0 +1,60 @@
+"""Tests for merging Space-Saving summaries."""
+
+import numpy as np
+
+from repro.sketches.space_saving import SpaceSaving
+
+
+class TestMerge:
+    def test_disjoint_merge_keeps_heaviest(self):
+        a, b = SpaceSaving(2), SpaceSaving(2)
+        for _ in range(5):
+            a.update(1)
+        for _ in range(3):
+            a.update(2)
+        for _ in range(10):
+            b.update(3)
+        for _ in range(1):
+            b.update(4)
+        a.merge(b)
+        assert len(a) == 2
+        assert 3 in a and 1 in a  # the two heaviest survive
+        assert a.total == 19
+
+    def test_overlapping_counts_add(self):
+        a, b = SpaceSaving(4), SpaceSaving(4)
+        for _ in range(5):
+            a.update(1)
+        for _ in range(7):
+            b.update(1)
+        a.merge(b)
+        assert a.estimate(1) == 12
+
+    def test_errors_add(self):
+        a, b = SpaceSaving(1), SpaceSaving(1)
+        a.update(1)
+        a.update(2)  # evicts 1, error 1
+        b.update(2)
+        a.merge(b)
+        assert a.estimate(2) == 3
+        assert a.guaranteed_count(2) == 2
+
+    def test_merged_never_underestimates(self):
+        rng = np.random.default_rng(0)
+        a, b, reference = SpaceSaving(64), SpaceSaving(64), {}
+        for item in rng.zipf(1.4, size=3000) % 300:
+            item = int(item)
+            target = a if rng.random() < 0.5 else b
+            target.update(item)
+            reference[item] = reference.get(item, 0) + 1
+        a.merge(b)
+        for item, freq in reference.items():
+            if item in a:
+                assert a.estimate(item) >= freq - 1e-9
+
+    def test_merged_total(self):
+        a, b = SpaceSaving(4), SpaceSaving(4)
+        a.update(1, 3.0)
+        b.update(2, 4.0)
+        a.merge(b)
+        assert a.total == 7.0

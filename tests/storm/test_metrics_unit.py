@@ -1,0 +1,59 @@
+"""Unit tests for TopologyMetrics."""
+
+import numpy as np
+import pytest
+
+from repro.storm.metrics import TopologyMetrics
+
+
+class TestTopologyMetrics:
+    def test_initial_state(self):
+        metrics = TopologyMetrics()
+        assert metrics.emitted == 0
+        assert metrics.completed == 0
+        assert metrics.timed_out == 0
+        assert metrics.failed == 0
+        assert metrics.control_messages == 0
+        assert metrics.completion_latencies().size == 0
+        assert metrics.completed_ids() == []
+
+    def test_average_requires_completions(self):
+        with pytest.raises(ValueError):
+            TopologyMetrics().average_completion_time()
+
+    def test_completion_ordering_by_msg_id(self):
+        metrics = TopologyMetrics()
+        metrics.record_completion(5, 50.0)
+        metrics.record_completion(1, 10.0)
+        metrics.record_completion(3, 30.0)
+        np.testing.assert_allclose(
+            metrics.completion_latencies(), [10.0, 30.0, 50.0]
+        )
+        assert metrics.completed_ids() == [1, 3, 5]
+
+    def test_average(self):
+        metrics = TopologyMetrics()
+        metrics.record_completion(0, 10.0)
+        metrics.record_completion(1, 30.0)
+        assert metrics.average_completion_time() == 20.0
+
+    def test_execution_counts(self):
+        metrics = TopologyMetrics()
+        metrics.record_execution("worker", 0)
+        metrics.record_execution("worker", 0)
+        metrics.record_execution("worker", 2)
+        np.testing.assert_array_equal(
+            metrics.task_execution_counts("worker", 3), [2, 0, 1]
+        )
+        assert metrics.executions("other", 0) == 0
+
+    def test_counters(self):
+        metrics = TopologyMetrics()
+        metrics.record_emit()
+        metrics.record_timeout("a")
+        metrics.record_failure("b")
+        metrics.record_control_message()
+        assert metrics.emitted == 1
+        assert metrics.timed_out == 1
+        assert metrics.failed == 1
+        assert metrics.control_messages == 1

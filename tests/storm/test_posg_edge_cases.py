@@ -1,0 +1,56 @@
+"""Edge cases of the POSG storm grouping."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.storm.posg_grouping import POSGShuffleGrouping
+from repro.storm.tuples import StormTuple
+
+
+def make_tuple(values, fields=("value", "index")):
+    return StormTuple(values=list(values), fields=tuple(fields),
+                      source_component="s", source_task=0)
+
+
+class TestPOSGGroupingEdgeCases:
+    def test_missing_item_field_raises(self):
+        grouping = POSGShuffleGrouping(
+            item_field="entity",
+            config=POSGConfig(rows=2, cols=8),
+            rng=np.random.default_rng(0),
+        )
+        grouping.prepare("src", [0, 1])
+        with pytest.raises(KeyError):
+            grouping.choose_tasks(make_tuple([1, 2]))
+
+    def test_noncontiguous_target_tasks(self):
+        """Storm may hand arbitrary task ids; positions must map back."""
+        grouping = POSGShuffleGrouping(
+            config=POSGConfig(rows=2, cols=8),
+            rng=np.random.default_rng(0),
+        )
+        grouping.prepare("src", [7, 11, 13])
+        chosen = grouping.choose_tasks(make_tuple([1, 0]))
+        assert chosen[0] in (7, 11, 13)
+
+    def test_sync_request_lands_on_tuple(self):
+        config = POSGConfig(rows=2, cols=8, window_size=4)
+        grouping = POSGShuffleGrouping(config=config,
+                                       rng=np.random.default_rng(1))
+        grouping.prepare("src", [0, 1])
+        # Feed enough executions through both agents to reach SEND_ALL.
+        tup = make_tuple([1, 0])
+        for step in range(200):
+            tasks = grouping.choose_tasks(tup)
+            # position == task id here (contiguous tasks)
+            for message in grouping.on_execution(tasks[0], tup, 2.0):
+                grouping.on_control(message)
+            if tup.sync_request is not None:
+                break
+            tup.sync_request = None
+        assert tup.sync_request is not None
+
+    def test_execution_reports_requested(self):
+        grouping = POSGShuffleGrouping(config=POSGConfig(rows=2, cols=8))
+        assert grouping.wants_execution_reports()

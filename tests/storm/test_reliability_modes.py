@@ -1,0 +1,113 @@
+"""Reliability-mode edge cases: unanchored streams, manual acking."""
+
+import numpy as np
+import pytest
+
+from repro.storm.cluster import ClusterConfig, LocalCluster
+from repro.storm.components import STREAM_SPOUT_FIELDS, StreamSpout, WorkBolt
+from repro.storm.executor import BoltCollector, TaskContext
+from repro.storm.topology import Bolt, TopologyBuilder
+from repro.workloads.distributions import UniformItems
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+
+def small_stream(m=50, n=8, seed=0):
+    spec = StreamSpec(m=m, n=n, w_n=2, k=1)
+    return generate_stream(UniformItems(n), spec, np.random.default_rng(seed))
+
+
+class TestUnanchoredStream:
+    def test_unanchored_tuples_not_tracked(self):
+        stream = small_stream()
+        spout = StreamSpout(stream, anchored=False)
+        builder = TopologyBuilder()
+        builder.set_spout("src", lambda: spout,
+                          output_fields=STREAM_SPOUT_FIELDS)
+        builder.set_bolt("work", lambda: WorkBolt(stream.time_table),
+                         parallelism=1).shuffle_grouping("src")
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        cluster.run()
+        # no acking: nothing emitted into the tracker, nothing completed
+        assert cluster.metrics.emitted == 0
+        assert cluster.metrics.completed == 0
+        assert spout.acked == 0
+        # but the work still happened
+        assert cluster.metrics.executions("work", 0) == 50
+
+
+class ManualAckBolt(Bolt):
+    """Acks explicitly; used with auto_ack disabled."""
+
+    def __init__(self):
+        self.executed = 0
+
+    def prepare(self, context: TaskContext, collector: BoltCollector) -> None:
+        self._collector = collector
+
+    def execute(self, tup):
+        self.executed += 1
+        self._collector.ack(tup)
+
+
+class ForgetfulBolt(Bolt):
+    """Never acks; with auto_ack off, every tree must time out."""
+
+    def prepare(self, context: TaskContext, collector: BoltCollector) -> None:
+        pass
+
+    def execute(self, tup):
+        pass
+
+
+class TestManualAcking:
+    def test_manual_ack_completes(self):
+        stream = small_stream()
+        builder = TopologyBuilder()
+        builder.set_spout("src", lambda: StreamSpout(stream),
+                          output_fields=STREAM_SPOUT_FIELDS)
+        builder.set_bolt("work", ManualAckBolt, parallelism=1) \
+               .shuffle_grouping("src")
+        cluster = LocalCluster(ClusterConfig(auto_ack=False))
+        cluster.submit(builder.build())
+        cluster.run()
+        assert cluster.metrics.completed == 50
+        assert cluster.metrics.timed_out == 0
+
+    def test_forgetting_to_ack_times_everything_out(self):
+        stream = small_stream(m=20)
+        builder = TopologyBuilder()
+        spout = StreamSpout(stream)
+        builder.set_spout("src", lambda: spout,
+                          output_fields=STREAM_SPOUT_FIELDS)
+        builder.set_bolt("work", ForgetfulBolt, parallelism=1) \
+               .shuffle_grouping("src")
+        config = ClusterConfig(auto_ack=False, message_timeout=500.0,
+                               timeout_sweep_interval=100.0)
+        cluster = LocalCluster(config)
+        cluster.submit(builder.build())
+        cluster.run()
+        assert cluster.metrics.timed_out == 20
+        assert cluster.metrics.completed == 0
+        assert spout.failed == 20
+
+    def test_double_ack_is_idempotent(self):
+        stream = small_stream(m=10)
+
+        class DoubleAckBolt(Bolt):
+            def prepare(self, context, collector):
+                self._collector = collector
+
+            def execute(self, tup):
+                self._collector.ack(tup)
+                self._collector.ack(tup)  # must be a no-op
+
+        builder = TopologyBuilder()
+        builder.set_spout("src", lambda: StreamSpout(stream),
+                          output_fields=STREAM_SPOUT_FIELDS)
+        builder.set_bolt("work", DoubleAckBolt, parallelism=1) \
+               .shuffle_grouping("src")
+        cluster = LocalCluster(ClusterConfig(auto_ack=False))
+        cluster.submit(builder.build())
+        cluster.run()
+        assert cluster.metrics.completed == 10

@@ -1,0 +1,62 @@
+"""Tests for the arrival processes (constant and Poisson)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import UniformItems
+from repro.workloads.synthetic import StreamSpec, arrival_times, generate_stream
+
+
+class TestPoissonArrivals:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            StreamSpec(arrival_process="bursty")
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(10, 2, 1.0, 1.0, process="weird")
+
+    def test_monotone_nondecreasing(self):
+        arrivals = arrival_times(
+            1000, 5, 30.0, 1.0, process="poisson",
+            rng=np.random.default_rng(0),
+        )
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[0] == 0.0
+
+    def test_mean_rate_matches_constant(self):
+        constant = arrival_times(50_000, 5, 30.0, 1.0)
+        poisson = arrival_times(
+            50_000, 5, 30.0, 1.0, process="poisson",
+            rng=np.random.default_rng(1),
+        )
+        # same mean inter-arrival within Monte-Carlo tolerance
+        assert poisson[-1] == pytest.approx(constant[-1], rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = arrival_times(100, 2, 1.0, 1.0, "poisson", np.random.default_rng(3))
+        b = arrival_times(100, 2, 1.0, 1.0, "poisson", np.random.default_rng(3))
+        np.testing.assert_allclose(a, b)
+
+    def test_generate_stream_with_poisson(self):
+        spec = StreamSpec(m=500, n=32, w_n=4, arrival_process="poisson")
+        stream = generate_stream(UniformItems(32), spec, np.random.default_rng(4))
+        assert np.all(np.diff(stream.arrivals) >= 0)
+        # inter-arrivals vary (not the constant process)
+        gaps = np.diff(stream.arrivals)
+        assert gaps.std() > 0
+
+    def test_poisson_queues_harder_than_constant(self):
+        """Burstiness increases queueing at equal load (Kingman)."""
+        from repro.core.grouping import RoundRobinGrouping
+        from repro.simulator.run import simulate_stream
+
+        ls = {}
+        for process in ("constant", "poisson"):
+            spec = StreamSpec(m=8192, n=256, k=3, arrival_process=process)
+            stream = generate_stream(
+                UniformItems(256), spec, np.random.default_rng(5)
+            )
+            result = simulate_stream(stream, RoundRobinGrouping(), k=3)
+            ls[process] = result.stats.average_completion_time
+        assert ls["poisson"] > ls["constant"]

@@ -1,0 +1,86 @@
+"""Tests for the item-frequency distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    UniformItems,
+    ZipfItems,
+    paper_distributions,
+)
+
+
+class TestUniform:
+    def test_probabilities_sum_to_one(self):
+        assert UniformItems(100).probabilities().sum() == pytest.approx(1.0)
+
+    def test_all_equal(self):
+        probs = UniformItems(10).probabilities()
+        assert np.allclose(probs, 0.1)
+
+    def test_sample_range(self):
+        items = UniformItems(50).sample(1000, np.random.default_rng(0))
+        assert items.min() >= 0
+        assert items.max() < 50
+
+    def test_sample_deterministic(self):
+        d = UniformItems(50)
+        a = d.sample(100, np.random.default_rng(3))
+        b = d.sample(100, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            UniformItems(0)
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            UniformItems(5).sample(-1, np.random.default_rng(0))
+
+    def test_label(self):
+        assert UniformItems(5).label == "uniform"
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        assert ZipfItems(4096, 1.0).probabilities().sum() == pytest.approx(1.0)
+
+    def test_probabilities_decreasing(self):
+        probs = ZipfItems(100, 1.5).probabilities()
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_alpha_zero_is_uniform(self):
+        probs = ZipfItems(10, 0.0).probabilities()
+        assert np.allclose(probs, 0.1)
+
+    def test_higher_alpha_more_skew(self):
+        light = ZipfItems(100, 0.5).probabilities()[0]
+        heavy = ZipfItems(100, 3.0).probabilities()[0]
+        assert heavy > light
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfItems(10, -1.0)
+
+    def test_label(self):
+        assert ZipfItems(10, 1.5).label == "zipf-1.5"
+        assert ZipfItems(10, 1.0).label == "zipf-1"
+
+    def test_empirical_frequency_matches_law(self):
+        dist = ZipfItems(50, 1.0)
+        items = dist.sample(50_000, np.random.default_rng(1))
+        empirical_top = np.mean(items == 0)
+        assert empirical_top == pytest.approx(dist.probabilities()[0], rel=0.1)
+
+
+class TestPaperSet:
+    def test_seven_distributions(self):
+        dists = paper_distributions()
+        assert len(dists) == 7
+        assert dists[0].label == "uniform"
+        assert [d.label for d in dists[1:]] == [
+            "zipf-0.5", "zipf-1", "zipf-1.5", "zipf-2", "zipf-2.5", "zipf-3",
+        ]
+
+    def test_default_universe(self):
+        assert all(d.n == 4096 for d in paper_distributions())

@@ -1,0 +1,124 @@
+"""Tests for the execution-time models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.exectime import (
+    ClassBasedTimeModel,
+    ExecutionTimeModel,
+    Spacing,
+    execution_time_values,
+)
+
+
+class TestValues:
+    def test_paper_defaults_are_one_to_sixtyfour(self):
+        values = execution_time_values(64, 1.0, 64.0)
+        np.testing.assert_allclose(values, np.arange(1, 65, dtype=float))
+
+    def test_single_value(self):
+        np.testing.assert_allclose(execution_time_values(1, 3.0, 64.0), [3.0])
+
+    def test_two_values_are_extremes(self):
+        np.testing.assert_allclose(execution_time_values(2, 1.0, 64.0), [1.0, 64.0])
+
+    def test_geometric_spacing(self):
+        values = execution_time_values(7, 1.0, 64.0, Spacing.GEOMETRIC)
+        np.testing.assert_allclose(values, [1, 2, 4, 8, 16, 32, 64])
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            execution_time_values(4, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            execution_time_values(4, 0.0, 5.0)
+
+    def test_rejects_bad_wn(self):
+        with pytest.raises(ValueError):
+            execution_time_values(0, 1.0, 64.0)
+
+
+class TestExecutionTimeModel:
+    def test_every_item_has_a_valid_time(self):
+        model = ExecutionTimeModel(n=256, w_n=64, rng=np.random.default_rng(0))
+        valid = set(model.values.tolist())
+        for item in range(256):
+            assert model.time_of(item) in valid
+
+    def test_values_used_evenly(self):
+        """Each of the w_n values is assigned n/w_n items (Section V-A)."""
+        model = ExecutionTimeModel(n=256, w_n=64, rng=np.random.default_rng(1))
+        table = model.table()
+        counts = {v: int(np.sum(table == v)) for v in model.values}
+        assert all(count == 4 for count in counts.values())
+
+    def test_uneven_split_spreads_remainder(self):
+        model = ExecutionTimeModel(n=10, w_n=3, rng=np.random.default_rng(2))
+        table = model.table()
+        counts = sorted(int(np.sum(table == v)) for v in model.values)
+        assert counts == [3, 3, 4]
+
+    def test_association_randomized_per_seed(self):
+        a = ExecutionTimeModel(n=256, w_n=64, rng=np.random.default_rng(1)).table()
+        b = ExecutionTimeModel(n=256, w_n=64, rng=np.random.default_rng(2)).table()
+        assert not np.array_equal(a, b)
+
+    def test_times_of_vectorized(self):
+        model = ExecutionTimeModel(n=64, w_n=8, rng=np.random.default_rng(3))
+        items = np.array([0, 5, 63])
+        np.testing.assert_allclose(
+            model.times_of(items), [model.time_of(int(i)) for i in items]
+        )
+
+    def test_average_time(self):
+        model = ExecutionTimeModel(n=4, w_n=2, w_min=1.0, w_max=3.0,
+                                   rng=np.random.default_rng(4))
+        uniform = np.full(4, 0.25)
+        assert model.average_time(uniform) == pytest.approx(2.0)
+
+    def test_average_time_rejects_bad_shape(self):
+        model = ExecutionTimeModel(n=4, w_n=2, rng=np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            model.average_time(np.ones(3) / 3)
+
+    def test_rejects_wn_above_n(self):
+        with pytest.raises(ValueError):
+            ExecutionTimeModel(n=4, w_n=8)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_times_always_within_range(self, w_n):
+        model = ExecutionTimeModel(
+            n=64, w_n=w_n, w_min=1.0, w_max=64.0, rng=np.random.default_rng(w_n)
+        )
+        table = model.table()
+        assert table.min() >= 1.0
+        assert table.max() <= 64.0
+
+
+class TestClassBasedTimeModel:
+    def test_lookup(self):
+        classes = np.array([0, 1, 2, 1])
+        model = ClassBasedTimeModel(classes, {0: 25.0, 1: 5.0, 2: 1.0})
+        assert model.time_of(0) == 25.0
+        assert model.time_of(1) == 5.0
+        assert model.time_of(2) == 1.0
+        assert model.class_of(3) == 1
+
+    def test_vectorized(self):
+        classes = np.array([0, 1, 2])
+        model = ClassBasedTimeModel(classes, {0: 25.0, 1: 5.0, 2: 1.0})
+        np.testing.assert_allclose(model.times_of(np.array([2, 0])), [1.0, 25.0])
+
+    def test_rejects_missing_class_time(self):
+        with pytest.raises(ValueError):
+            ClassBasedTimeModel(np.array([0, 1]), {0: 25.0})
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            ClassBasedTimeModel(np.array([0]), {0: -1.0})
+
+    def test_n(self):
+        model = ClassBasedTimeModel(np.array([0, 0, 0]), {0: 1.0})
+        assert model.n == 3

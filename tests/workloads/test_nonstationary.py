@@ -1,0 +1,62 @@
+"""Tests for the non-stationary load scenarios."""
+
+import pytest
+
+from repro.workloads.nonstationary import (
+    PAPER_PHASE1,
+    PAPER_PHASE2,
+    LoadShiftScenario,
+)
+
+
+class TestValidation:
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            LoadShiftScenario(phases=(), boundaries=())
+
+    def test_rejects_wrong_boundary_count(self):
+        with pytest.raises(ValueError):
+            LoadShiftScenario(phases=((1.0,), (2.0,)), boundaries=())
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            LoadShiftScenario(
+                phases=((1.0,), (2.0,), (3.0,)), boundaries=(10, 5)
+            )
+
+    def test_rejects_mismatched_k(self):
+        with pytest.raises(ValueError):
+            LoadShiftScenario(phases=((1.0, 1.0), (1.0,)), boundaries=(5,))
+
+    def test_rejects_nonpositive_multiplier(self):
+        with pytest.raises(ValueError):
+            LoadShiftScenario(phases=((0.0, 1.0),), boundaries=())
+
+
+class TestPhases:
+    def test_paper_scenario(self):
+        scenario = LoadShiftScenario.paper_figure10(m=150_000)
+        assert scenario.k == 5
+        assert scenario.multiplier(0, 0) == PAPER_PHASE1[0]
+        assert scenario.multiplier(0, 74_999) == PAPER_PHASE1[0]
+        assert scenario.multiplier(0, 75_000) == PAPER_PHASE2[0]
+        assert scenario.multiplier(4, 149_999) == PAPER_PHASE2[4]
+
+    def test_phase_of(self):
+        scenario = LoadShiftScenario(
+            phases=((1.0,), (2.0,), (3.0,)), boundaries=(10, 20)
+        )
+        assert scenario.phase_of(0) == 0
+        assert scenario.phase_of(9) == 0
+        assert scenario.phase_of(10) == 1
+        assert scenario.phase_of(19) == 1
+        assert scenario.phase_of(20) == 2
+
+    def test_constant_uniform(self):
+        scenario = LoadShiftScenario.constant(3)
+        assert scenario.k == 3
+        assert all(scenario.multiplier(i, 1000) == 1.0 for i in range(3))
+
+    def test_constant_heterogeneous(self):
+        scenario = LoadShiftScenario.constant(2, (1.0, 2.0))
+        assert scenario.multiplier(1, 0) == 2.0

@@ -1,0 +1,38 @@
+"""Tests for stream save/load."""
+
+import numpy as np
+
+from repro.core.grouping import RoundRobinGrouping
+from repro.simulator.run import simulate_stream
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.synthetic import Stream, StreamSpec, generate_stream
+
+
+class TestStreamPersistence:
+    def test_round_trip(self, tmp_path):
+        stream = generate_stream(
+            ZipfItems(64, 1.0), StreamSpec(m=200, n=64, w_n=8),
+            np.random.default_rng(0),
+        )
+        path = tmp_path / "stream.npz"
+        stream.save(path)
+        loaded = Stream.load(path)
+        np.testing.assert_array_equal(loaded.items, stream.items)
+        np.testing.assert_allclose(loaded.base_times, stream.base_times)
+        np.testing.assert_allclose(loaded.arrivals, stream.arrivals)
+        np.testing.assert_allclose(loaded.time_table, stream.time_table)
+        assert loaded.n == stream.n
+        assert loaded.label == stream.label
+
+    def test_loaded_stream_simulates_identically(self, tmp_path):
+        stream = generate_stream(
+            ZipfItems(64, 1.0), StreamSpec(m=500, n=64, w_n=8, k=2),
+            np.random.default_rng(1),
+        )
+        path = tmp_path / "stream.npz"
+        stream.save(path)
+        loaded = Stream.load(path)
+        a = simulate_stream(stream, RoundRobinGrouping(), k=2)
+        b = simulate_stream(loaded, RoundRobinGrouping(), k=2)
+        np.testing.assert_array_equal(a.stats.assignments, b.stats.assignments)
+        np.testing.assert_allclose(a.stats.completions, b.stats.completions)

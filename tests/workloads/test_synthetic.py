@@ -1,0 +1,125 @@
+"""Tests for synthetic stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import UniformItems, ZipfItems
+from repro.workloads.synthetic import (
+    Stream,
+    StreamSpec,
+    arrival_times,
+    default_stream,
+    generate_stream,
+)
+
+
+class TestStreamSpec:
+    def test_paper_defaults(self):
+        spec = StreamSpec()
+        assert spec.m == 32_768
+        assert spec.n == 4_096
+        assert spec.w_n == 64
+        assert spec.k == 5
+        assert spec.over_provisioning == 1.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("m", 0), ("k", 0), ("over_provisioning", 0.0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            StreamSpec(**{field: value})
+
+
+class TestArrivalTimes:
+    def test_inter_arrival_formula(self):
+        # k=5, W=10ms, 100% provisioning -> inter-arrival 2ms
+        arrivals = arrival_times(4, k=5, average_time=10.0, over_provisioning=1.0)
+        np.testing.assert_allclose(arrivals, [0.0, 2.0, 4.0, 6.0])
+
+    def test_over_provisioned_slower_rate(self):
+        fast = arrival_times(10, 5, 10.0, 1.0)
+        slow = arrival_times(10, 5, 10.0, 1.15)
+        assert slow[-1] > fast[-1]
+
+    def test_undersized_faster_rate(self):
+        nominal = arrival_times(10, 5, 10.0, 1.0)
+        undersized = arrival_times(10, 5, 10.0, 0.95)
+        assert undersized[-1] < nominal[-1]
+
+    def test_zero_average_time(self):
+        np.testing.assert_allclose(arrival_times(3, 5, 0.0, 1.0), [0, 0, 0])
+
+
+class TestGenerateStream:
+    def test_shapes(self):
+        spec = StreamSpec(m=1000, n=256)
+        stream = generate_stream(UniformItems(256), spec, np.random.default_rng(0))
+        assert stream.m == 1000
+        assert stream.items.shape == (1000,)
+        assert stream.base_times.shape == (1000,)
+        assert stream.arrivals.shape == (1000,)
+        assert stream.n == 256
+
+    def test_times_match_table(self):
+        spec = StreamSpec(m=500, n=128, w_n=16)
+        stream = generate_stream(UniformItems(128), spec, np.random.default_rng(1))
+        np.testing.assert_allclose(
+            stream.base_times, stream.time_table[stream.items]
+        )
+
+    def test_time_of_oracle(self):
+        spec = StreamSpec(m=100, n=64, w_n=8)
+        stream = generate_stream(UniformItems(64), spec, np.random.default_rng(2))
+        item = int(stream.items[0])
+        assert stream.time_of(item) == stream.base_times[0]
+
+    def test_average_time_within_range(self):
+        spec = StreamSpec(m=5000, n=256)
+        stream = generate_stream(ZipfItems(256, 1.0), spec, np.random.default_rng(3))
+        assert 1.0 <= stream.average_time <= 64.0
+
+    def test_arrival_rate_consistent_with_average(self):
+        spec = StreamSpec(m=1000, n=256, k=4, over_provisioning=1.0)
+        stream = generate_stream(UniformItems(256), spec, np.random.default_rng(4))
+        inter = stream.arrivals[1] - stream.arrivals[0]
+        assert inter == pytest.approx(stream.average_time / 4)
+
+    def test_different_streams_per_call(self):
+        """The paper's 100 streams differ in item-time association."""
+        rng = np.random.default_rng(5)
+        spec = StreamSpec(m=100, n=256)
+        a = generate_stream(UniformItems(256), spec, rng)
+        b = generate_stream(UniformItems(256), spec, rng)
+        assert not np.array_equal(a.time_table, b.time_table)
+
+    def test_rejects_mismatched_universe(self):
+        with pytest.raises(ValueError):
+            generate_stream(UniformItems(100), StreamSpec(n=256))
+
+    def test_misaligned_stream_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(
+                items=np.array([1, 2]),
+                base_times=np.array([1.0]),
+                arrivals=np.array([0.0, 1.0]),
+                n=4,
+                time_table=np.ones(4),
+            )
+
+    def test_label_propagates(self):
+        spec = StreamSpec(m=10, n=16, w_n=4)
+        stream = generate_stream(ZipfItems(16, 2.0), spec, np.random.default_rng(6))
+        assert stream.label == "zipf-2"
+
+
+class TestDefaultStream:
+    def test_paper_shape(self):
+        stream = default_stream(seed=0, m=2048)
+        assert stream.m == 2048
+        assert stream.label == "zipf-1"
+
+    def test_seeded_reproducibility(self):
+        a = default_stream(seed=7, m=512)
+        b = default_stream(seed=7, m=512)
+        np.testing.assert_array_equal(a.items, b.items)
+        np.testing.assert_allclose(a.base_times, b.base_times)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic Twitter dataset."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.twitter import (
+    CLASS_MEDIA,
+    CLASS_OTHER,
+    CLASS_POLITICIAN,
+    PAPER_CLASS_TIMES,
+    TwitterDatasetSpec,
+    assign_entity_classes,
+    calibrate_zipf_alpha,
+    generate_twitter_stream,
+)
+
+
+class TestCalibration:
+    def test_top_probability_reached(self):
+        n, target = 35_000, 0.065
+        alpha = calibrate_zipf_alpha(n, target)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        top_p = weights[0] / weights.sum()
+        assert top_p == pytest.approx(target, rel=1e-3)
+
+    def test_rejects_unreachable_target(self):
+        with pytest.raises(ValueError):
+            calibrate_zipf_alpha(10, 0.05)  # uniform already gives 0.1
+
+    def test_monotone_in_target(self):
+        low = calibrate_zipf_alpha(1000, 0.01)
+        high = calibrate_zipf_alpha(1000, 0.2)
+        assert high > low
+
+
+class TestClasses:
+    def test_fractions_respected(self):
+        spec = TwitterDatasetSpec(n=1000, media_fraction=0.05,
+                                  politician_fraction=0.20)
+        classes = assign_entity_classes(spec, np.random.default_rng(0))
+        assert np.sum(classes == CLASS_MEDIA) == 50
+        assert np.sum(classes == CLASS_POLITICIAN) == 200
+        assert np.sum(classes == CLASS_OTHER) == 750
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TwitterDatasetSpec(media_fraction=0.8, politician_fraction=0.5)
+        with pytest.raises(ValueError):
+            TwitterDatasetSpec(top_probability=1.5)
+        with pytest.raises(ValueError):
+            TwitterDatasetSpec(m=0)
+
+
+class TestStream:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        spec = TwitterDatasetSpec(m=20_000, n=2_000, top_probability=0.065)
+        return generate_twitter_stream(spec, np.random.default_rng(1))
+
+    def test_length(self, stream):
+        assert stream.m == 20_000
+
+    def test_times_are_class_times(self, stream):
+        valid = set(PAPER_CLASS_TIMES.values())
+        assert set(np.unique(stream.base_times).tolist()) <= valid
+
+    def test_top_entity_frequency_near_paper(self, stream):
+        counts = np.bincount(stream.items, minlength=stream.n)
+        empirical_top = counts.max() / stream.m
+        assert empirical_top == pytest.approx(0.065, rel=0.15)
+
+    def test_label(self, stream):
+        assert stream.label == "twitter"
+
+    def test_skew_present(self, stream):
+        """The head of the distribution dominates (Zipf-like)."""
+        counts = np.bincount(stream.items, minlength=stream.n)
+        top_100_share = np.sort(counts)[::-1][:100].sum() / stream.m
+        assert top_100_share > 0.4
+
+    def test_deterministic_given_seed(self):
+        spec = TwitterDatasetSpec(m=1_000, n=500, top_probability=0.065)
+        a = generate_twitter_stream(spec, np.random.default_rng(2))
+        b = generate_twitter_stream(spec, np.random.default_rng(2))
+        np.testing.assert_array_equal(a.items, b.items)
