@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-throughput figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# data-plane throughput baseline: writes BENCH_throughput.json at the
+# repo root (REPRO_REPS / REPRO_SCALE scale the measurement)
+bench-throughput:
+	$(PYTHON) benchmarks/bench_throughput.py
 
 # regenerate every paper figure without pytest
 figures:

@@ -1,0 +1,169 @@
+"""Throughput baseline: tuples/sec per policy and per hot-path layer.
+
+Measures the vectorized data plane against the per-tuple reference
+engine (``chunk_size=0``) on the Figure 4 configuration (m = 32,768,
+k = 5) and writes ``BENCH_throughput.json`` at the repo root so later
+performance work has a recorded trajectory to beat.
+
+Usage::
+
+    python benchmarks/bench_throughput.py          # full run
+    REPRO_REPS=1 REPRO_SCALE=0.05 python benchmarks/bench_throughput.py
+
+``REPRO_REPS`` controls best-of repetitions (default 5); ``REPRO_SCALE``
+scales the stream length (default 1.0 = paper scale).  The JSON schema is
+documented in README.md ("Performance").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import (
+    FullKnowledgeGrouping,
+    POSGGrouping,
+    RoundRobinGrouping,
+)
+from repro.core.matrices import FWPair
+from repro.simulator.run import simulate_stream
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.hashing import random_hash_family
+from repro.workloads.synthetic import default_stream
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+#: tuples/sec of the pre-vectorization engine on this configuration
+#: (measured at the seed commit, best of 5, same machine class as CI)
+SEED_BASELINE = {
+    "round_robin": {"tuples_per_sec": 259_783, "avg_completion_ms": 918.676},
+    "posg_paper": {"tuples_per_sec": 69_414, "avg_completion_ms": 959.285},
+    "full_knowledge": {"tuples_per_sec": 112_425, "avg_completion_ms": 263.262},
+}
+
+
+def _best_of(reps: int, fn) -> float:
+    """Best (max) rate over ``reps`` timed calls; ``fn`` returns a rate."""
+    return max(fn() for _ in range(reps))
+
+
+def bench_layers(m: int, reps: int) -> dict:
+    """Per-layer micro-benchmarks (operations per second)."""
+    rng = np.random.default_rng(0)
+    fam = random_hash_family(4, 54, rng=rng)
+    items = rng.integers(0, 4096, size=m).astype(np.int64)
+    weights = rng.uniform(0.5, 2.0, size=m)
+
+    def hashing_rate() -> float:
+        t0 = time.perf_counter()
+        fam.hash_vector(items.astype(np.uint64))
+        return m / (time.perf_counter() - t0)
+
+    sketch = CountMinSketch(fam)
+
+    def update_rate() -> float:
+        t0 = time.perf_counter()
+        sketch.update_many(items, weights)
+        return m / (time.perf_counter() - t0)
+
+    pair = FWPair(fam)
+    pair.update_batch(items[: m // 2], weights[: m // 2])
+
+    def estimate_rate() -> float:
+        t0 = time.perf_counter()
+        pair.estimate_many(items)
+        return m / (time.perf_counter() - t0)
+
+    # routing over a warmed scheduler (post-simulation state)
+    policy = POSGGrouping(POSGConfig.paper_defaults())
+    simulate_stream(
+        default_stream(seed=0, m=m), policy, k=5, rng=np.random.default_rng(1)
+    )
+    scheduler = policy.scheduler
+
+    def route_rate() -> float:
+        block = scheduler.begin_block(items)
+        if block is None:  # scheduler parked in SEND_ALL: count submits
+            t0 = time.perf_counter()
+            for item in items.tolist():
+                scheduler.submit(item)
+            return m / (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        route_next = block.route_next
+        for _ in range(m):
+            route_next()
+        return m / (time.perf_counter() - t0)
+
+    return {
+        "hashing": {"items_per_sec": _best_of(reps, hashing_rate)},
+        "sketch_update": {"updates_per_sec": _best_of(reps, update_rate)},
+        "estimate": {"estimates_per_sec": _best_of(reps, estimate_rate)},
+        "route": {"tuples_per_sec": _best_of(reps, route_rate)},
+    }
+
+
+def bench_simulate(m: int, reps: int, with_reference: bool) -> dict:
+    """Full ``simulate_stream`` throughput per policy, chunked vs reference."""
+    policies = {
+        "round_robin": lambda: RoundRobinGrouping(),
+        "posg_paper": lambda: POSGGrouping(POSGConfig.paper_defaults()),
+        "full_knowledge": lambda: FullKnowledgeGrouping,
+    }
+    results: dict[str, dict] = {}
+    for name, factory in policies.items():
+        entry: dict[str, float] = {}
+        for label, chunk in (("chunked", 2048), ("reference", 0)):
+            if label == "reference" and not with_reference:
+                continue
+
+            def rate() -> float:
+                stream = default_stream(seed=0, m=m)
+                t0 = time.perf_counter()
+                result = simulate_stream(
+                    stream,
+                    factory(),
+                    k=5,
+                    rng=np.random.default_rng(1),
+                    chunk_size=chunk,
+                )
+                elapsed = time.perf_counter() - t0
+                entry["avg_completion_ms"] = result.average_completion_time
+                return len(stream.items) / elapsed
+
+            entry[f"{label}_tuples_per_sec"] = _best_of(reps, rate)
+        if "reference_tuples_per_sec" in entry:
+            entry["chunked_vs_reference"] = (
+                entry["chunked_tuples_per_sec"] / entry["reference_tuples_per_sec"]
+            )
+        results[name] = entry
+    return results
+
+
+def main() -> dict:
+    reps = max(1, int(os.environ.get("REPRO_REPS", "5")))
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    m = max(1024, int(32_768 * scale))
+    payload = {
+        "schema": "posg-bench-throughput/v1",
+        "config": {"m": m, "k": 5, "reps": reps, "scale": scale},
+        "layers": bench_layers(m, reps),
+        "simulate": bench_simulate(m, reps, with_reference=scale >= 0.5),
+        "seed_baseline": SEED_BASELINE,
+    }
+    posg = payload["simulate"]["posg_paper"]["chunked_tuples_per_sec"]
+    baseline = SEED_BASELINE["posg_paper"]["tuples_per_sec"]
+    payload["posg_speedup_vs_seed"] = posg / baseline
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(f"POSG(paper) {posg:,.0f} t/s = {posg / baseline:.2f}x seed baseline")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

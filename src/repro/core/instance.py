@@ -124,6 +124,38 @@ class InstanceTracker:
                 outgoing.append(message)
         return outgoing
 
+    def execute_batch(self, items, execution_times) -> None:
+        """Record a *boundary-free* batch of executed tuples.
+
+        Bit-identical to calling :meth:`execute` per tuple with no sync
+        requests: the F/W fold preserves per-tuple float semantics
+        (``FWPair.update_batch``) and ``C_op`` accumulates term by term.
+        The batch must not reach a window boundary — the FSM of Figure 2
+        inspects the matrices exactly there, so the boundary tuple itself
+        must go through :meth:`execute`.  The chunked simulator batches
+        the tuples between boundaries this way.
+        """
+        count = len(items)
+        if count == 0:
+            return
+        if self._window_count + count >= self._config.window_size:
+            raise ValueError(
+                f"batch of {count} tuples would cross the window boundary "
+                f"({self._window_count}/{self._config.window_size} used)"
+            )
+        self._pair.update_batch(items, execution_times)
+        total = self._cumulated_time
+        for value in execution_times:
+            total += value
+        self._cumulated_time = total
+        self._tuples_executed += count
+        self._window_count += count
+
+    @property
+    def window_remaining(self) -> int:
+        """Tuples left before the next FSM window boundary (Figure 2)."""
+        return self._config.window_size - self._window_count
+
     def _window_boundary(self) -> MatricesMessage | None:
         """FSM transition after ``N`` executed tuples (Figure 2)."""
         if self._state is InstanceState.START:

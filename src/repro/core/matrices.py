@@ -61,8 +61,28 @@ class FWPair:
         """Fold one executed tuple into both matrices."""
         if execution_time < 0:
             raise ValueError(f"execution_time must be >= 0, got {execution_time}")
-        self._freq.update(item, 1.0)
-        self._work.update(item, execution_time)
+        # Both sketches share the hash family, so the tuple is hashed once
+        # (a cached column lookup) and applied to F and W.
+        columns = self._freq.bucket_cache.columns(item)
+        self._freq.update_at(columns, 1.0)
+        self._work.update_at(columns, execution_time)
+
+    def update_batch(self, items, execution_times) -> None:
+        """Fold a batch of executed tuples, bit-identical to per-tuple
+        :meth:`update` (see ``CountMinSketch.fold_batch_exact``).
+
+        The chunked simulator collects the tuples an instance executed
+        between window boundaries and folds them in one scatter; callers
+        must not let a batch straddle a window boundary, since the FSM of
+        Figure 2 inspects the matrices exactly there.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return
+        times = np.asarray(execution_times, dtype=np.float64)
+        buckets = self._freq.bucket_cache.columns_many(items)
+        self._freq.fold_batch_exact(buckets, None)
+        self._work.fold_batch_exact(buckets, times)
 
     # ------------------------------------------------------------------
     # estimation (Listing III.2, UPDATEC)
@@ -77,12 +97,13 @@ class FWPair:
         scheduler's greedy choice meaningful during warm-up.
         """
         # Hot path of the scheduler (called once per tuple): plain scalar
-        # indexing beats numpy fancy indexing at these matrix sizes.
-        freq_matrix = self._freq.matrix
-        work_matrix = self._work.matrix
+        # indexing over cached columns beats numpy fancy indexing at these
+        # matrix sizes.
+        freq_matrix = self._freq._matrix
+        work_matrix = self._work._matrix
         best_freq = float("inf")
         best_work = 0.0
-        for row, col in enumerate(self._freq.hashes.hash_all(item)):
+        for row, col in enumerate(self._freq.bucket_cache.columns(item)):
             cell = freq_matrix[row, col]
             if cell < best_freq:
                 best_freq = cell
@@ -90,6 +111,39 @@ class FWPair:
         if best_freq <= 0:
             return self.mean_execution_time()
         return float(best_work / best_freq)
+
+    def estimate_many(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a batch (shape ``(len(items),)``).
+
+        Bit-identical to the scalar path: the minimum-``F`` row is found
+        with the same first-minimum tie-breaking (``np.argmin``), the
+        ratio is the same IEEE division, and never-observed items fall
+        back to the same global mean.  The scheduler's block router uses
+        this to pre-gather per-chunk estimates.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.estimate_many_at(self._freq.bucket_cache.columns_many(items))
+
+    def estimate_many_at(self, buckets: np.ndarray) -> np.ndarray:
+        """:meth:`estimate_many` over pre-hashed bucket columns.
+
+        ``buckets`` is a ``(rows, count)`` column matrix from the family's
+        shared bucket cache; the scheduler hashes each block once and
+        evaluates every instance's pair against the same columns.
+        """
+        count = buckets.shape[1]
+        rows = np.arange(buckets.shape[0])[:, None]
+        freq_cells = self._freq._matrix[rows, buckets]
+        best_rows = np.argmin(freq_cells, axis=0)
+        pick = np.arange(count)
+        best_freq = freq_cells[best_rows, pick]
+        best_work = self._work._matrix[best_rows, buckets[best_rows, pick]]
+        observed = best_freq > 0
+        out = np.full(count, self.mean_execution_time(), dtype=np.float64)
+        np.divide(best_work, best_freq, out=out, where=observed)
+        return out
 
     def mean_execution_time(self) -> float:
         """Average measured execution time over everything folded in."""

@@ -106,6 +106,11 @@ class POSGScheduler:
         self._state = SchedulerState.ROUND_ROBIN
         self._c_hat = np.zeros(k, dtype=np.float64)
         self._matrices: dict[int, FWPair] = {}
+        # Pooled-estimate fast path: the pair list is re-walked for every
+        # tuple, so it is materialized once per matrices message instead
+        # of per estimate (dict insertion order is preserved, keeping the
+        # float summation order of the per-tuple path).
+        self._pairs: tuple[FWPair, ...] = ()
         self._rr_counter = 0
         self._epoch = 0
         self._sendall_counter = 0
@@ -162,6 +167,71 @@ class POSGScheduler:
         """UPDATEC: grow the estimate by the tuple's estimated time."""
         self._c_hat[instance] += self.estimate(item, instance)
 
+    # ------------------------------------------------------------------
+    # block fast path (vectorized data plane)
+    # ------------------------------------------------------------------
+    def begin_block(self, items: np.ndarray) -> "_BlockRouter | None":
+        """Start routing a *control-quiet* block of tuples.
+
+        Returns a :class:`_BlockRouter` whose ``route_next()`` replays
+        :meth:`submit` bit-for-bit over plain Python floats — per-instance
+        estimate columns for the block are pre-gathered in one vectorized
+        pass, and the per-tuple ``np.argmin`` becomes a tight scalar scan.
+        The caller must guarantee that no control message is delivered
+        while the block is open (delivering one invalidates the
+        estimates), must stop at or before ``len(items)`` tuples, and must
+        call ``commit()`` to fold the routed prefix back into the
+        scheduler.
+
+        Returns ``None`` in SEND_ALL (every tuple piggy-backs a
+        :class:`SyncRequest` there, so the per-tuple path is required).
+        """
+        if self._state is SchedulerState.ROUND_ROBIN:
+            return _BlockRouter(self, None)
+        if self._state is SchedulerState.SEND_ALL:
+            return None
+        return _BlockRouter(self, self._block_estimates(items))
+
+    def _block_estimates(self, items: np.ndarray) -> list[list[float]]:
+        """Per-instance estimate columns for a block: ``[k][count]``.
+
+        All pairs ship from instances sharing one hash family (Listing
+        III.1 line 4), so the block is hashed once and every pair is
+        evaluated against the same bucket columns; pairs with a foreign
+        family (hand-built tests) fall back to hashing themselves.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        count = items.shape[0]
+        pairs = self._pairs
+        buckets = None
+        if pairs:
+            family = pairs[0].hashes
+            if all(pair.hashes is family for pair in pairs):
+                buckets = pairs[0].freq.bucket_cache.columns_many(items)
+
+        def column(pair: FWPair) -> np.ndarray:
+            if buckets is not None:
+                return pair.estimate_many_at(buckets)
+            return pair.estimate_many(items)
+
+        if self._config.pooled_estimates and pairs:
+            total = np.zeros(count, dtype=np.float64)
+            for pair in pairs:
+                total = total + column(pair)
+            pooled = (total / len(pairs)).tolist()
+            return [pooled] * self._k
+        zeros = None
+        columns = []
+        for instance in range(self._k):
+            pair = self._matrices.get(instance)
+            if pair is None:
+                if zeros is None:
+                    zeros = [0.0] * count
+                columns.append(zeros)
+            else:
+                columns.append(column(pair).tolist())
+        return columns
+
     def estimate(self, item: int, instance: int) -> float:
         """Estimated execution time of ``item`` on ``instance``.
 
@@ -170,10 +240,8 @@ class POSGScheduler:
         over every instance's matrices instead (see
         :class:`~repro.core.config.POSGConfig`).
         """
-        if self._config.pooled_estimates and self._matrices:
-            return sum(pair.estimate(item) for pair in self._matrices.values()) / len(
-                self._matrices
-            )
+        if self._config.pooled_estimates and self._pairs:
+            return sum(pair.estimate(item) for pair in self._pairs) / len(self._pairs)
         pair = self._matrices.get(instance)
         return pair.estimate(item) if pair is not None else 0.0
 
@@ -204,6 +272,7 @@ class POSGScheduler:
             stored.work.merge(message.matrices.work)
         else:
             self._matrices[message.instance] = message.matrices
+        self._pairs = tuple(self._matrices.values())
         self._matrices_received += 1
         self._control_bits_received += message.size_bits()
         if self._state is SchedulerState.ROUND_ROBIN:
@@ -301,3 +370,86 @@ class POSGScheduler:
             f"POSGScheduler(k={self._k}, state={self._state.value}, "
             f"epoch={self._epoch}, scheduled={self._tuples_scheduled})"
         )
+
+
+class _BlockRouter:
+    """Scalar-loop replay of :meth:`POSGScheduler.submit` for one block.
+
+    In ROUND_ROBIN mode (``estimates is None``) it advances the round-robin
+    counter; in greedy mode it scans a plain-float copy of ``C_hat`` (plus
+    latency debt/hints when configured) with the same first-minimum
+    tie-breaking as ``np.argmin`` and accrues the pre-gathered estimates.
+    All arithmetic happens on the exact same IEEE doubles the per-tuple
+    path would touch, so the routed sequence is bit-identical.
+    """
+
+    __slots__ = (
+        "_scheduler",
+        "_estimates",
+        "_k",
+        "_pos",
+        "_rr",
+        "_c",
+        "_debt",
+        "_hints",
+    )
+
+    def __init__(
+        self, scheduler: POSGScheduler, estimates: "list[list[float]] | None"
+    ) -> None:
+        self._scheduler = scheduler
+        self._estimates = estimates
+        self._k = scheduler._k
+        self._pos = 0
+        if estimates is None:
+            self._rr = scheduler._rr_counter
+            self._c = self._debt = self._hints = None
+        else:
+            self._rr = None
+            self._c = scheduler._c_hat.tolist()
+            if scheduler._latency_hints is None:
+                self._hints = self._debt = None
+            else:
+                self._hints = scheduler._latency_hints.tolist()
+                self._debt = scheduler._latency_debt.tolist()
+
+    def route_next(self) -> int:
+        """Route one tuple; returns its instance (no sync payloads here)."""
+        pos = self._pos
+        self._pos = pos + 1
+        if self._estimates is None:
+            instance = self._rr % self._k
+            self._rr += 1
+            return instance
+        c = self._c
+        if self._hints is None:
+            best = c[0]
+            instance = 0
+            for i in range(1, self._k):
+                value = c[i]
+                if value < best:
+                    best = value
+                    instance = i
+        else:
+            debt, hints = self._debt, self._hints
+            best = (c[0] + debt[0]) + hints[0]
+            instance = 0
+            for i in range(1, self._k):
+                value = (c[i] + debt[i]) + hints[i]
+                if value < best:
+                    best = value
+                    instance = i
+            debt[instance] += hints[instance]
+        c[instance] += self._estimates[instance][pos]
+        return instance
+
+    def commit(self) -> None:
+        """Fold the routed prefix back into the scheduler's state."""
+        scheduler = self._scheduler
+        scheduler._tuples_scheduled += self._pos
+        if self._estimates is None:
+            scheduler._rr_counter = self._rr
+        else:
+            scheduler._c_hat[:] = self._c
+            if self._hints is not None:
+                scheduler._latency_debt[:] = self._debt

@@ -18,17 +18,38 @@ never earlier than its generating tuple's arrival time, so draining the
 queue up to the current arrival timestamp observes every message that a
 full event-driven simulation would have delivered.  The equivalence is
 tested against :class:`repro.simulator.topology.StageTopology`.
+
+Two engines implement these semantics:
+
+- the **reference engine** (``chunk_size=0``) routes one tuple at a time
+  through ``policy.route`` — simple, obviously correct, and slow;
+- the **chunked engine** (default) processes the stream in
+  control-quiet segments.  Scenario multipliers and latencies are
+  hoisted out of the loop, POSG's greedy routing runs through the
+  scheduler's pre-gathered block router
+  (:meth:`~repro.core.scheduler.POSGScheduler.begin_block`), and
+  instance-side sketch maintenance is folded in exact-order batches
+  between FSM window boundaries.  Every floating-point operation matches
+  the reference engine bit for bit — identical completions,
+  assignments, state transitions, control traffic and queue samples —
+  which ``tests/simulator/test_chunked_equivalence.py`` asserts.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.grouping import GroupingPolicy, POSGGrouping
+from repro.core.grouping import (
+    FullKnowledgeGrouping,
+    GroupingPolicy,
+    POSGGrouping,
+    RoundRobinGrouping,
+)
 from repro.core.scheduler import SchedulerState
 from repro.simulator.metrics import CompletionStats
 from repro.simulator.network import ConstantLatency, LatencyModel
@@ -39,6 +60,8 @@ from repro.workloads.synthetic import Stream
 #: execution time at the *current* stream position
 Oracle = Callable[[int, int], float]
 PolicyFactory = Callable[[Oracle], GroupingPolicy]
+
+_INFINITY = float("inf")
 
 
 @dataclass
@@ -103,6 +126,7 @@ def simulate_stream(
     control_latency: LatencyModel | float = 1.0,
     rng: np.random.Generator | None = None,
     sample_queues_every: int | None = None,
+    chunk_size: int = 2048,
 ) -> SimulationResult:
     """Simulate one stream through one grouping policy.
 
@@ -129,18 +153,53 @@ def simulate_stream(
         When set, record every instance's pending work (milliseconds of
         backlog) at every N-th arrival; the trace lands in
         ``SimulationResult.queue_samples``.
+    chunk_size:
+        Tuples pre-gathered per control-quiet segment by the chunked
+        engine.  ``0`` selects the per-tuple reference engine (slow;
+        kept as the equivalence baseline).  Both engines produce
+        bit-identical results.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if chunk_size < 0:
+        raise ValueError(f"chunk_size must be >= 0, got {chunk_size}")
     if scenario is None:
         scenario = LoadShiftScenario.constant(k)
     if scenario.k < k:
         raise ValueError(
             f"scenario covers {scenario.k} instances but k={k} requested"
         )
+    if sample_queues_every is not None and sample_queues_every < 1:
+        raise ValueError(
+            f"sample_queues_every must be >= 1, got {sample_queues_every}"
+        )
     data_lat = _as_latency_list(data_latency, k)
     control_lat = _as_latency(control_latency)
 
+    if chunk_size == 0:
+        return _simulate_reference(
+            stream, policy, k, scenario, data_lat, control_lat, rng,
+            sample_queues_every,
+        )
+    return _simulate_chunked(
+        stream, policy, k, scenario, data_lat, control_lat, rng,
+        sample_queues_every, chunk_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# reference engine (per-tuple; the equivalence baseline)
+# ----------------------------------------------------------------------
+def _simulate_reference(
+    stream: Stream,
+    policy: GroupingPolicy | PolicyFactory,
+    k: int,
+    scenario,
+    data_lat: list[LatencyModel],
+    control_lat: LatencyModel,
+    rng: np.random.Generator | None,
+    sample_queues_every: int | None,
+) -> SimulationResult:
     # Oracle closure for Full Knowledge: reads the loop's current index.
     position = [0]
 
@@ -169,10 +228,6 @@ def simulate_stream(
     control_messages = 0
     control_bits = 0
     state_transitions: list[tuple[int, SchedulerState]] = []
-    if sample_queues_every is not None and sample_queues_every < 1:
-        raise ValueError(
-            f"sample_queues_every must be >= 1, got {sample_queues_every}"
-        )
     queue_samples: list[list[float]] = []
     queue_sample_indices: list[int] = []
 
@@ -240,3 +295,854 @@ def simulate_stream(
             else None
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# chunked engine (vectorized data plane)
+# ----------------------------------------------------------------------
+def _simulate_chunked(
+    stream: Stream,
+    policy: GroupingPolicy | PolicyFactory,
+    k: int,
+    scenario,
+    data_lat: list[LatencyModel],
+    control_lat: LatencyModel,
+    rng: np.random.Generator | None,
+    sample_queues_every: int | None,
+    chunk_size: int,
+) -> SimulationResult:
+    m = stream.m
+    items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
+    items = items_array.tolist()
+    arrivals = stream.arrivals.tolist()
+    base_times = stream.base_times.tolist()
+
+    # Hoist the scenario out of the loop: per-instance execution-time
+    # columns `base_times * multiplier` (elementwise numpy, identical
+    # IEEE multiplies) when the scenario supports bulk evaluation.
+    multiplier_lists: "list[list[float]] | None" = None
+    execution_columns: "list[list[float]] | None" = None
+    if hasattr(scenario, "multiplier_matrix"):
+        multipliers = scenario.multiplier_matrix(m)
+        multiplier_lists = multipliers.tolist()
+        # A unit multiplier column is the base times themselves
+        # (x * 1.0 == x exactly), so uniform instances share one list.
+        execution_columns = [
+            base_times
+            if np.all(multipliers[:, instance] == 1.0)
+            else (stream.base_times * multipliers[:, instance]).tolist()
+            for instance in range(k)
+        ]
+
+    # Oracle closure for Full Knowledge: reads the loop's current index.
+    position = [0]
+    if multiplier_lists is not None:
+        time_table = stream.time_table.tolist()
+
+        def oracle(item: int, instance: int) -> float:
+            return time_table[item] * multiplier_lists[position[0]][instance]
+
+    else:
+
+        def oracle(item: int, instance: int) -> float:
+            return stream.time_of(item) * scenario.multiplier(instance, position[0])
+
+    if not isinstance(policy, GroupingPolicy):
+        policy = policy(oracle)
+    policy.setup(k, rng)
+
+    agents = [policy.create_instance_agent(instance) for instance in range(k)]
+    has_agents = any(agent is not None for agent in agents)
+    track_states = isinstance(policy, POSGGrouping)
+
+    # Constant data latencies are hoisted to plain floats (``sample`` is
+    # side-effect free there); random models keep their per-tuple call
+    # order so seeded draws match the reference engine.
+    latency_values: "list[float] | None" = [
+        model.value if isinstance(model, ConstantLatency) else None
+        for model in data_lat
+    ]
+    if any(value is None for value in latency_values):
+        latency_values = None
+
+    state = _ChunkedState(
+        k=k,
+        items=items,
+        arrivals=arrivals,
+        arrivals_array=np.ascontiguousarray(stream.arrivals, dtype=np.float64),
+        base_times=base_times,
+        execution_columns=execution_columns,
+        scenario=scenario,
+        latency_values=latency_values,
+        data_lat=data_lat,
+        control_lat=control_lat,
+        sample_queues_every=sample_queues_every,
+        position=position,
+    )
+
+    if type(policy) is POSGGrouping:
+        _run_posg(state, policy, agents, chunk_size)
+    elif type(policy) is RoundRobinGrouping and not has_agents:
+        _run_round_robin(state, policy)
+    elif type(policy) is FullKnowledgeGrouping and not has_agents:
+        _run_full_knowledge(state, policy)
+    else:
+        _run_generic(state, policy, agents, has_agents, track_states)
+
+    return SimulationResult(
+        stats=CompletionStats(
+            np.asarray(state.completions, dtype=np.float64),
+            np.asarray(state.assignments, dtype=np.int64),
+        ),
+        policy=policy,
+        state_transitions=state.state_transitions,
+        control_messages=state.control_messages,
+        control_bits=state.control_bits,
+        queue_samples=(
+            np.asarray(state.queue_samples)
+            if sample_queues_every is not None
+            else None
+        ),
+        queue_sample_indices=(
+            np.asarray(state.queue_sample_indices, dtype=np.int64)
+            if sample_queues_every is not None
+            else None
+        ),
+    )
+
+
+class _ChunkedState:
+    """Mutable bookkeeping shared by the chunked engine's policy loops."""
+
+    __slots__ = (
+        "k", "items", "arrivals", "arrivals_array", "base_times",
+        "execution_columns", "scenario", "latency_values", "data_lat",
+        "control_lat", "sample_queues_every", "position", "busy_until",
+        "completions", "assignments", "control_queue", "control_seq",
+        "control_messages", "control_bits", "state_transitions",
+        "queue_samples", "queue_sample_indices",
+    )
+
+    def __init__(self, **kwargs) -> None:
+        for name, value in kwargs.items():
+            setattr(self, name, value)
+        self.busy_until = [0.0] * self.k
+        self.completions: list[float] = []
+        self.assignments: list[int] = []
+        self.control_queue: list[tuple[float, int, object]] = []
+        self.control_seq = 0
+        self.control_messages = 0
+        self.control_bits = 0
+        self.state_transitions: list[tuple[int, SchedulerState]] = []
+        self.queue_samples: list[list[float]] = []
+        self.queue_sample_indices: list[int] = []
+
+    def execution_time(self, instance: int, index: int) -> float:
+        if self.execution_columns is not None:
+            return self.execution_columns[instance][index]
+        return self.base_times[index] * self.scenario.multiplier(instance, index)
+
+    def arrival_at_instance(self, arrival: float, instance: int) -> float:
+        if self.latency_values is not None:
+            return arrival + self.latency_values[instance]
+        return arrival + self.data_lat[instance].sample()
+
+
+def _run_round_robin(state: _ChunkedState, policy: RoundRobinGrouping) -> None:
+    """Whole-stream inline loop for ASSG (no agents, no control plane)."""
+    m = len(state.items)
+    arrivals = state.arrivals
+    busy = state.busy_until
+    completions = state.completions
+    assignments = state.assignments
+    every = state.sample_queues_every
+    execution_columns = state.execution_columns
+    latency_values = state.latency_values
+    k = state.k
+    counter = policy._counter
+    for j in range(m):
+        arrival = arrivals[j]
+        if every is not None and j % every == 0:
+            state.queue_sample_indices.append(j)
+            state.queue_samples.append(
+                [max(0.0, b - arrival) for b in busy]
+            )
+        instance = counter % k
+        counter += 1
+        if latency_values is not None:
+            at_instance = arrival + latency_values[instance]
+        else:
+            at_instance = arrival + state.data_lat[instance].sample()
+        b = busy[instance]
+        start = at_instance if at_instance > b else b
+        if execution_columns is not None:
+            execution_time = execution_columns[instance][j]
+        else:
+            execution_time = state.base_times[j] * state.scenario.multiplier(instance, j)
+        finish = start + execution_time
+        busy[instance] = finish
+        completions.append(finish - arrival)
+        assignments.append(instance)
+    policy._counter = counter
+
+
+def _run_full_knowledge(state: _ChunkedState, policy: FullKnowledgeGrouping) -> None:
+    """Whole-stream inline loop for the Full Knowledge baseline.
+
+    The exact load vector lives in a plain-float list for the duration of
+    the run (same IEEE additions, same first-minimum tie-breaking as the
+    policy's ``np.argmin``) and is written back at the end.
+    """
+    m = len(state.items)
+    items = state.items
+    arrivals = state.arrivals
+    busy = state.busy_until
+    completions = state.completions
+    assignments = state.assignments
+    every = state.sample_queues_every
+    execution_columns = state.execution_columns
+    latency_values = state.latency_values
+    position = state.position
+    oracle = policy._oracle
+    loads = policy._loads.tolist()
+    k = state.k
+    k_range = range(1, k)
+    for j in range(m):
+        arrival = arrivals[j]
+        position[0] = j
+        if every is not None and j % every == 0:
+            state.queue_sample_indices.append(j)
+            state.queue_samples.append(
+                [max(0.0, b - arrival) for b in busy]
+            )
+        best = loads[0]
+        instance = 0
+        for i in k_range:
+            value = loads[i]
+            if value < best:
+                best = value
+                instance = i
+        loads[instance] += oracle(items[j], instance)
+        if latency_values is not None:
+            at_instance = arrival + latency_values[instance]
+        else:
+            at_instance = arrival + state.data_lat[instance].sample()
+        b = busy[instance]
+        start = at_instance if at_instance > b else b
+        if execution_columns is not None:
+            execution_time = execution_columns[instance][j]
+        else:
+            execution_time = state.base_times[j] * state.scenario.multiplier(instance, j)
+        finish = start + execution_time
+        busy[instance] = finish
+        completions.append(finish - arrival)
+        assignments.append(instance)
+    policy._loads[:] = loads
+
+
+def _run_generic(
+    state: _ChunkedState,
+    policy: GroupingPolicy,
+    agents,
+    has_agents: bool,
+    track_states: bool,
+) -> None:
+    """Hoisted per-tuple loop for arbitrary policies (and POSG subclasses)."""
+    m = len(state.items)
+    items = state.items
+    arrivals = state.arrivals
+    busy = state.busy_until
+    every = state.sample_queues_every
+    control_queue = state.control_queue
+    position = state.position
+    previous_state = policy.state if track_states else None
+    for j in range(m):
+        arrival = arrivals[j]
+        position[0] = j
+        if every is not None and j % every == 0:
+            state.queue_sample_indices.append(j)
+            state.queue_samples.append(
+                [max(0.0, b - arrival) for b in busy]
+            )
+        while control_queue and control_queue[0][0] <= arrival:
+            _, _, message = heapq.heappop(control_queue)
+            policy.on_control(message)
+
+        decision = policy.route(items[j])
+        instance = decision.instance
+        if not 0 <= instance < state.k:
+            raise ValueError(
+                f"policy routed tuple {j} to invalid instance {instance}"
+            )
+        at_instance = state.arrival_at_instance(arrival, instance)
+        b = busy[instance]
+        start = at_instance if at_instance > b else b
+        execution_time = state.execution_time(instance, j)
+        finish = start + execution_time
+        busy[instance] = finish
+        state.completions.append(finish - arrival)
+        state.assignments.append(instance)
+
+        if has_agents and agents[instance] is not None:
+            messages = agents[instance].on_executed(
+                items[j], execution_time, decision.sync_request
+            )
+            for message in messages:
+                delivery = finish + state.control_lat.sample()
+                heapq.heappush(
+                    control_queue, (delivery, state.control_seq, message)
+                )
+                state.control_seq += 1
+                state.control_messages += 1
+                state.control_bits += message.size_bits()
+        if decision.sync_request is not None:
+            state.control_messages += 1
+            state.control_bits += decision.sync_request.size_bits()
+
+        if track_states:
+            current_state = policy.state
+            if current_state is not previous_state:
+                state.state_transitions.append((j, current_state))
+                previous_state = current_state
+
+
+def _run_posg(
+    state: _ChunkedState,
+    policy: POSGGrouping,
+    agents,
+    chunk_size: int,
+) -> None:
+    """POSG data plane: control-quiet fast segments + per-tuple fallback.
+
+    Between control-message deliveries the scheduler's matrices are
+    frozen, so per-chunk estimate columns are pre-gathered once
+    (:meth:`POSGScheduler.begin_block`) and the segment runs as a tight
+    scalar loop: the greedy pick is an inlined first-minimum scan over
+    plain floats, execution times and instance-arrival times are hoisted
+    columns, and instance-side sketch folds are batched between window
+    boundaries (``InstanceTracker.execute_batch``).  The per-tuple
+    control check disappears: arrivals are sorted, so the segment bound
+    is a ``bisect`` on the earliest pending delivery, re-tightened
+    whenever a window boundary emits new messages.  In SEND_ALL (tuples
+    carry sync requests) the engine falls back to the reference per-tuple
+    step, preserving delivery order and FSM semantics exactly.
+    """
+    m = len(state.items)
+    items = state.items
+    arrivals = state.arrivals
+    busy = state.busy_until
+    finishes: list[float] = []
+    assignments = state.assignments
+    every = state.sample_queues_every
+    control_queue = state.control_queue
+    control_lat = state.control_lat
+    execution_columns = state.execution_columns
+    latency_values = state.latency_values
+    scheduler = policy.scheduler
+    trackers = [agent.tracker for agent in agents]
+    window_size = policy.config.window_size
+    previous_state = policy.state
+    k = state.k
+    k_range = range(1, k)
+
+    # With one constant latency shared by every instance the per-tuple
+    # instance-arrival time does not depend on the routing decision, so
+    # the whole column is precomputed (identical elementwise adds).
+    at_column: "list[float] | None" = None
+    if latency_values is not None and len(set(latency_values)) == 1:
+        if latency_values[0] == 0.0:
+            # x + 0.0 == x for the non-negative arrival times, so the
+            # zero-latency column is the arrival list itself.
+            at_column = arrivals
+        else:
+            at_column = (state.arrivals_array + latency_values[0]).tolist()
+
+    items_array = np.asarray(items, dtype=np.int64)
+    queue_samples = state.queue_samples
+    queue_sample_indices = state.queue_sample_indices
+    # Queue sampling as an index comparison instead of a per-tuple modulo;
+    # j visits 0..m-1 in order, so this replays ``j % every == 0``.
+    next_sample = 0 if every is not None else m
+
+    # Instance-side batching state persists across segments: tuples are
+    # folded lazily, right before anything inspects the tracker (a window
+    # boundary, a SEND_ALL execute, or the end of the run).  The batches
+    # are cleared in place so the specialized loop can hold aliases.
+    pending_items: list[list[int]] = [[] for _ in range(k)]
+    pending_times: list[list[float]] = [[] for _ in range(k)]
+    window_left = [tracker.window_remaining for tracker in trackers]
+
+    def _window_boundary(
+        instance: int,
+        item: int,
+        execution_time: float,
+        finish: float,
+        lo: int,
+        next_due: float,
+        end: int,
+    ) -> tuple[float, int]:
+        """Flush the batched prefix, run the boundary tuple through the
+        FSM (Figure 2), enqueue its messages, and re-tighten the segment
+        bound if a delivery now lands before the previous horizon."""
+        tracker = trackers[instance]
+        batch = pending_items[instance]
+        if batch:
+            tracker.execute_batch(batch, pending_times[instance])
+            batch.clear()
+            pending_times[instance].clear()
+        messages = tracker.execute(item, execution_time, None)
+        for message in messages:
+            delivery = finish + control_lat.sample()
+            heapq.heappush(
+                control_queue, (delivery, state.control_seq, message)
+            )
+            state.control_seq += 1
+            state.control_messages += 1
+            state.control_bits += message.size_bits()
+        if control_queue and control_queue[0][0] < next_due:
+            next_due = control_queue[0][0]
+            end = bisect.bisect_left(arrivals, next_due, lo, end)
+        return next_due, end
+
+    j = 0
+    while j < m:
+        arrival = arrivals[j]
+        while control_queue and control_queue[0][0] <= arrival:
+            _, _, message = heapq.heappop(control_queue)
+            policy.on_control(message)
+
+        if scheduler.state is not SchedulerState.SEND_ALL:
+            # Control-quiet fast segment.  After the drain every pending
+            # delivery is strictly later than this arrival, so the
+            # segment covers at least one tuple.
+            if control_queue:
+                next_due = control_queue[0][0]
+                end = bisect.bisect_left(
+                    arrivals, next_due, j + 1, min(j + chunk_size, m)
+                )
+            else:
+                next_due = _INFINITY
+                end = min(j + chunk_size, m)
+            block = scheduler.begin_block(items_array[j:end])
+            # Drain-induced transition: the reference engine records it at
+            # the index of the next routed tuple, which the segment routes.
+            current_state = scheduler.state
+            if current_state is not previous_state:
+                state.state_transitions.append((j, current_state))
+                previous_state = current_state
+            estimates = block._estimates
+            rr = block._rr
+            hints = block._hints
+            debt = block._debt
+            c = block._c
+            pos = 0
+            plain = (
+                estimates is not None
+                and hints is None
+                and at_column is not None
+                and execution_columns is not None
+            )
+            if plain and k == 5:
+                # Dominant mode (greedy routing, shared constant latency,
+                # bulk scenario) at the paper's k = 5: the scan state
+                # lives in unrolled locals, so the per-tuple body is a
+                # handful of float compares and list reads — no method
+                # calls and no container indexing on the scan itself.
+                e0, e1, e2, e3, e4 = estimates
+                x0, x1, x2, x3, x4 = execution_columns
+                c0, c1, c2, c3, c4 = c
+                b0, b1, b2, b3, b4 = busy
+                w0, w1, w2, w3, w4 = window_left
+                pi0, pi1, pi2, pi3, pi4 = pending_items
+                pt0, pt1, pt2, pt3, pt4 = pending_times
+                at_col = at_column
+                fin_append = finishes.append
+                asg_append = assignments.append
+                while j < end:
+                    if j == next_sample:
+                        ar = arrivals[j]
+                        queue_sample_indices.append(j)
+                        queue_samples.append([
+                            max(0.0, b0 - ar),
+                            max(0.0, b1 - ar),
+                            max(0.0, b2 - ar),
+                            max(0.0, b3 - ar),
+                            max(0.0, b4 - ar),
+                        ])
+                        next_sample += every
+                    # First-minimum scan (same tie-breaking as argmin).
+                    best = c0
+                    instance = 0
+                    if c1 < best:
+                        best = c1
+                        instance = 1
+                    if c2 < best:
+                        best = c2
+                        instance = 2
+                    if c3 < best:
+                        best = c3
+                        instance = 3
+                    if c4 < best:
+                        instance = 4
+                    at_instance = at_col[j]
+                    if instance == 0:
+                        c0 += e0[pos]
+                        b = b0
+                        if at_instance > b:
+                            b = at_instance
+                        execution_time = x0[j]
+                        finish = b + execution_time
+                        b0 = finish
+                        fin_append(finish)
+                        asg_append(0)
+                        if w0 == 1:
+                            next_due, end = _window_boundary(
+                                0, items[j], execution_time, finish,
+                                j + 1, next_due, end,
+                            )
+                            w0 = window_size
+                        else:
+                            w0 -= 1
+                            pi0.append(items[j])
+                            pt0.append(execution_time)
+                    elif instance == 1:
+                        c1 += e1[pos]
+                        b = b1
+                        if at_instance > b:
+                            b = at_instance
+                        execution_time = x1[j]
+                        finish = b + execution_time
+                        b1 = finish
+                        fin_append(finish)
+                        asg_append(1)
+                        if w1 == 1:
+                            next_due, end = _window_boundary(
+                                1, items[j], execution_time, finish,
+                                j + 1, next_due, end,
+                            )
+                            w1 = window_size
+                        else:
+                            w1 -= 1
+                            pi1.append(items[j])
+                            pt1.append(execution_time)
+                    elif instance == 2:
+                        c2 += e2[pos]
+                        b = b2
+                        if at_instance > b:
+                            b = at_instance
+                        execution_time = x2[j]
+                        finish = b + execution_time
+                        b2 = finish
+                        fin_append(finish)
+                        asg_append(2)
+                        if w2 == 1:
+                            next_due, end = _window_boundary(
+                                2, items[j], execution_time, finish,
+                                j + 1, next_due, end,
+                            )
+                            w2 = window_size
+                        else:
+                            w2 -= 1
+                            pi2.append(items[j])
+                            pt2.append(execution_time)
+                    elif instance == 3:
+                        c3 += e3[pos]
+                        b = b3
+                        if at_instance > b:
+                            b = at_instance
+                        execution_time = x3[j]
+                        finish = b + execution_time
+                        b3 = finish
+                        fin_append(finish)
+                        asg_append(3)
+                        if w3 == 1:
+                            next_due, end = _window_boundary(
+                                3, items[j], execution_time, finish,
+                                j + 1, next_due, end,
+                            )
+                            w3 = window_size
+                        else:
+                            w3 -= 1
+                            pi3.append(items[j])
+                            pt3.append(execution_time)
+                    else:
+                        c4 += e4[pos]
+                        b = b4
+                        if at_instance > b:
+                            b = at_instance
+                        execution_time = x4[j]
+                        finish = b + execution_time
+                        b4 = finish
+                        fin_append(finish)
+                        asg_append(4)
+                        if w4 == 1:
+                            next_due, end = _window_boundary(
+                                4, items[j], execution_time, finish,
+                                j + 1, next_due, end,
+                            )
+                            w4 = window_size
+                        else:
+                            w4 -= 1
+                            pi4.append(items[j])
+                            pt4.append(execution_time)
+                    pos += 1
+                    j += 1
+                c[0] = c0
+                c[1] = c1
+                c[2] = c2
+                c[3] = c3
+                c[4] = c4
+                busy[0] = b0
+                busy[1] = b1
+                busy[2] = b2
+                busy[3] = b3
+                busy[4] = b4
+                window_left[0] = w0
+                window_left[1] = w1
+                window_left[2] = w2
+                window_left[3] = w3
+                window_left[4] = w4
+                block._rr = rr
+                block._pos = pos
+                block.commit()
+                continue
+            if (
+                estimates is None
+                and at_column is not None
+                and execution_columns is not None
+            ):
+                # ROUND_ROBIN segments: the routing sequence is cyclic and
+                # data-independent, so the segment de-interleaves into k
+                # per-instance busy chains over strided slices.  Each
+                # chain only reads its own tuples, so the per-instance
+                # float sequence (and every finish time) is bit-identical
+                # to the interleaved reference loop; window boundaries are
+                # located up front from ``window_left`` and the boundary
+                # tuple itself runs through the reference step.
+                while True:
+                    nb = end
+                    for i in range(k):
+                        bidx = j + (i - rr) % k + (window_left[i] - 1) * k
+                        if bidx < nb:
+                            nb = bidx
+                    safe_end = nb
+                    if safe_end > j:
+                        count = safe_end - j
+                        seg_fin = [0.0] * count
+                        seg_asg = [0] * count
+                        sampling = next_sample < safe_end
+                        start_busy = busy[:] if sampling else None
+                        chains: list[list[float]] = []
+                        for i in range(k):
+                            off = (i - rr) % k
+                            lo = j + off
+                            x_slice = execution_columns[i][lo:safe_end:k]
+                            n_i = len(x_slice)
+                            fl: list[float] = []
+                            if n_i:
+                                b = busy[i]
+                                fa = fl.append
+                                for at, w in zip(
+                                    at_column[lo:safe_end:k], x_slice
+                                ):
+                                    if at > b:
+                                        b = at
+                                    b += w
+                                    fa(b)
+                                busy[i] = b
+                                seg_fin[off::k] = fl
+                                seg_asg[off::k] = [i] * n_i
+                                pending_items[i].extend(items[lo:safe_end:k])
+                                pending_times[i].extend(x_slice)
+                                window_left[i] -= n_i
+                            if sampling:
+                                chains.append(fl)
+                        finishes.extend(seg_fin)
+                        assignments.extend(seg_asg)
+                        # Backlog samples falling inside the range read the
+                        # chain value just before the sampled arrival.
+                        while next_sample < safe_end:
+                            s = next_sample
+                            ar = arrivals[s]
+                            sample = []
+                            for i in range(k):
+                                first = j + (i - rr) % k
+                                cnt = 0 if s <= first else (s - first + k - 1) // k
+                                bi = start_busy[i] if cnt == 0 else chains[i][cnt - 1]
+                                sample.append(max(0.0, bi - ar))
+                            queue_sample_indices.append(s)
+                            queue_samples.append(sample)
+                            next_sample += every
+                        pos += count
+                        rr += count
+                        j = safe_end
+                    if j >= end:
+                        break
+                    # Window-boundary tuple: reference per-tuple step.
+                    if j == next_sample:
+                        ar = arrivals[j]
+                        queue_sample_indices.append(j)
+                        queue_samples.append([max(0.0, b - ar) for b in busy])
+                        next_sample += every
+                    instance = rr % k
+                    rr += 1
+                    pos += 1
+                    at_instance = at_column[j]
+                    b = busy[instance]
+                    if at_instance > b:
+                        b = at_instance
+                    execution_time = execution_columns[instance][j]
+                    finish = b + execution_time
+                    busy[instance] = finish
+                    finishes.append(finish)
+                    assignments.append(instance)
+                    wl = window_left[instance]
+                    if wl == 1:
+                        next_due, end = _window_boundary(
+                            instance, items[j], execution_time, finish,
+                            j + 1, next_due, end,
+                        )
+                        window_left[instance] = window_size
+                    else:
+                        pending_items[instance].append(items[j])
+                        pending_times[instance].append(execution_time)
+                        window_left[instance] = wl - 1
+                    j += 1
+                block._rr = rr
+                block._pos = pos
+                block.commit()
+                continue
+            while j < end:
+                if j == next_sample:
+                    arrival = arrivals[j]
+                    queue_sample_indices.append(j)
+                    queue_samples.append(
+                        [max(0.0, b - arrival) for b in busy]
+                    )
+                    next_sample += every
+                if plain:
+                    # Dominant mode at other instance counts: inlined
+                    # scan over the pre-gathered columns.
+                    best = c[0]
+                    instance = 0
+                    for i in k_range:
+                        value = c[i]
+                        if value < best:
+                            best = value
+                            instance = i
+                    c[instance] += estimates[instance][pos]
+                    pos += 1
+                    at_instance = at_column[j]
+                    execution_time = execution_columns[instance][j]
+                else:
+                    if estimates is None:
+                        instance = rr % k
+                        rr += 1
+                    elif hints is None:
+                        best = c[0]
+                        instance = 0
+                        for i in k_range:
+                            value = c[i]
+                            if value < best:
+                                best = value
+                                instance = i
+                        c[instance] += estimates[instance][pos]
+                    else:
+                        best = (c[0] + debt[0]) + hints[0]
+                        instance = 0
+                        for i in k_range:
+                            value = (c[i] + debt[i]) + hints[i]
+                            if value < best:
+                                best = value
+                                instance = i
+                        debt[instance] += hints[instance]
+                        c[instance] += estimates[instance][pos]
+                    pos += 1
+                    if at_column is not None:
+                        at_instance = at_column[j]
+                    elif latency_values is not None:
+                        at_instance = arrivals[j] + latency_values[instance]
+                    else:
+                        at_instance = arrivals[j] + state.data_lat[instance].sample()
+                    if execution_columns is not None:
+                        execution_time = execution_columns[instance][j]
+                    else:
+                        execution_time = state.base_times[j] * state.scenario.multiplier(instance, j)
+                b = busy[instance]
+                if at_instance > b:
+                    b = at_instance
+                finish = b + execution_time
+                busy[instance] = finish
+                finishes.append(finish)
+                assignments.append(instance)
+
+                wl = window_left[instance]
+                if wl == 1:
+                    next_due, end = _window_boundary(
+                        instance, items[j], execution_time, finish,
+                        j + 1, next_due, end,
+                    )
+                    window_left[instance] = window_size
+                else:
+                    pending_items[instance].append(items[j])
+                    pending_times[instance].append(execution_time)
+                    window_left[instance] = wl - 1
+                j += 1
+            block._rr = rr
+            block._pos = pos
+            block.commit()
+            continue
+
+        # SEND_ALL (sync requests piggy-back on tuples): reference step.
+        if j == next_sample:
+            queue_sample_indices.append(j)
+            queue_samples.append([max(0.0, b - arrival) for b in busy])
+            next_sample += every
+        decision = policy.route(items[j])
+        instance = decision.instance
+        at_instance = state.arrival_at_instance(arrival, instance)
+        b = busy[instance]
+        start = at_instance if at_instance > b else b
+        execution_time = state.execution_time(instance, j)
+        finish = start + execution_time
+        busy[instance] = finish
+        finishes.append(finish)
+        assignments.append(instance)
+
+        if pending_items[instance]:
+            trackers[instance].execute_batch(
+                pending_items[instance], pending_times[instance]
+            )
+            pending_items[instance].clear()
+            pending_times[instance].clear()
+        messages = trackers[instance].execute(
+            items[j], execution_time, decision.sync_request
+        )
+        window_left[instance] = trackers[instance].window_remaining
+        for message in messages:
+            delivery = finish + control_lat.sample()
+            heapq.heappush(control_queue, (delivery, state.control_seq, message))
+            state.control_seq += 1
+            state.control_messages += 1
+            state.control_bits += message.size_bits()
+        if decision.sync_request is not None:
+            state.control_messages += 1
+            state.control_bits += decision.sync_request.size_bits()
+
+        current_state = policy.state
+        if current_state is not previous_state:
+            state.state_transitions.append((j, current_state))
+            previous_state = current_state
+        j += 1
+
+    # Fold the tail batches so the trackers' state (C_op, counters) ends
+    # exactly where the per-tuple engine would leave it.
+    for instance in range(k):
+        if pending_items[instance]:
+            trackers[instance].execute_batch(
+                pending_items[instance], pending_times[instance]
+            )
+
+    # completions[j] = finish - arrival, deferred as one elementwise pass
+    # (same IEEE subtraction as the per-tuple form).
+    state.completions = np.asarray(finishes, dtype=np.float64) - state.arrivals_array

@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from repro.sketches.bucket_cache import get_bucket_cache
 from repro.sketches.hashing import TwoUniversalHashFamily, random_hash_family
 
 
@@ -65,10 +66,11 @@ class CountMinSketch:
     :meth:`update`/:meth:`reset`/:meth:`merge`.
     """
 
-    __slots__ = ("_hashes", "_matrix", "_total_weight", "_update_count")
+    __slots__ = ("_hashes", "_cache", "_matrix", "_total_weight", "_update_count")
 
     def __init__(self, hashes: TwoUniversalHashFamily, dtype=np.float64) -> None:
         self._hashes = hashes
+        self._cache = get_bucket_cache(hashes)
         self._matrix = np.zeros((hashes.rows, hashes.cols), dtype=dtype)
         self._total_weight = 0.0
         self._update_count = 0
@@ -98,7 +100,23 @@ class CountMinSketch:
         if weight < 0:
             raise ValueError(f"weight must be non-negative, got {weight}")
         matrix = self._matrix
-        for row, col in enumerate(self._hashes.hash_all(item)):
+        for row, col in enumerate(self._cache.columns(item)):
+            matrix[row, col] += weight
+        self._total_weight += weight
+        self._update_count += 1
+
+    def update_at(self, columns, weight: float = 1.0) -> None:
+        """Fold one occurrence whose bucket columns are already known.
+
+        ``columns`` must be the item's per-row column tuple as returned by
+        the family's shared :class:`~repro.sketches.bucket_cache.\
+BucketColumnCache`; callers updating several sketches with the same hash
+        family (the F/W pair) use this to hash each tuple once.
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        matrix = self._matrix
+        for row, col in enumerate(columns):
             matrix[row, col] += weight
         self._total_weight += weight
         self._update_count += 1
@@ -122,7 +140,7 @@ class CountMinSketch:
         if weight < 0:
             raise ValueError(f"weight must be non-negative, got {weight}")
         matrix = self._matrix
-        cells = list(enumerate(self._hashes.hash_all(item)))
+        cells = list(enumerate(self._cache.columns(item)))
         target = min(matrix[row, col] for row, col in cells) + weight
         for row, col in cells:
             if matrix[row, col] < target:
@@ -131,11 +149,19 @@ class CountMinSketch:
         self._update_count += 1
 
     def update_many(self, items: np.ndarray, weights: np.ndarray | None = None) -> None:
-        """Vectorized bulk update (used by workload preprocessing)."""
+        """Vectorized bulk update (used by workload preprocessing).
+
+        The scatter is a per-row ``bincount`` — orders of magnitude faster
+        than ``np.add.at`` for the batch sizes workloads use — so per-cell
+        sums are grouped per batch; mixing :meth:`update` and
+        :meth:`update_many` therefore yields the same counters up to
+        float-addition reassociation (exactly equal for integer-valued
+        weights such as frequency counts).
+        """
         items = np.asarray(items)
         if items.size == 0:
             return
-        buckets = self._hashes.hash_vector(items)
+        buckets = self._cache.columns_many(items)
         if weights is None:
             weights = np.ones(items.shape[0], dtype=self._matrix.dtype)
         else:
@@ -144,10 +170,54 @@ class CountMinSketch:
                 raise ValueError("items and weights must have the same shape")
             if np.any(weights < 0):
                 raise ValueError("weights must be non-negative")
+        cols = self._matrix.shape[1]
         for row in range(buckets.shape[0]):
-            np.add.at(self._matrix[row], buckets[row], weights)
+            self._matrix[row] += np.bincount(
+                buckets[row], weights=weights, minlength=cols
+            )
         self._total_weight += float(weights.sum())
         self._update_count += items.shape[0]
+
+    def fold_batch_exact(self, buckets: np.ndarray, weights: "np.ndarray | None") -> None:
+        """Fold a pre-hashed batch with *per-tuple* float semantics.
+
+        Unlike :meth:`update_many`, every cell receives its updates one by
+        one in stream order (``np.add.at`` is unbuffered and sequential)
+        and ``total_weight`` accumulates term by term, so the resulting
+        sketch state is bit-for-bit identical to calling :meth:`update`
+        once per tuple.  ``weights=None`` means unit weights and requires
+        a sketch that has only ever seen unit weights (the frequency
+        sketch ``F``): all counters are then small integers, exactly
+        representable, and the scatter collapses to a ``bincount``.
+        The chunked simulator uses this to batch instance-side sketch
+        maintenance without perturbing POSG's estimates.
+
+        ``buckets`` is a ``(rows, batch)`` column matrix (from
+        :meth:`~repro.sketches.bucket_cache.BucketColumnCache.\
+columns_many`); validation is the caller's job — this is a hot path.
+        """
+        rows, batch = buckets.shape
+        if batch == 0:
+            return
+        cols = self._matrix.shape[1]
+        flat = self._matrix.ravel()
+        offsets = (np.arange(rows, dtype=np.int64) * cols)[:, None]
+        indices = (buckets + offsets).ravel()
+        if weights is None:
+            # Unit weights: cell sums are small integers, exactly
+            # representable, so a bincount scatter is bit-identical.
+            flat += np.bincount(indices, minlength=rows * cols)
+            self._total_weight += float(batch)
+        else:
+            tiled = np.broadcast_to(weights, (rows, batch)).ravel()
+            np.add.at(flat, indices, tiled)
+            # Sequential scalar accumulation preserves the exact rounding
+            # of per-tuple updates (float addition is not associative).
+            total = self._total_weight
+            for w in weights.tolist():
+                total += w
+            self._total_weight = total
+        self._update_count += batch
 
     # ------------------------------------------------------------------
     # queries
@@ -156,12 +226,21 @@ class CountMinSketch:
         """Point query: ``min_i matrix[i, h_i(item)]`` (never underestimates)."""
         matrix = self._matrix
         return float(
-            min(matrix[row, col] for row, col in enumerate(self._hashes.hash_all(item)))
+            min(matrix[row, col] for row, col in enumerate(self._cache.columns(item)))
         )
+
+    def query_many(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized point queries (shape ``(len(items),)``)."""
+        items = np.asarray(items)
+        if items.size == 0:
+            return np.empty(0, dtype=np.float64)
+        buckets = self._cache.columns_many(items)
+        rows = np.arange(buckets.shape[0])[:, None]
+        return self._matrix[rows, buckets].min(axis=0).astype(np.float64)
 
     def cells(self, item: int) -> np.ndarray:
         """Return the item's cell values on every row (shape ``(rows,)``)."""
-        cols = self._hashes.hash_all(item)
+        cols = self._cache.columns(item)
         return self._matrix[np.arange(self._hashes.rows), list(cols)]
 
     def argmin_row(self, item: int) -> int:
@@ -255,9 +334,22 @@ class CountMinSketch:
         return self._hashes
 
     @property
+    def bucket_cache(self):
+        """The family's shared column cache (see :mod:`bucket_cache`)."""
+        return self._cache
+
+    @property
     def matrix(self) -> np.ndarray:
-        """The raw ``rows x cols`` counter matrix (do not mutate)."""
-        return self._matrix
+        """Read-only view of the ``rows x cols`` counter matrix.
+
+        The view is non-writeable (same convention as
+        ``POSGScheduler.c_hat``) so external code cannot invalidate the
+        cached fast paths; mutate only through
+        :meth:`update`/:meth:`reset`/:meth:`merge`/:meth:`scale`.
+        """
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def shape(self) -> tuple[int, int]:

@@ -23,6 +23,54 @@ import numpy as np
 # ``mod p`` bias is negligible for any realistic universe.
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
+_M61 = np.uint64(MERSENNE_PRIME_61)
+_SHIFT_61 = np.uint64(61)
+_SHIFT_31 = np.uint64(31)
+_SHIFT_30 = np.uint64(30)
+_MASK_31 = np.uint64((1 << 31) - 1)
+_MASK_30 = np.uint64((1 << 30) - 1)
+
+
+def _fold_mersenne61(x: np.ndarray) -> np.ndarray:
+    """Reduce a ``uint64`` array modulo ``2^61 - 1``.
+
+    Two shift-and-add folds bring any 64-bit value below ``2^62``, after
+    which a single conditional subtract lands it in ``[0, p)``.
+    """
+    x = (x & _M61) + (x >> _SHIFT_61)
+    x = (x & _M61) + (x >> _SHIFT_61)
+    return np.where(x >= _M61, x - _M61, x)
+
+
+def _mersenne61_affine(a: np.ndarray, b: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """``(a * items + b) mod (2^61 - 1)`` entirely in ``uint64``.
+
+    The 122-bit products are assembled from 30/31-bit limbs:
+    with ``a = a_hi*2^31 + a_lo`` and ``x = x_hi*2^31 + x_lo``,
+
+        a*x = a_hi*x_hi*2^62 + (a_hi*x_lo + a_lo*x_hi)*2^31 + a_lo*x_lo
+
+    and ``2^61 = 1 (mod p)`` turns every high limb into a small additive
+    term: ``2^62 = 2`` and, writing the middle sum ``m = m_hi*2^30 + m_lo``,
+    ``m*2^31 = m_hi + m_lo*2^31``.  Each partial term stays below ``2^62``,
+    so the final sum (plus ``b < 2^61``) never overflows ``uint64``.
+
+    ``a`` and ``b`` broadcast against ``items``; all inputs must already be
+    reduced modulo ``p``.
+    """
+    a_hi = a >> _SHIFT_31
+    a_lo = a & _MASK_31
+    x_hi = items >> _SHIFT_31
+    x_lo = items & _MASK_31
+    mid = a_hi * x_lo + a_lo * x_hi
+    total = (
+        np.uint64(2) * (a_hi * x_hi)
+        + (mid >> _SHIFT_30)
+        + ((mid & _MASK_30) << _SHIFT_31)
+        + a_lo * x_lo
+    )
+    return _fold_mersenne61(total + b)
+
 
 def _is_prime(value: int) -> bool:
     """Deterministic Miller-Rabin primality test for 64-bit integers."""
@@ -116,23 +164,41 @@ class TwoUniversalHashFamily:
     def hash_vector(self, items: np.ndarray) -> np.ndarray:
         """Vectorized evaluation: shape ``(rows, len(items))`` bucket matrix.
 
-        Uses Python-int (object) arithmetic only when the products would
-        overflow ``int64``; for the universes used in the paper the fast
-        path always applies.
+        Three paths, all bit-identical to scalar :meth:`hash`:
+
+        - ``prime == 2^61 - 1`` (the default): a branch-free ``uint64``
+          Mersenne-reduction kernel (see :func:`_mersenne61_affine`) that
+          handles arbitrary coefficients and items without overflow;
+        - other primes whose worst-case product ``(p-1) * max(a) + max(b)``
+          fits in 64 bits: plain ``uint64`` arithmetic (items are reduced
+          into the field first, so the guard is exact);
+        - everything else: vectorized Python-int (object-dtype) arithmetic,
+          correct for arbitrary primes.
         """
-        items = np.asarray(items, dtype=np.uint64)
-        a = np.asarray(self.a, dtype=np.uint64)[:, None]
-        b = np.asarray(self.b, dtype=np.uint64)[:, None]
-        max_product = int(items.max(initial=0)) * max(self.a) + max(self.b)
-        if max_product < (1 << 64):
-            # uint64 wrap-around is safe here because the true product fits.
-            mixed = (a * items[None, :] + b) % np.uint64(self.prime)
-            return (mixed % np.uint64(self.cols)).astype(np.int64)
-        buckets = np.empty((self.rows, items.shape[0]), dtype=np.int64)
-        for row in range(self.rows):
-            for j, item in enumerate(items.tolist()):
-                buckets[row, j] = self.hash(row, int(item))
-        return buckets
+        items = np.ascontiguousarray(items, dtype=np.uint64)
+        if items.size == 0:
+            return np.empty((self.rows, 0), dtype=np.int64)
+        cols = np.uint64(self.cols)
+        if self.prime == MERSENNE_PRIME_61:
+            a = np.asarray(self.a, dtype=np.uint64)[:, None]
+            b = np.asarray(self.b, dtype=np.uint64)[:, None]
+            mixed = _mersenne61_affine(a, b, _fold_mersenne61(items)[None, :])
+            return (mixed % cols).astype(np.int64)
+        prime = np.uint64(self.prime)
+        # h(x) = h(x mod p), so reduce items into the field first; the
+        # overflow guard then bounds the *true* worst-case product.
+        reduced = items % prime
+        if (self.prime - 1) * max(self.a) + max(self.b) < (1 << 64):
+            a = np.asarray(self.a, dtype=np.uint64)[:, None]
+            b = np.asarray(self.b, dtype=np.uint64)[:, None]
+            mixed = (a * reduced[None, :] + b) % prime
+            return (mixed % cols).astype(np.int64)
+        # Arbitrary-precision slow path: numpy object arrays hold Python
+        # ints, so products cannot overflow no matter the prime.
+        a_obj = np.array([int(ai) for ai in self.a], dtype=object)[:, None]
+        b_obj = np.array([int(bi) for bi in self.b], dtype=object)[:, None]
+        mixed = (a_obj * reduced.astype(object)[None, :] + b_obj) % self.prime
+        return (mixed % self.cols).astype(np.int64)
 
     def to_dict(self) -> dict:
         """Serializable parameter dictionary (shared scheduler/instances)."""

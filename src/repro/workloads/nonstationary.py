@@ -68,6 +68,20 @@ class LoadShiftScenario:
         """Execution-time multiplier for one instance at one stream position."""
         return self.phases[self.phase_of(tuple_index)][instance]
 
+    def multiplier_matrix(self, m: int) -> np.ndarray:
+        """Vectorized multipliers for positions ``0..m-1``: shape ``(m, k)``.
+
+        ``multiplier_matrix(m)[j, i] == multiplier(i, j)`` exactly (the
+        table holds the same Python floats, merely gathered in bulk); the
+        chunked simulator uses this to hoist the per-tuple
+        ``np.searchsorted`` out of the hot loop.
+        """
+        phase_table = np.asarray(self.phases, dtype=np.float64)
+        indices = np.searchsorted(
+            np.asarray(self.boundaries), np.arange(m), side="right"
+        )
+        return phase_table[indices]
+
     @classmethod
     def paper_figure10(cls, m: int = 150_000) -> "LoadShiftScenario":
         """The exact scenario of Figures 10/11: shift at ``m // 2``."""
@@ -119,3 +133,14 @@ class DriftScenario:
             self.start[instance]
             + (self.end[instance] - self.start[instance]) * fraction
         )
+
+    def multiplier_matrix(self, m: int) -> np.ndarray:
+        """Vectorized multipliers for positions ``0..m-1``: shape ``(m, k)``.
+
+        Elementwise-identical to :meth:`multiplier` (the same IEEE
+        operations in the same order, just broadcast).
+        """
+        fraction = np.minimum(1.0, np.arange(m) / self.duration)
+        start = np.asarray(self.start, dtype=np.float64)
+        end = np.asarray(self.end, dtype=np.float64)
+        return start[None, :] + (end - start)[None, :] * fraction[:, None]
