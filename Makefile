@@ -1,14 +1,17 @@
 # Convenience targets for the POSG reproduction.
 
 PYTHON ?= python
+# every target runs against the in-tree sources without an install step
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-throughput figures examples clean
+.PHONY: install test bench bench-throughput bench-telemetry figures \
+	figures-paper-scale examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -17,6 +20,11 @@ bench:
 # repo root (REPRO_REPS / REPRO_SCALE scale the measurement)
 bench-throughput:
 	$(PYTHON) benchmarks/bench_throughput.py
+
+# telemetry overhead gate: writes BENCH_telemetry_overhead.json and
+# fails if disabled-mode telemetry costs more than 3%
+bench-telemetry:
+	$(PYTHON) benchmarks/bench_telemetry_overhead.py
 
 # regenerate every paper figure without pytest
 figures:

@@ -34,6 +34,7 @@ from repro.core.matrices import FWPair
 from repro.simulator.run import simulate_stream
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.hashing import random_hash_family
+from repro.telemetry.provenance import provenance
 from repro.workloads.synthetic import default_stream
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -151,6 +152,7 @@ def main() -> dict:
     m = max(1024, int(32_768 * scale))
     payload = {
         "schema": "posg-bench-throughput/v1",
+        "provenance": provenance(REPO_ROOT),
         "config": {"m": m, "k": 5, "reps": reps, "scale": scale},
         "layers": bench_layers(m, reps),
         "simulate": bench_simulate(m, reps, with_reference=scale >= 0.5),

@@ -18,7 +18,10 @@ Layers (see README.md / DESIGN.md):
   POSG as a custom stream grouping (Figures 11-12);
 - :mod:`repro.workloads`  — synthetic and Twitter-like stream generators;
 - :mod:`repro.analysis`   — the paper's theorems, executable;
-- :mod:`repro.experiments` — the harness regenerating every figure.
+- :mod:`repro.experiments` — the harness regenerating every figure;
+- :mod:`repro.telemetry`  — opt-in metrics registry, event tracing and
+  run reports across all of the above (off by default, zero-cost when
+  off).
 """
 
 from repro._version import __version__
@@ -33,6 +36,13 @@ from repro.core import (
     RoundRobinGrouping,
 )
 from repro.simulator import CompletionStats, SimulationResult, simulate_stream
+from repro.telemetry import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    RunReport,
+    TelemetryRecorder,
+    Tracer,
+)
 from repro.workloads import (
     Stream,
     StreamSpec,
@@ -55,6 +65,11 @@ __all__ = [
     "simulate_stream",
     "SimulationResult",
     "CompletionStats",
+    "TelemetryRecorder",
+    "NULL_RECORDER",
+    "MetricsRegistry",
+    "Tracer",
+    "RunReport",
     "Stream",
     "StreamSpec",
     "UniformItems",

@@ -26,6 +26,7 @@ from repro.core.matrices import make_shared_hashes
 from repro.core.messages import ControlMessage, SyncRequest
 from repro.core.scheduler import POSGScheduler, SchedulerState
 from repro.sketches.hashing import random_hash_family
+from repro.telemetry.recorder import NULL_RECORDER
 
 
 @dataclass(frozen=True)
@@ -243,10 +244,12 @@ class POSGGrouping(GroupingPolicy):
         self,
         config: POSGConfig | None = None,
         latency_hints: "list[float] | None" = None,
+        telemetry=NULL_RECORDER,
     ) -> None:
         super().__init__()
         self._config = config if config is not None else POSGConfig()
         self._latency_hints = latency_hints
+        self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self._scheduler: POSGScheduler | None = None
         self._hashes = None
         self._agents: dict[int, _POSGInstanceAgent] = {}
@@ -255,7 +258,10 @@ class POSGGrouping(GroupingPolicy):
         super().setup(k, rng)
         self._hashes = make_shared_hashes(self._config, rng=rng)
         self._scheduler = POSGScheduler(
-            k, self._config, latency_hints=self._latency_hints
+            k,
+            self._config,
+            latency_hints=self._latency_hints,
+            telemetry=self._telemetry,
         )
         self._agents = {}
 
@@ -271,7 +277,9 @@ class POSGGrouping(GroupingPolicy):
             raise RuntimeError("policy not set up; call setup(k) first")
         if instance_id in self._agents:
             raise ValueError(f"agent for instance {instance_id} already created")
-        tracker = InstanceTracker(instance_id, self._config, self._hashes)
+        tracker = InstanceTracker(
+            instance_id, self._config, self._hashes, telemetry=self._telemetry
+        )
         agent = _POSGInstanceAgent(tracker)
         self._agents[instance_id] = agent
         return agent
@@ -287,6 +295,11 @@ class POSGGrouping(GroupingPolicy):
     def config(self) -> POSGConfig:
         """The POSG configuration in force."""
         return self._config
+
+    @property
+    def telemetry(self):
+        """The telemetry recorder in force (:data:`NULL_RECORDER` default)."""
+        return self._telemetry
 
     @property
     def state(self) -> SchedulerState:

@@ -25,6 +25,12 @@ from repro.core.config import POSGConfig
 from repro.core.matrices import FWPair
 from repro.core.messages import ControlMessage, MatricesMessage, SyncReply, SyncRequest
 from repro.sketches.hashing import TwoUniversalHashFamily
+from repro.telemetry.recorder import NULL_RECORDER
+from repro.telemetry.registry import Sample
+
+#: histogram bucket bounds for the stability error ``eta`` (Eq. 1); the
+#: paper's default tolerance mu = 0.05 sits on a bucket edge
+ETA_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
 
 
 class InstanceState(enum.Enum):
@@ -61,6 +67,7 @@ class InstanceTracker:
         instance_id: int,
         config: POSGConfig,
         hashes: TwoUniversalHashFamily,
+        telemetry=NULL_RECORDER,
     ) -> None:
         if instance_id < 0:
             raise ValueError(f"instance_id must be >= 0, got {instance_id}")
@@ -72,7 +79,8 @@ class InstanceTracker:
             )
         self._instance_id = instance_id
         self._config = config
-        self._pair = FWPair(hashes)
+        self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self._pair = FWPair(hashes, telemetry=self._telemetry)
         self._state = InstanceState.START
         self._snapshot: np.ndarray | None = None
         self._window_count = 0
@@ -80,6 +88,14 @@ class InstanceTracker:
         self._tuples_executed = 0
         self._matrices_sent = 0
         self._snapshot_refreshes = 0
+        # eta observations happen only at window boundaries (cold path)
+        self._eta_histogram = self._telemetry.registry.histogram(
+            "posg_instance_eta",
+            buckets=ETA_BUCKETS,
+            help="Snapshot relative error eta at STABILIZING window checks",
+            labels={"instance": instance_id},
+        )
+        self._telemetry.registry.register_collector(self._collect_samples)
 
     # ------------------------------------------------------------------
     # data path
@@ -161,13 +177,16 @@ class InstanceTracker:
         if self._state is InstanceState.START:
             self._snapshot = self._pair.snapshot()
             self._state = InstanceState.STABILIZING
+            self._emit_window("snapshot", InstanceState.START, None, 0)
             return None
         # STABILIZING
         assert self._snapshot is not None
         eta = self._pair.relative_error(self._snapshot)
+        self._eta_histogram.observe(eta)
         if eta > self._config.mu:
             self._snapshot = self._pair.snapshot()
             self._snapshot_refreshes += 1
+            self._emit_window("refresh", InstanceState.STABILIZING, eta, 0)
             return None
         message = MatricesMessage(
             instance=self._instance_id,
@@ -178,11 +197,85 @@ class InstanceTracker:
         self._snapshot = None
         self._state = InstanceState.START
         self._matrices_sent += 1
+        self._emit_window("ship", InstanceState.STABILIZING, eta, message.size_bits())
         return message
+
+    def _emit_window(
+        self,
+        outcome: str,
+        from_state: InstanceState,
+        eta: float | None,
+        bits: int,
+    ) -> None:
+        """Trace one Figure 2 window-boundary decision."""
+        if not self._telemetry.enabled:
+            return
+        self._telemetry.tracer.emit(
+            "instance_window",
+            instance=self._instance_id,
+            outcome=outcome,
+            **{"from": from_state.value, "to": self._state.value},
+            eta=eta,
+            bits=bits,
+            executed=self._tuples_executed,
+        )
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Instance-side FSM accounting as one flat dict."""
+        return {
+            "instance": self._instance_id,
+            "state": self._state.value,
+            "tuples_executed": self._tuples_executed,
+            "cumulated_time_ms": self._cumulated_time,
+            "matrices_sent": self._matrices_sent,
+            "snapshot_refreshes": self._snapshot_refreshes,
+            "window_count": self._window_count,
+        }
+
+    def _collect_samples(self) -> list[Sample]:
+        """Export-time metric samples (registered as a collector)."""
+        labels = (("instance", str(self._instance_id)),)
+        return [
+            Sample(
+                "posg_instance_tuples_executed_total",
+                self._tuples_executed,
+                "counter",
+                labels,
+                help="Tuples executed by this instance",
+            ),
+            Sample(
+                "posg_instance_cumulated_time_ms",
+                self._cumulated_time,
+                "gauge",
+                labels,
+                help="Measured cumulated execution time C_op",
+            ),
+            Sample(
+                "posg_instance_matrices_sent_total",
+                self._matrices_sent,
+                "counter",
+                labels,
+                help="Stable (F, W) pairs shipped to the scheduler",
+            ),
+            Sample(
+                "posg_instance_snapshot_refreshes_total",
+                self._snapshot_refreshes,
+                "counter",
+                labels,
+                help="Snapshot refreshes forced by instability (eta > mu)",
+            ),
+            Sample(
+                "posg_instance_state_info",
+                1,
+                "gauge",
+                labels + (("state", self._state.value),),
+                help="Current instance FSM state (label carries the state)",
+            ),
+        ]
+
     @property
     def instance_id(self) -> int:
         """Index of this instance."""

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.config import POSGConfig
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.hashing import TwoUniversalHashFamily, random_hash_family
+from repro.telemetry.recorder import NULL_RECORDER
 
 
 def make_shared_hashes(
@@ -46,13 +47,19 @@ class FWPair:
     ----------
     hashes:
         Hash family shared with the scheduler and sibling instances.
+    telemetry:
+        Optional recorder; snapshot/reset/scale lifecycle events (all
+        cold-path, window-boundary-driven) are counted when live.
     """
 
-    __slots__ = ("_freq", "_work")
+    __slots__ = ("_freq", "_work", "_telemetry")
 
-    def __init__(self, hashes: TwoUniversalHashFamily) -> None:
+    def __init__(
+        self, hashes: TwoUniversalHashFamily, telemetry=NULL_RECORDER
+    ) -> None:
         self._freq = CountMinSketch(hashes)
         self._work = CountMinSketch(hashes)
+        self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # ingestion (Listing III.1)
@@ -156,6 +163,11 @@ class FWPair:
     # ------------------------------------------------------------------
     def snapshot(self) -> np.ndarray:
         """Elementwise ratio matrix ``S = W / F`` (0 where ``F`` is 0)."""
+        if self._telemetry.enabled:
+            self._telemetry.registry.counter(
+                "posg_fwpair_snapshots_total",
+                help="Snapshot matrices S = W/F materialized",
+            ).inc()
         freq = self._freq.matrix
         work = self._work.matrix
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -181,19 +193,35 @@ class FWPair:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Zero both matrices (after shipping them to the scheduler)."""
+        if self._telemetry.enabled:
+            self._telemetry.registry.counter(
+                "posg_fwpair_resets_total",
+                help="Matrix resets after shipping to the scheduler",
+            ).inc()
         self._freq.reset()
         self._work.reset()
 
     def scale(self, factor: float) -> None:
         """Age both matrices by ``factor`` (see CountMinSketch.scale)."""
+        if self._telemetry.enabled:
+            self._telemetry.registry.counter(
+                "posg_fwpair_scales_total",
+                help="Decay-aging passes applied to stored matrices",
+            ).inc()
         self._freq.scale(factor)
         self._work.scale(factor)
 
     def copy(self) -> "FWPair":
-        """Deep copy (what actually travels in a :class:`MatricesMessage`)."""
+        """Deep copy (what actually travels in a :class:`MatricesMessage`).
+
+        The copy is *not* instrumented: it leaves this process's scope
+        (conceptually travelling over the wire), so its lifecycle belongs
+        to the receiver.
+        """
         clone = FWPair.__new__(FWPair)
         clone._freq = self._freq.copy()
         clone._work = self._work.copy()
+        clone._telemetry = NULL_RECORDER
         return clone
 
     # ------------------------------------------------------------------
@@ -221,6 +249,7 @@ class FWPair:
         pair = cls.__new__(cls)
         pair._freq = CountMinSketch.from_dict(payload["freq"], hashes=family)
         pair._work = CountMinSketch.from_dict(payload["work"], hashes=family)
+        pair._telemetry = NULL_RECORDER
         return pair
 
     # ------------------------------------------------------------------

@@ -38,6 +38,8 @@ import numpy as np
 from repro.core.config import POSGConfig
 from repro.core.matrices import FWPair
 from repro.core.messages import ControlMessage, MatricesMessage, SyncReply, SyncRequest
+from repro.telemetry.recorder import NULL_RECORDER
+from repro.telemetry.registry import Sample
 
 
 class SchedulerState(enum.Enum):
@@ -82,10 +84,12 @@ class POSGScheduler:
         k: int,
         config: POSGConfig | None = None,
         latency_hints: "np.ndarray | list[float] | None" = None,
+        telemetry=NULL_RECORDER,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self._k = k
+        self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self._config = config if config is not None else POSGConfig()
         if latency_hints is None:
             self._latency_hints = None
@@ -123,6 +127,9 @@ class POSGScheduler:
         self._stale_replies_dropped = 0
         self._control_bits_received = 0
         self._control_bits_sent = 0
+        # Zero-hot-path-cost export: the registry reads these plain ints
+        # through a collector only when someone asks for a snapshot.
+        self._telemetry.registry.register_collector(self._collect_samples)
 
     # ------------------------------------------------------------------
     # data path (SUBMIT + UPDATEC, Listing III.2)
@@ -145,8 +152,17 @@ class POSGScheduler:
                 c_hat_at_send=float(self._c_hat[instance]),
             )
             self._control_bits_sent += request.size_bits()
+            if self._telemetry.enabled:
+                self._telemetry.tracer.emit(
+                    "sync_request",
+                    instance=instance,
+                    epoch=self._epoch,
+                    c_hat=request.c_hat_at_send,
+                    bits=request.size_bits(),
+                    at=self._tuples_scheduled,
+                )
             if self._sendall_counter >= self._k:
-                self._state = SchedulerState.WAIT_ALL
+                self._transition(SchedulerState.WAIT_ALL)
             return SchedulingDecision(instance, request, SchedulerState.SEND_ALL)
 
         # WAIT_ALL and RUN schedule greedily (Greedy Online Scheduler).
@@ -166,6 +182,18 @@ class POSGScheduler:
     def _update_c_hat(self, item: int, instance: int) -> None:
         """UPDATEC: grow the estimate by the tuple's estimated time."""
         self._c_hat[instance] += self.estimate(item, instance)
+
+    def _transition(self, new_state: SchedulerState) -> None:
+        """Move the FSM, tracing the edge when telemetry is live."""
+        old_state = self._state
+        self._state = new_state
+        if self._telemetry.enabled and new_state is not old_state:
+            self._telemetry.tracer.emit(
+                "scheduler_state",
+                **{"from": old_state.value, "to": new_state.value},
+                epoch=self._epoch,
+                at=self._tuples_scheduled,
+            )
 
     # ------------------------------------------------------------------
     # block fast path (vectorized data plane)
@@ -275,6 +303,15 @@ class POSGScheduler:
         self._pairs = tuple(self._matrices.values())
         self._matrices_received += 1
         self._control_bits_received += message.size_bits()
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "matrices_received",
+                instance=message.instance,
+                tuples_observed=message.tuples_observed,
+                bits=message.size_bits(),
+                merged=bool(stored is not None and self._config.merge_matrices),
+                at=self._tuples_scheduled,
+            )
         if self._state is SchedulerState.ROUND_ROBIN:
             if len(self._matrices) == self._k:
                 self._begin_sync_round()  # Figure 3.B
@@ -287,16 +324,33 @@ class POSGScheduler:
         self._sendall_counter = 0
         self._pending_replies = set(range(self._k))
         self._pending_deltas = {}
-        self._state = SchedulerState.SEND_ALL
+        self._transition(SchedulerState.SEND_ALL)
 
     def _on_sync_reply(self, reply: SyncReply) -> None:
-        if reply.epoch != self._epoch:
+        if reply.epoch != self._epoch or reply.instance not in self._pending_replies:
             self._stale_replies_dropped += 1
-            return
-        if reply.instance not in self._pending_replies:
-            self._stale_replies_dropped += 1
+            if self._telemetry.enabled:
+                self._telemetry.tracer.emit(
+                    "sync_reply",
+                    instance=reply.instance,
+                    epoch=reply.epoch,
+                    delta=reply.delta,
+                    bits=reply.size_bits(),
+                    stale=True,
+                    at=self._tuples_scheduled,
+                )
             return
         self._control_bits_received += reply.size_bits()
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "sync_reply",
+                instance=reply.instance,
+                epoch=reply.epoch,
+                delta=reply.delta,
+                bits=reply.size_bits(),
+                stale=False,
+                at=self._tuples_scheduled,
+            )
         self._pending_replies.discard(reply.instance)
         self._pending_deltas[reply.instance] = reply.delta
         if not self._pending_replies and self._state is SchedulerState.WAIT_ALL:
@@ -308,11 +362,103 @@ class POSGScheduler:
             self._c_hat[instance] += delta
         self._pending_deltas = {}
         self._sync_rounds_completed += 1
-        self._state = SchedulerState.RUN
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "sync_round_complete",
+                epoch=self._epoch,
+                rounds=self._sync_rounds_completed,
+                at=self._tuples_scheduled,
+            )
+        self._transition(SchedulerState.RUN)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Control- and data-plane accounting as one flat dict.
+
+        This is the scheduler-side counterpart of
+        :attr:`repro.storm.metrics.TopologyMetrics.control_bits`: both
+        layers report control overhead in *bits* so Figure 12's overhead
+        numbers are comparable across substrates.
+        """
+        return {
+            "state": self._state.value,
+            "epoch": self._epoch,
+            "tuples_scheduled": self._tuples_scheduled,
+            "sync_rounds_completed": self._sync_rounds_completed,
+            "matrices_received": self._matrices_received,
+            "stale_replies_dropped": self._stale_replies_dropped,
+            "control_bits_sent": self._control_bits_sent,
+            "control_bits_received": self._control_bits_received,
+            "control_bits": self._control_bits_sent + self._control_bits_received,
+        }
+
+    def _collect_samples(self) -> list[Sample]:
+        """Export-time metric samples (registered as a collector)."""
+        samples = [
+            Sample(
+                "posg_scheduler_tuples_scheduled_total",
+                self._tuples_scheduled,
+                "counter",
+                help="Tuples submitted to the POSG scheduler",
+            ),
+            Sample(
+                "posg_scheduler_epoch",
+                self._epoch,
+                "gauge",
+                help="Current synchronization epoch",
+            ),
+            Sample(
+                "posg_scheduler_sync_rounds_total",
+                self._sync_rounds_completed,
+                "counter",
+                help="Completed WAIT_ALL -> RUN synchronizations",
+            ),
+            Sample(
+                "posg_scheduler_matrices_received_total",
+                self._matrices_received,
+                "counter",
+                help="(F, W) pairs received from instances",
+            ),
+            Sample(
+                "posg_scheduler_stale_replies_total",
+                self._stale_replies_dropped,
+                "counter",
+                help="Sync replies dropped because their epoch was preempted",
+            ),
+            Sample(
+                "posg_scheduler_control_bits_sent_total",
+                self._control_bits_sent,
+                "counter",
+                help="Control-plane bits sent by the scheduler",
+            ),
+            Sample(
+                "posg_scheduler_control_bits_received_total",
+                self._control_bits_received,
+                "counter",
+                help="Control-plane bits received by the scheduler",
+            ),
+            Sample(
+                "posg_scheduler_state_info",
+                1,
+                "gauge",
+                (("state", self._state.value),),
+                help="Current scheduler FSM state (label carries the state)",
+            ),
+        ]
+        samples.extend(
+            Sample(
+                "posg_scheduler_c_hat_ms",
+                value,
+                "gauge",
+                (("instance", str(instance)),),
+                help="Estimated cumulated execution time per instance",
+            )
+            for instance, value in enumerate(self._c_hat.tolist())
+        )
+        return samples
+
     @property
     def k(self) -> int:
         """Number of downstream instances."""

@@ -53,6 +53,7 @@ from repro.core.grouping import (
 from repro.core.scheduler import SchedulerState
 from repro.simulator.metrics import CompletionStats
 from repro.simulator.network import ConstantLatency, LatencyModel
+from repro.telemetry.recorder import NULL_RECORDER
 from repro.workloads.nonstationary import LoadShiftScenario
 from repro.workloads.synthetic import Stream
 
@@ -127,6 +128,7 @@ def simulate_stream(
     rng: np.random.Generator | None = None,
     sample_queues_every: int | None = None,
     chunk_size: int = 2048,
+    telemetry=None,
 ) -> SimulationResult:
     """Simulate one stream through one grouping policy.
 
@@ -158,6 +160,14 @@ def simulate_stream(
         engine.  ``0`` selects the per-tuple reference engine (slow;
         kept as the equivalence baseline).  Both engines produce
         bit-identical results.
+    telemetry:
+        Optional :class:`~repro.telemetry.recorder.TelemetryRecorder`.
+        Run-level metrics (tuple counts, completion-time histogram,
+        control traffic) are recorded once, *after* the loop, from the
+        result arrays — identical under both engines by construction and
+        free on the hot path.  To also capture scheduler/instance FSM
+        events, construct the policy with the same recorder
+        (``POSGGrouping(config, telemetry=recorder)``).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -177,13 +187,64 @@ def simulate_stream(
     control_lat = _as_latency(control_latency)
 
     if chunk_size == 0:
-        return _simulate_reference(
+        result = _simulate_reference(
             stream, policy, k, scenario, data_lat, control_lat, rng,
             sample_queues_every,
         )
-    return _simulate_chunked(
-        stream, policy, k, scenario, data_lat, control_lat, rng,
-        sample_queues_every, chunk_size,
+    else:
+        result = _simulate_chunked(
+            stream, policy, k, scenario, data_lat, control_lat, rng,
+            sample_queues_every, chunk_size,
+        )
+    recorder = telemetry if telemetry is not None else NULL_RECORDER
+    if recorder.enabled:
+        _record_run_telemetry(recorder, result, k)
+    return result
+
+
+def _record_run_telemetry(recorder, result: SimulationResult, k: int) -> None:
+    """Fold one finished run into the recorder.
+
+    Runs on the completed result arrays, so per-tuple and chunked engines
+    record *identical* totals regardless of how the run was executed —
+    the engines only have to agree on the result, which the equivalence
+    suite already guarantees.
+    """
+    registry = recorder.registry
+    stats = result.stats
+    policy_name = getattr(result.policy, "name", "unknown")
+    registry.counter(
+        "sim_tuples_total", help="Tuples simulated end to end"
+    ).inc(stats.m)
+    registry.counter(
+        "sim_control_messages_total", help="Control-plane messages exchanged"
+    ).inc(result.control_messages)
+    registry.counter(
+        "sim_control_bits_total", help="Control-plane traffic in bits"
+    ).inc(result.control_bits)
+    registry.gauge(
+        "sim_avg_completion_ms", help="Average per-tuple completion time (L)"
+    ).set(stats.average_completion_time)
+    registry.gauge(
+        "sim_max_completion_ms", help="Worst per-tuple completion time"
+    ).set(stats.max_completion_time)
+    registry.histogram(
+        "sim_completion_ms", help="Per-tuple completion times"
+    ).observe_many(stats.completions)
+    for instance, count in enumerate(stats.instance_tuple_counts(k)):
+        registry.counter(
+            "sim_instance_tuples_total",
+            help="Tuples routed to each instance",
+            labels={"instance": instance},
+        ).inc(int(count))
+    recorder.tracer.emit(
+        "run_complete",
+        policy=policy_name,
+        m=stats.m,
+        k=k,
+        avg_completion_ms=stats.average_completion_time,
+        control_messages=result.control_messages,
+        control_bits=result.control_bits,
     )
 
 

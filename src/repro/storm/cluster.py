@@ -22,6 +22,7 @@ from repro.storm.grouping import CustomStreamGrouping, StreamGrouping
 from repro.storm.metrics import TopologyMetrics
 from repro.storm.topology import BoltSpec, SpoutSpec, Topology
 from repro.storm.tuples import StormTuple, Values
+from repro.telemetry.recorder import NULL_RECORDER
 
 
 @dataclass(frozen=True)
@@ -64,10 +65,15 @@ class ClusterConfig:
 class LocalCluster:
     """Runs one topology to completion on virtual time."""
 
-    def __init__(self, config: ClusterConfig | None = None) -> None:
+    def __init__(
+        self, config: ClusterConfig | None = None, telemetry=None
+    ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.sim = Simulation()
         self.metrics = TopologyMetrics()
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        if self.telemetry.enabled:
+            self.telemetry.registry.register_collector(self.metrics.samples)
         self.acker = AckTracker(
             self.config.message_timeout,
             rng=np.random.default_rng(self.config.seed),
@@ -227,7 +233,7 @@ class LocalCluster:
                     edge.ack_id = self.acker.fresh_ack_id()
                     self.acker.register_edge(edge.root_id, edge.ack_id)
                 if sync_request is not None and position == 0:
-                    self.metrics.record_control_message()
+                    self.metrics.record_control_message(sync_request.size_bits())
                 executor = self._bolt_executors[bolt_spec.name][task]
                 self.sim.after(
                     self.config.transfer_latency,
@@ -301,7 +307,10 @@ class LocalCluster:
         for grouping in self._reporting_groupings.get(spec.name, ()):
             messages = grouping.on_execution(task_index, tup, duration)
             for message in messages:
-                self.metrics.record_control_message()
+                size_bits = getattr(message, "size_bits", None)
+                self.metrics.record_control_message(
+                    size_bits() if size_bits is not None else 0
+                )
                 self.sim.after(
                     self.config.control_latency,
                     (lambda g, msg: lambda: g.on_control(msg))(grouping, message),

@@ -6,6 +6,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.telemetry.registry import Sample
+
 
 class TopologyMetrics:
     """Collected while a topology runs on the local cluster."""
@@ -17,6 +19,7 @@ class TopologyMetrics:
         self._executed_per_task: dict[tuple[str, int], int] = {}
         self._emitted = 0
         self._control_messages = 0
+        self._control_bits = 0
 
     # ------------------------------------------------------------------
     # recording (called by the cluster)
@@ -37,8 +40,15 @@ class TopologyMetrics:
         key = (component, task_index)
         self._executed_per_task[key] = self._executed_per_task.get(key, 0) + 1
 
-    def record_control_message(self) -> None:
+    def record_control_message(self, bits: int = 0) -> None:
+        """Count one control-plane message and its wire size in bits.
+
+        The paper's overhead figures are expressed in traffic volume, not
+        message count, so the cluster passes each message's
+        ``size_bits()`` alongside (0 for legacy callers).
+        """
         self._control_messages += 1
+        self._control_bits += bits
 
     # ------------------------------------------------------------------
     # reading (after the run)
@@ -67,6 +77,52 @@ class TopologyMetrics:
     def control_messages(self) -> int:
         """Control-plane messages exchanged (POSG overhead accounting)."""
         return self._control_messages
+
+    @property
+    def control_bits(self) -> int:
+        """Control-plane traffic in bits (POSG overhead accounting)."""
+        return self._control_bits
+
+    def samples(self) -> list[Sample]:
+        """Metric samples for a telemetry registry collector.
+
+        The cluster registers this when constructed with a live recorder
+        (``LocalCluster(config, telemetry=...)``); reads happen only at
+        export time, so the run itself pays nothing.
+        """
+        return [
+            Sample(
+                "storm_tuples_emitted_total", self._emitted, "counter",
+                help="Anchored tuples emitted by spouts",
+            ),
+            Sample(
+                "storm_tuples_completed_total", len(self._completions),
+                "counter", help="Tuple trees fully acked",
+            ),
+            Sample(
+                "storm_tuples_timed_out_total", len(self._timeouts),
+                "counter", help="Tuple trees failed by timeout",
+            ),
+            Sample(
+                "storm_tuples_failed_total", len(self._failures), "counter",
+                help="Tuple trees failed explicitly by a bolt",
+            ),
+            Sample(
+                "storm_control_messages_total", self._control_messages,
+                "counter", help="Control-plane messages exchanged",
+            ),
+            Sample(
+                "storm_control_bits_total", self._control_bits, "counter",
+                help="Control-plane traffic in bits",
+            ),
+        ] + [
+            Sample(
+                "storm_task_executed_total", count, "counter",
+                (("component", component), ("task", str(task))),
+                help="Tuples executed per task",
+            )
+            for (component, task), count in sorted(self._executed_per_task.items())
+        ]
 
     def completion_latencies(self) -> np.ndarray:
         """Latencies of completed trees, ordered by message id.

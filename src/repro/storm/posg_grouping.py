@@ -34,6 +34,10 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         POSG parameters; paper defaults when omitted.
     rng:
         Seeds the shared hash functions.
+    telemetry:
+        Optional :class:`~repro.telemetry.recorder.TelemetryRecorder`;
+        forwarded to the scheduler- and instance-side FSMs so their
+        transitions land in the same registry/tracer as the cluster's.
     """
 
     def __init__(
@@ -41,9 +45,10 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         item_field: str = "value",
         config: POSGConfig | None = None,
         rng: np.random.Generator | None = None,
+        telemetry=None,
     ) -> None:
         self._item_field = item_field
-        self._policy = POSGGrouping(config)
+        self._policy = POSGGrouping(config, telemetry=telemetry)
         self._rng = rng
         self._agents: dict[int, object] = {}
 

@@ -1,0 +1,59 @@
+"""repro.telemetry — unified observability for the POSG stack.
+
+Three pieces, all dependency-free (stdlib + numpy):
+
+- :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms,
+  plus export-time *collectors* that mirror component-internal statistics
+  with zero hot-path cost (:mod:`repro.telemetry.registry`);
+- :class:`Tracer` — structured events (FSM transitions, sketch ships,
+  sync rounds) in a bounded ring buffer and/or a streaming JSONL sink
+  (:mod:`repro.telemetry.tracer`);
+- :class:`TelemetryRecorder` — the facade components accept; its default,
+  the :data:`NULL_RECORDER` singleton, makes every observation a no-op so
+  uninstrumented runs pay ~nothing (:mod:`repro.telemetry.recorder`).
+
+:class:`RunReport` condenses a finished run into one JSON document
+(:mod:`repro.telemetry.report`); :func:`provenance` stamps benchmark
+artifacts (:mod:`repro.telemetry.provenance`).
+
+Usage::
+
+    from repro.telemetry import TelemetryRecorder, Tracer
+
+    recorder = TelemetryRecorder(tracer=Tracer.jsonl("trace.jsonl"))
+    policy = POSGGrouping(POSGConfig.paper_defaults(), telemetry=recorder)
+    result = simulate_stream(stream, policy, k=5, telemetry=recorder)
+    print(recorder.registry.to_prometheus())
+    report = RunReport.from_simulation(result, k=5, telemetry=recorder)
+    recorder.close()
+
+The ``telemetry`` CLI subcommand (``python -m repro.experiments
+telemetry``) wires all of this together for the Figure 4 configuration.
+"""
+
+from repro.telemetry.provenance import git_sha, provenance
+from repro.telemetry.recorder import NULL_RECORDER, NullRecorder, TelemetryRecorder
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from repro.telemetry.report import RunReport
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "RunReport",
+    "Sample",
+    "TelemetryRecorder",
+    "Tracer",
+    "git_sha",
+    "provenance",
+]

@@ -1,0 +1,45 @@
+"""Provenance stamping for benchmark artifacts.
+
+Every ``BENCH_*.json`` file the repo writes embeds the output of
+:func:`provenance` so the bench trajectory stays comparable across PRs:
+the same numbers mean nothing without knowing which commit, interpreter
+and numpy produced them.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def git_sha(repo_root: "str | Path | None" = None) -> str | None:
+    """Current commit SHA, or ``None`` outside a git checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def provenance(repo_root: "str | Path | None" = None) -> dict:
+    """Environment fingerprint to embed in benchmark JSON payloads."""
+    return {
+        "git_sha": git_sha(repo_root),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }

@@ -57,3 +57,25 @@ class TestTopologyMetrics:
         assert metrics.timed_out == 1
         assert metrics.failed == 1
         assert metrics.control_messages == 1
+        assert metrics.control_bits == 0  # legacy no-size call
+
+    def test_control_bits_accumulate(self):
+        metrics = TopologyMetrics()
+        metrics.record_control_message(64)
+        metrics.record_control_message(27_648)
+        metrics.record_control_message()  # unknown size counts 0 bits
+        assert metrics.control_messages == 3
+        assert metrics.control_bits == 27_712
+
+    def test_samples_for_registry_collector(self):
+        metrics = TopologyMetrics()
+        metrics.record_emit()
+        metrics.record_completion(0, 10.0)
+        metrics.record_execution("worker", 1)
+        metrics.record_control_message(64)
+        by_key = {sample.key: sample.value for sample in metrics.samples()}
+        assert by_key["storm_tuples_emitted_total"] == 1
+        assert by_key["storm_tuples_completed_total"] == 1
+        assert by_key["storm_control_messages_total"] == 1
+        assert by_key["storm_control_bits_total"] == 64
+        assert by_key['storm_task_executed_total{component="worker",task="1"}'] == 1

@@ -67,6 +67,45 @@ class TestLifecycle:
         cluster, _ = run_posg_topology(stream)
         assert cluster.metrics.control_messages < stream.m * 0.2
 
+    def test_control_bits_counted(self):
+        """The paper reports control overhead in traffic volume, not
+        message count: every recorded message must carry its wire size."""
+        stream = make_stream(m=2000)
+        cluster, grouping = run_posg_topology(stream)
+        assert cluster.metrics.control_bits > 0
+        # matrices dominate the volume: more bits than 64 per message
+        assert (
+            cluster.metrics.control_bits
+            > cluster.metrics.control_messages * 64
+        )
+
+
+class TestTelemetry:
+    def test_cluster_and_grouping_share_recorder(self):
+        from repro.telemetry.recorder import TelemetryRecorder
+
+        stream = make_stream(m=2000)
+        with TelemetryRecorder() as recorder:
+            grouping = POSGShuffleGrouping(
+                item_field="value",
+                config=POSGConfig(window_size=64, rows=2, cols=16),
+                rng=np.random.default_rng(1),
+                telemetry=recorder,
+            )
+            builder = TopologyBuilder()
+            builder.set_spout("source", lambda: StreamSpout(stream),
+                              output_fields=STREAM_SPOUT_FIELDS)
+            builder.set_bolt("worker", lambda: WorkBolt(stream.time_table),
+                             parallelism=3).custom_grouping("source", grouping)
+            cluster = LocalCluster(telemetry=recorder)
+            cluster.submit(builder.build())
+            cluster.run()
+            snapshot = recorder.registry.snapshot()
+        assert snapshot["storm_tuples_emitted_total"] == 2000
+        assert snapshot["storm_control_bits_total"] == cluster.metrics.control_bits
+        assert snapshot["posg_scheduler_tuples_scheduled_total"] == 2000
+        assert recorder.tracer.events("scheduler_state")
+
 
 class TestBehaviour:
     def test_posg_beats_assg_on_skewed_stream(self):

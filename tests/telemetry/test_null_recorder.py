@@ -1,0 +1,82 @@
+"""The null recorder must cost nothing *and* change nothing.
+
+Instrumented components default to :data:`NULL_RECORDER`; these tests
+pin down that (a) the null objects absorb every instrument/tracer call,
+and (b) a run with telemetry — null or live — produces bit-identical
+results to a run without it.
+"""
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import POSGGrouping
+from repro.simulator.run import simulate_stream
+from repro.telemetry.recorder import NULL_RECORDER, NullRecorder, TelemetryRecorder
+from repro.workloads.nonstationary import LoadShiftScenario
+from repro.workloads.synthetic import default_stream
+
+M = 8_000
+
+
+class TestNullObjects:
+    def test_disabled_and_falsy(self):
+        assert NULL_RECORDER.enabled is False
+        assert not NULL_RECORDER
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_live_recorder_is_truthy(self):
+        with TelemetryRecorder() as recorder:
+            assert recorder.enabled is True
+            assert recorder
+
+    def test_null_instruments_absorb_everything(self):
+        registry = NULL_RECORDER.registry
+        registry.counter("c", help="x", labels={"a": 1}).inc(5)
+        registry.gauge("g").set(3.0)
+        registry.histogram("h", buckets=(1.0,)).observe(2.0)
+        registry.histogram("h").observe_many([1.0, 2.0])
+        registry.register_collector(lambda: [])
+        NULL_RECORDER.tracer.emit("anything", x=1)
+        assert NULL_RECORDER.tracer.events() == []
+
+
+def _run(telemetry, chunk_size=1024):
+    stream = default_stream(seed=0, m=M)
+    policy = POSGGrouping(POSGConfig(window_size=256), telemetry=telemetry)
+    return simulate_stream(
+        stream,
+        policy,
+        k=5,
+        scenario=LoadShiftScenario.paper_figure10(M),
+        rng=np.random.default_rng(1),
+        chunk_size=chunk_size,
+        telemetry=telemetry,
+    )
+
+
+class TestBehaviorPreservation:
+    def test_telemetry_never_changes_results(self):
+        """No-telemetry, null-recorder and live-recorder runs agree bit
+        for bit — instrumentation observes, never participates."""
+        bare = _run(None)
+        null = _run(NULL_RECORDER)
+        with TelemetryRecorder() as recorder:
+            live = _run(recorder)
+        for other in (null, live):
+            np.testing.assert_array_equal(
+                bare.stats.completions, other.stats.completions
+            )
+            np.testing.assert_array_equal(
+                bare.stats.assignments, other.stats.assignments
+            )
+            assert bare.state_transitions == other.state_transitions
+            assert bare.control_messages == other.control_messages
+            assert bare.control_bits == other.control_bits
+
+    def test_live_recorder_observed_the_run(self):
+        with TelemetryRecorder() as recorder:
+            _run(recorder)
+            snapshot = recorder.registry.snapshot()
+            assert snapshot["sim_tuples_total"] == M
+            assert snapshot["posg_scheduler_tuples_scheduled_total"] == M
+            assert recorder.tracer.emitted > 0

@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", labels={"instance": 0})
+        second = registry.counter("c", labels={"instance": "0"})
+        assert first is second
+        third = registry.counter("c", labels={"instance": 1})
+        assert third is not first
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("queue_depth")
+        gauge.set(7.5)
+        gauge.inc(0.5)
+        assert gauge.value == 8.0
+
+
+class TestHistogram:
+    def test_observe_bucketing(self):
+        histogram = Histogram("latency", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        # le semantics: 1.0 falls in the le="1" bucket
+        assert counts == {"1": 2, "10": 3, "+Inf": 4}
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(106.5)
+
+    def test_observe_many_matches_scalar_observe(self):
+        values = np.random.default_rng(0).uniform(0.0, 20_000.0, size=500)
+        scalar = Histogram("a", buckets=DEFAULT_BUCKETS)
+        bulk = Histogram("b", buckets=DEFAULT_BUCKETS)
+        for value in values:
+            scalar.observe(value)
+        bulk.observe_many(values)
+        assert scalar.bucket_counts() == bulk.bucket_counts()
+        assert scalar.count == bulk.count
+        assert scalar.sum == pytest.approx(bulk.sum)
+
+    def test_non_finite_lands_in_inf_bucket(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(float("inf"))
+        histogram.observe_many([float("nan"), 0.5])
+        counts = histogram.bucket_counts()
+        assert counts["1"] == 1
+        assert counts["+Inf"] == 3
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestCollectors:
+    def test_collector_samples_appear_in_snapshot(self):
+        registry = MetricsRegistry()
+        state = {"tuples": 0}
+        registry.register_collector(
+            lambda: [Sample("tuples_total", state["tuples"], "counter")]
+        )
+        state["tuples"] = 42  # collectors read live state at export time
+        assert registry.snapshot()["tuples_total"] == 42
+
+    def test_labeled_sample_key(self):
+        sample = Sample("x", 1, "gauge", (("instance", "3"),))
+        assert sample.key == 'x{instance="3"}'
+
+
+class TestPrometheusExposition:
+    def test_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("tuples_total", help="Tuples routed").inc(3)
+        registry.gauge("depth", labels={"instance": 1}).set(2.5)
+        registry.histogram("lat", buckets=(1.0,), help="Latency").observe(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP tuples_total Tuples routed" in text
+        assert "# TYPE tuples_total counter" in text
+        assert "tuples_total 3" in text
+        assert 'depth{instance="1"} 2.5' in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_headers_printed_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="h", labels={"i": 0}).inc()
+        registry.counter("c", help="h", labels={"i": 1}).inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE c counter") == 1

@@ -1,0 +1,105 @@
+"""Run reports: construction from simulations, JSON round-trip, stats."""
+
+import json
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import POSGGrouping, RoundRobinGrouping
+from repro.core.scheduler import SchedulerState
+from repro.simulator.run import simulate_stream
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.report import SCHEMA, RunReport
+from repro.workloads.nonstationary import LoadShiftScenario
+from repro.workloads.synthetic import default_stream
+
+# long enough for the scaled-down FSM window to reach RUN in-stream
+M = 12_000
+K = 5
+
+
+def _posg_run(recorder=None):
+    stream = default_stream(seed=0, m=M)
+    policy = POSGGrouping(POSGConfig(window_size=256), telemetry=recorder)
+    return simulate_stream(
+        stream,
+        policy,
+        k=K,
+        scenario=LoadShiftScenario.paper_figure10(M),
+        rng=np.random.default_rng(1),
+        chunk_size=1024,
+        telemetry=recorder,
+    )
+
+
+class TestRunReport:
+    def test_fields_from_simulation(self):
+        with TelemetryRecorder() as recorder:
+            result = _posg_run(recorder)
+            baseline = simulate_stream(
+                default_stream(seed=0, m=M), RoundRobinGrouping(), k=K,
+                scenario=LoadShiftScenario.paper_figure10(M), chunk_size=1024,
+            )
+            report = RunReport.from_simulation(
+                result, K, baseline=baseline, telemetry=recorder
+            )
+        assert report.schema == SCHEMA
+        assert report.policy == "posg"
+        assert report.m == M
+        assert report.k == K
+        assert report.average_completion_ms > 0
+        assert report.speedup_vs_baseline is not None
+        assert sum(report.instance_tuple_counts) == M
+        assert report.imbalance >= 0
+        assert report.control_messages > 0
+        assert report.control_bits > 0
+        # the scaled-down window makes the scheduler reach RUN in-stream
+        assert report.run_entry_index is not None
+        assert ["%d" % report.state_transitions[0][0]]  # index is an int
+        assert report.scheduler["state"] in {s.value for s in SchedulerState}
+        assert report.scheduler["tuples_scheduled"] == M
+        assert len(report.instances) == K
+        assert sum(i["tuples_executed"] for i in report.instances) == M
+        assert len(report.fsm_timeline) > 0
+        assert report.metrics["sim_tuples_total"] == M
+
+    def test_json_round_trip(self, tmp_path):
+        with TelemetryRecorder() as recorder:
+            result = _posg_run(recorder)
+            report = RunReport.from_simulation(result, K, telemetry=recorder)
+        path = report.save(tmp_path / "report.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["m"] == M
+        assert payload["metrics"]["sim_tuples_total"] == M
+
+    def test_summary_is_human_readable(self):
+        result = _posg_run()
+        report = RunReport.from_simulation(result, K)
+        text = report.summary()
+        assert "policy=posg" in text
+        assert "L (avg completion)" in text
+
+    def test_round_robin_report_has_no_scheduler_section(self):
+        result = simulate_stream(
+            default_stream(seed=0, m=2048), RoundRobinGrouping(), k=K,
+        )
+        report = RunReport.from_simulation(result, K)
+        assert report.policy == "round_robin"
+        assert report.scheduler is None
+        assert report.instances is None
+        assert report.speedup_vs_baseline is None
+
+
+class TestSchedulerStats:
+    def test_stats_dict(self):
+        with TelemetryRecorder() as recorder:
+            result = _posg_run(recorder)
+        stats = result.policy.scheduler.stats()
+        assert stats["tuples_scheduled"] == M
+        assert stats["state"] in {s.value for s in SchedulerState}
+        assert stats["sync_rounds_completed"] >= 1
+        assert stats["matrices_received"] >= 1
+        assert stats["control_bits"] == (
+            stats["control_bits_sent"] + stats["control_bits_received"]
+        )

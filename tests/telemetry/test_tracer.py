@@ -1,0 +1,81 @@
+"""Unit tests for the event tracer (ring buffer + JSONL sink)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.tracer import Tracer
+
+
+class TestRing:
+    def test_seq_orders_events(self):
+        tracer = Tracer()
+        tracer.emit("a", x=1)
+        tracer.emit("b", x=2)
+        events = tracer.events()
+        assert [e["seq"] for e in events] == [0, 1]
+        assert [e["kind"] for e in events] == ["a", "b"]
+
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.emit("tick", index=index)
+        events = tracer.events()
+        assert [e["index"] for e in events] == [3, 4]
+        assert tracer.emitted == 5
+        assert tracer.dropped == 3
+
+    def test_unbounded_capacity(self):
+        tracer = Tracer(capacity=None)
+        for index in range(100):
+            tracer.emit("tick", index=index)
+        assert len(tracer.events()) == 100
+        assert tracer.dropped == 0
+
+    def test_kind_filter(self):
+        tracer = Tracer()
+        tracer.emit("a")
+        tracer.emit("b")
+        tracer.emit("a")
+        assert len(tracer.events("a")) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestSink:
+    def test_jsonl_lines_are_strict_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer.jsonl(path) as tracer:
+            tracer.emit("window", eta=0.03, instance=2)
+            tracer.emit("window", eta=float("inf"), instance=0)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first == {"seq": 0, "kind": "window", "eta": 0.03, "instance": 2}
+        # non-finite floats serialize as strings so every line parses
+        assert second["eta"] == "inf"
+
+    def test_sink_outlives_ring(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer.jsonl(path, capacity=1) as tracer:
+            for index in range(4):
+                tracer.emit("tick", index=index)
+            assert len(tracer.events()) == 1
+        assert len(path.read_text().strip().splitlines()) == 4
+
+    def test_borrowed_file_object_not_closed(self, tmp_path):
+        handle = open(tmp_path / "t.jsonl", "w")
+        tracer = Tracer(sink=handle)
+        tracer.emit("a")
+        tracer.close()
+        assert not handle.closed
+        handle.close()
+
+    def test_nan_serializes_as_string(self):
+        tracer = Tracer()
+        tracer.emit("x", value=float("nan"), neg=float("-inf"))
+        event = tracer.events()[0]
+        assert event["value"] == "nan"
+        assert event["neg"] == "-inf"
