@@ -4,7 +4,7 @@ PYTHON ?= python
 # every target runs against the in-tree sources without an install step
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-throughput bench-telemetry figures \
+.PHONY: install test bench bench-throughput bench-telemetry chaos figures \
 	figures-paper-scale examples clean
 
 install:
@@ -25,6 +25,12 @@ bench-throughput:
 # fails if disabled-mode telemetry costs more than 3%
 bench-telemetry:
 	$(PYTHON) benchmarks/bench_telemetry_overhead.py
+
+# fault-injection acceptance scenario: 10% control-plane loss plus one
+# mid-stream crash; writes report.json/metrics.prom/trace.jsonl under
+# chaos-out/ and exits non-zero unless the scheduler recovers to RUN
+chaos:
+	$(PYTHON) -m repro.experiments chaos --scale 0.25 --output chaos-out
 
 # regenerate every paper figure without pytest
 figures:

@@ -21,7 +21,11 @@ Layers (see README.md / DESIGN.md):
 - :mod:`repro.experiments` — the harness regenerating every figure;
 - :mod:`repro.telemetry`  — opt-in metrics registry, event tracing and
   run reports across all of the above (off by default, zero-cost when
-  off).
+  off);
+- :mod:`repro.faults`     — seeded fault injection (control-message
+  drop/delay/duplicate/reorder, instance crash-restarts, slow nodes)
+  exercising the recovery defenses of
+  :class:`~repro.core.config.RecoveryConfig`.
 """
 
 from repro._version import __version__
@@ -33,8 +37,10 @@ from repro.core import (
     POSGConfig,
     POSGGrouping,
     POSGScheduler,
+    RecoveryConfig,
     RoundRobinGrouping,
 )
+from repro.faults import CrashFault, FaultInjector, FaultPlan, MessageFaults
 from repro.simulator import CompletionStats, SimulationResult, simulate_stream
 from repro.telemetry import (
     NULL_RECORDER,
@@ -55,6 +61,11 @@ from repro.workloads import (
 __all__ = [
     "__version__",
     "POSGConfig",
+    "RecoveryConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "MessageFaults",
+    "CrashFault",
     "POSGGrouping",
     "POSGScheduler",
     "InstanceTracker",

@@ -19,7 +19,7 @@ described in Section III of the paper, split into engine-agnostic pieces:
   (Round-Robin, POSG, Full Knowledge oracle, ...).
 """
 
-from repro.core.config import POSGConfig
+from repro.core.config import POSGConfig, RecoveryConfig
 from repro.core.matrices import FWPair
 from repro.core.messages import MatricesMessage, SyncReply, SyncRequest
 from repro.core.instance import InstanceTracker, InstanceState
@@ -39,6 +39,7 @@ from repro.core.dkg import DKGGrouping
 
 __all__ = [
     "POSGConfig",
+    "RecoveryConfig",
     "FWPair",
     "MatricesMessage",
     "SyncRequest",

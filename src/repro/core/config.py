@@ -18,6 +18,90 @@ from repro.sketches.count_min import dims_for
 
 
 @dataclass(frozen=True)
+class RecoveryConfig:
+    """Scheduler-side defenses against a lossy/faulty control plane.
+
+    The paper's synchronization protocol (Figure 3) assumes every control
+    message is eventually delivered: a single lost :class:`SyncReply`
+    strands the scheduler in WAIT_ALL until the next matrices message
+    happens to restart the round.  Attaching a ``RecoveryConfig`` to
+    :class:`POSGConfig` arms three defenses in
+    :class:`~repro.core.scheduler.POSGScheduler`:
+
+    - **sync-round timeout** — after ``sync_timeout`` tuples scheduled in
+      WAIT_ALL with replies still missing, the scheduler re-enters
+      SEND_ALL and re-issues :class:`~repro.core.messages.SyncRequest`
+      messages *only* for the missing instances, tagged with the same
+      epoch (so the existing stale-reply dropping discards whichever of
+      the original/retransmitted replies arrives second).  The timeout
+      grows by ``sync_backoff`` per retry up to ``sync_timeout_max``;
+      after ``sync_max_retries`` retransmissions the round is abandoned
+      and the deltas that did arrive are folded (partial resync).
+    - **staleness watchdog** — in WAIT_ALL/RUN, when any instance's last
+      matrices message is older than ``staleness_limit`` tuples the
+      scheduler drops that instance's matrices and falls back to
+      ROUND_ROBIN until a full matrix set has been re-collected
+      (bootstrap rule of Figure 3.B).
+    - **C_hat re-bootstrapping** — handled independently of this config:
+      a restarted instance bumps the ``generation`` tag on its messages
+      and the scheduler re-baselines its estimate (see
+      ``POSGScheduler._note_restart``).
+    - **matrices rebroadcast** — the instance-side half of the watchdog:
+      every ``rebroadcast_windows`` window boundaries without a fresh
+      ship, an instance re-sends its last stable ``(F, W)`` pair.  A
+      dropped matrices message (or a watchdog fallback that discarded
+      one) is thereby repaired without waiting for the matrices to
+      re-stabilize from scratch; ``None`` disables the re-send.
+
+    All thresholds are measured in *tuples scheduled* — the scheduler's
+    only clock — so the defenses behave identically under the simulator,
+    the Storm-like engine and property-based tests.
+
+    ``None`` (the ``POSGConfig`` default) disables every defense and
+    keeps the scheduler bit-identical to the paper's protocol.
+    """
+
+    #: tuples scheduled in WAIT_ALL before the first retransmission
+    sync_timeout: int = 4_096
+    #: timeout multiplier per retry (bounded exponential backoff)
+    sync_backoff: float = 2.0
+    #: upper bound on the per-retry timeout
+    sync_timeout_max: int = 65_536
+    #: retransmissions before the round is abandoned (partial resync)
+    sync_max_retries: int = 8
+    #: tuples since an instance's last matrices before the ROUND_ROBIN
+    #: fallback; ``None`` disables the watchdog
+    staleness_limit: int | None = 262_144
+    #: instance window boundaries without a ship before the last stable
+    #: matrices are re-sent; ``None`` disables the rebroadcast
+    rebroadcast_windows: int | None = 8
+
+    def __post_init__(self) -> None:
+        if self.sync_timeout < 1:
+            raise ValueError(f"sync_timeout must be >= 1, got {self.sync_timeout}")
+        if self.sync_backoff < 1.0:
+            raise ValueError(f"sync_backoff must be >= 1, got {self.sync_backoff}")
+        if self.sync_timeout_max < self.sync_timeout:
+            raise ValueError(
+                f"sync_timeout_max ({self.sync_timeout_max}) must be >= "
+                f"sync_timeout ({self.sync_timeout})"
+            )
+        if self.sync_max_retries < 0:
+            raise ValueError(
+                f"sync_max_retries must be >= 0, got {self.sync_max_retries}"
+            )
+        if self.staleness_limit is not None and self.staleness_limit < 1:
+            raise ValueError(
+                f"staleness_limit must be >= 1 or None, got {self.staleness_limit}"
+            )
+        if self.rebroadcast_windows is not None and self.rebroadcast_windows < 1:
+            raise ValueError(
+                f"rebroadcast_windows must be >= 1 or None, "
+                f"got {self.rebroadcast_windows}"
+            )
+
+
+@dataclass(frozen=True)
 class POSGConfig:
     """Configuration shared by the POSG scheduler and operator instances.
 
@@ -60,6 +144,11 @@ class POSGConfig:
         (default) keeps the full history; values below 1 trade long-run
         estimate sharpness for faster adaptation to load changes
         (bridging the replace/merge trade-off of Figure 10).
+    recovery:
+        Optional :class:`RecoveryConfig` arming the scheduler's
+        fault-tolerance defenses (sync-round retransmission, staleness
+        watchdog).  ``None`` (default) keeps the paper's fault-free
+        protocol bit for bit.
     """
 
     epsilon: float = 0.05
@@ -71,6 +160,7 @@ class POSGConfig:
     merge_matrices: bool = False
     pooled_estimates: bool = False
     merge_decay: float = 1.0
+    recovery: RecoveryConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.epsilon <= 1.0:

@@ -88,6 +88,13 @@ class InstanceTracker:
         self._tuples_executed = 0
         self._matrices_sent = 0
         self._snapshot_refreshes = 0
+        self._generation = 0
+        self._restarts = 0
+        # last stable (F, W) pair retained for the recovery rebroadcast
+        self._last_shipped: FWPair | None = None
+        self._last_shipped_tuples = 0
+        self._boundaries_since_ship = 0
+        self._matrices_rebroadcasts = 0
         # eta observations happen only at window boundaries (cold path)
         self._eta_histogram = self._telemetry.registry.histogram(
             "posg_instance_eta",
@@ -130,6 +137,7 @@ class InstanceTracker:
                     instance=self._instance_id,
                     epoch=sync_request.epoch,
                     delta=self._cumulated_time - sync_request.c_hat_at_send,
+                    generation=self._generation,
                 )
             )
 
@@ -172,13 +180,46 @@ class InstanceTracker:
         """Tuples left before the next FSM window boundary (Figure 2)."""
         return self._config.window_size - self._window_count
 
+    # ------------------------------------------------------------------
+    # fault model
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Crash-restart the instance: wipe all in-memory state.
+
+        Models a process restart — the matrices, the snapshot, the FSM
+        position and the measured ``C_op`` all live in memory and are
+        lost; the new incarnation starts from START with zeroed matrices
+        and bumps its ``generation`` so the scheduler can tell pre-crash
+        messages from post-crash ones.  Lifetime counters
+        (``tuples_executed``, ``matrices_sent``, ...) are telemetry-side
+        accounting and survive, mirroring an external metrics store.
+        """
+        self._pair.reset()
+        self._snapshot = None
+        self._state = InstanceState.START
+        self._window_count = 0
+        self._cumulated_time = 0.0
+        self._last_shipped = None
+        self._last_shipped_tuples = 0
+        self._boundaries_since_ship = 0
+        self._generation += 1
+        self._restarts += 1
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "instance_restart",
+                instance=self._instance_id,
+                generation=self._generation,
+                executed=self._tuples_executed,
+            )
+
     def _window_boundary(self) -> MatricesMessage | None:
         """FSM transition after ``N`` executed tuples (Figure 2)."""
+        self._boundaries_since_ship += 1
         if self._state is InstanceState.START:
             self._snapshot = self._pair.snapshot()
             self._state = InstanceState.STABILIZING
             self._emit_window("snapshot", InstanceState.START, None, 0)
-            return None
+            return self._maybe_rebroadcast()
         # STABILIZING
         assert self._snapshot is not None
         eta = self._pair.relative_error(self._snapshot)
@@ -187,17 +228,53 @@ class InstanceTracker:
             self._snapshot = self._pair.snapshot()
             self._snapshot_refreshes += 1
             self._emit_window("refresh", InstanceState.STABILIZING, eta, 0)
-            return None
+            return self._maybe_rebroadcast()
+        shipped = self._pair.copy()
         message = MatricesMessage(
             instance=self._instance_id,
-            matrices=self._pair.copy(),
+            matrices=shipped,
             tuples_observed=self._pair.tuples_seen,
+            generation=self._generation,
         )
+        recovery = self._config.recovery
+        if recovery is not None and recovery.rebroadcast_windows is not None:
+            # keep a private copy: the scheduler owns the shipped pair
+            self._last_shipped = shipped.copy()
+            self._last_shipped_tuples = self._pair.tuples_seen
+        self._boundaries_since_ship = 0
         self._pair.reset()
         self._snapshot = None
         self._state = InstanceState.START
         self._matrices_sent += 1
         self._emit_window("ship", InstanceState.STABILIZING, eta, message.size_bits())
+        return message
+
+    def _maybe_rebroadcast(self) -> MatricesMessage | None:
+        """Re-send the last stable matrices when a ship is overdue.
+
+        The scheduler replaces an instance's matrices on receipt, so a
+        rebroadcast is idempotent there; it repairs a dropped matrices
+        message (or a watchdog-discarded one) without waiting for a
+        fresh stabilization cycle.  Armed only under
+        :class:`~repro.core.config.RecoveryConfig`.
+        """
+        recovery = self._config.recovery
+        if (
+            recovery is None
+            or recovery.rebroadcast_windows is None
+            or self._last_shipped is None
+            or self._boundaries_since_ship < recovery.rebroadcast_windows
+        ):
+            return None
+        self._boundaries_since_ship = 0
+        self._matrices_rebroadcasts += 1
+        message = MatricesMessage(
+            instance=self._instance_id,
+            matrices=self._last_shipped.copy(),
+            tuples_observed=self._last_shipped_tuples,
+            generation=self._generation,
+        )
+        self._emit_window("rebroadcast", self._state, None, message.size_bits())
         return message
 
     def _emit_window(
@@ -231,8 +308,11 @@ class InstanceTracker:
             "tuples_executed": self._tuples_executed,
             "cumulated_time_ms": self._cumulated_time,
             "matrices_sent": self._matrices_sent,
+            "matrices_rebroadcasts": self._matrices_rebroadcasts,
             "snapshot_refreshes": self._snapshot_refreshes,
             "window_count": self._window_count,
+            "generation": self._generation,
+            "restarts": self._restarts,
         }
 
     def _collect_samples(self) -> list[Sample]:
@@ -259,6 +339,13 @@ class InstanceTracker:
                 "counter",
                 labels,
                 help="Stable (F, W) pairs shipped to the scheduler",
+            ),
+            Sample(
+                "posg_instance_matrices_rebroadcasts_total",
+                self._matrices_rebroadcasts,
+                "counter",
+                labels,
+                help="Recovery re-sends of the last stable (F, W) pair",
             ),
             Sample(
                 "posg_instance_snapshot_refreshes_total",
@@ -302,9 +389,24 @@ class InstanceTracker:
         return self._matrices_sent
 
     @property
+    def matrices_rebroadcasts(self) -> int:
+        """Recovery re-sends of the last stable pair."""
+        return self._matrices_rebroadcasts
+
+    @property
     def snapshot_refreshes(self) -> int:
         """How many times instability forced a snapshot refresh."""
         return self._snapshot_refreshes
+
+    @property
+    def generation(self) -> int:
+        """Crash-restart counter (0 = never restarted)."""
+        return self._generation
+
+    @property
+    def restarts(self) -> int:
+        """How many crash-restarts this instance has gone through."""
+        return self._restarts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

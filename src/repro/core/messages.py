@@ -15,6 +15,13 @@ Messages are plain frozen dataclasses so both the simulator and the
 Storm-like engine can route them as opaque payloads; ``epoch`` tags let
 the scheduler discard stale replies after a new synchronization round
 preempts an unfinished one (Figure 3.F).
+
+Beyond the paper, instance-originated messages carry a ``generation``
+tag: an instance that crash-restarts (losing its matrices and ``C_op``)
+bumps its generation, letting the scheduler detect the restart, discard
+pre-crash replies and re-baseline ``C_hat`` (see
+``POSGScheduler._note_restart``).  The tag rides in the existing message
+header, so ``size_bits`` accounting is unchanged.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ class MatricesMessage:
     matrices: "FWPair"
     #: number of tuples the instance folded into this pair before shipping
     tuples_observed: int
+    #: crash-restart counter of the sending instance (0 = never restarted)
+    generation: int = 0
 
     def size_bits(self) -> int:
         """Wire size (communication-complexity accounting, Theorem 3.3)."""
@@ -64,6 +73,8 @@ class SyncReply:
     instance: int
     epoch: int
     delta: float
+    #: crash-restart counter of the sending instance (0 = never restarted)
+    generation: int = 0
 
     def size_bits(self) -> int:
         """One float on the wire."""

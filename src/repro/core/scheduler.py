@@ -26,6 +26,16 @@ States and transitions (Figure 3):
 In any state but ROUND_ROBIN, receiving an updated matrix pair restarts
 the synchronization: the epoch counter bumps and the scheduler re-enters
 SEND_ALL (3.F); replies from stale epochs are discarded.
+
+Beyond the paper, the scheduler optionally defends itself against a
+lossy control plane (see :class:`~repro.core.config.RecoveryConfig`):
+a sync-round timeout re-issues requests for missing replies with the
+*same* epoch (so stale-reply dropping stays correct across
+retransmissions), a staleness watchdog falls back to ROUND_ROBIN when
+an instance goes silent, and generation tags on instance messages
+re-baseline ``C_hat`` after a crash-restart.  With ``config.recovery``
+left ``None`` every defense is disabled and the scheduler is
+bit-identical to the paper's protocol.
 """
 
 from __future__ import annotations
@@ -120,6 +130,17 @@ class POSGScheduler:
         self._sendall_counter = 0
         self._pending_replies: set[int] = set()
         self._pending_deltas: dict[int, float] = {}
+        # fault tolerance (RecoveryConfig defenses + restart detection)
+        self._recovery = self._config.recovery
+        self._resend_targets: list[int] | None = None
+        self._sync_retries = 0
+        self._current_timeout = (
+            self._recovery.sync_timeout if self._recovery is not None else 0
+        )
+        self._wait_entered = 0
+        self._last_matrices_at = [0] * k
+        self._generations = [0] * k
+        self._c_offsets = [0.0] * k
         # statistics
         self._tuples_scheduled = 0
         self._sync_rounds_completed = 0
@@ -127,6 +148,10 @@ class POSGScheduler:
         self._stale_replies_dropped = 0
         self._control_bits_received = 0
         self._control_bits_sent = 0
+        self._sync_retransmits = 0
+        self._sync_rounds_abandoned = 0
+        self._watchdog_fallbacks = 0
+        self._restarts_detected = 0
         # Zero-hot-path-cost export: the registry reads these plain ints
         # through a collector only when someone asks for a snapshot.
         self._telemetry.registry.register_collector(self._collect_samples)
@@ -137,13 +162,22 @@ class POSGScheduler:
     def submit(self, item: int) -> SchedulingDecision:
         """Choose the instance for one incoming tuple."""
         self._tuples_scheduled += 1
+        if self._recovery is not None:
+            self._defense_tick()
         if self._state is SchedulerState.ROUND_ROBIN:
             instance = self._rr_counter % self._k
             self._rr_counter += 1
             return SchedulingDecision(instance, None, SchedulerState.ROUND_ROBIN)
 
         if self._state is SchedulerState.SEND_ALL:
-            instance = self._sendall_counter % self._k
+            targets = self._resend_targets
+            if targets is None:
+                instance = self._sendall_counter % self._k
+                done = self._sendall_counter + 1 >= self._k
+            else:
+                # retransmission round: only the missing instances
+                instance = targets[self._sendall_counter]
+                done = self._sendall_counter + 1 >= len(targets)
             self._sendall_counter += 1
             self._update_c_hat(item, instance)
             request = SyncRequest(
@@ -161,8 +195,8 @@ class POSGScheduler:
                     bits=request.size_bits(),
                     at=self._tuples_scheduled,
                 )
-            if self._sendall_counter >= self._k:
-                self._transition(SchedulerState.WAIT_ALL)
+            if done:
+                self._enter_wait_all()
             return SchedulingDecision(instance, request, SchedulerState.SEND_ALL)
 
         # WAIT_ALL and RUN schedule greedily (Greedy Online Scheduler).
@@ -192,6 +226,122 @@ class POSGScheduler:
                 "scheduler_state",
                 **{"from": old_state.value, "to": new_state.value},
                 epoch=self._epoch,
+                at=self._tuples_scheduled,
+            )
+
+    def _enter_wait_all(self) -> None:
+        """SEND_ALL done: start (or resume) waiting for the replies."""
+        self._transition(SchedulerState.WAIT_ALL)
+        if self._recovery is not None:
+            self._wait_entered = self._tuples_scheduled
+            self._resend_targets = None
+            if not self._pending_replies:
+                # every reply already arrived while we were still sending
+                # (possible under reordering faults); without this the
+                # resync condition in _on_sync_reply can never fire again
+                # and the round would hang until the next matrices.
+                self._resynchronize()
+
+    # ------------------------------------------------------------------
+    # fault-tolerance defenses (RecoveryConfig)
+    # ------------------------------------------------------------------
+    def _defense_tick(self) -> None:
+        """Check recovery deadlines; the clock is tuples scheduled."""
+        state = self._state
+        if state is not SchedulerState.WAIT_ALL and state is not SchedulerState.RUN:
+            return
+        recovery = self._recovery
+        limit = recovery.staleness_limit
+        if limit is not None:
+            now = self._tuples_scheduled
+            last = self._last_matrices_at
+            stale = [i for i in range(self._k) if now - last[i] > limit]
+            if stale:
+                self._watchdog_fallback(stale)
+                return
+        if (
+            state is SchedulerState.WAIT_ALL
+            and self._pending_replies
+            and self._tuples_scheduled - self._wait_entered >= self._current_timeout
+        ):
+            if self._sync_retries >= recovery.sync_max_retries:
+                self._abandon_sync_round()
+            else:
+                self._start_retransmission()
+
+    def _start_retransmission(self) -> None:
+        """Re-enter SEND_ALL for the missing replies only (same epoch)."""
+        recovery = self._recovery
+        self._sync_retries += 1
+        self._current_timeout = min(
+            int(self._current_timeout * recovery.sync_backoff),
+            recovery.sync_timeout_max,
+        )
+        self._resend_targets = sorted(self._pending_replies)
+        self._sendall_counter = 0
+        self._sync_retransmits += 1
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "sync_retransmit",
+                epoch=self._epoch,
+                targets=list(self._resend_targets),
+                retry=self._sync_retries,
+                timeout=self._current_timeout,
+                at=self._tuples_scheduled,
+            )
+        self._transition(SchedulerState.SEND_ALL)
+
+    def _abandon_sync_round(self) -> None:
+        """Give up on the missing replies; fold the partial deltas."""
+        self._sync_rounds_abandoned += 1
+        missing = sorted(self._pending_replies)
+        self._pending_replies = set()
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "sync_round_abandoned",
+                epoch=self._epoch,
+                missing=missing,
+                retries=self._sync_retries,
+                at=self._tuples_scheduled,
+            )
+        self._resynchronize()
+
+    def _watchdog_fallback(self, stale: list[int]) -> None:
+        """Drop silent instances' matrices and re-bootstrap (Figure 3.B)."""
+        for instance in stale:
+            self._matrices.pop(instance, None)
+        self._pairs = tuple(self._matrices.values())
+        self._pending_replies = set()
+        self._pending_deltas = {}
+        self._resend_targets = None
+        self._watchdog_fallbacks += 1
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "watchdog_fallback",
+                stale=list(stale),
+                epoch=self._epoch,
+                at=self._tuples_scheduled,
+            )
+        self._transition(SchedulerState.ROUND_ROBIN)
+
+    def _note_restart(self, instance: int, generation: int) -> None:
+        """Re-baseline ``C_hat[instance]`` after a detected crash-restart.
+
+        The restarted instance measures ``C_op`` from zero, so every
+        subsequent delta from its new generation must be shifted by the
+        estimate the scheduler had accumulated for its previous life —
+        otherwise the first resync would collapse ``C_hat[instance]`` to
+        roughly zero and the greedy policy would flood the instance.
+        """
+        self._generations[instance] = generation
+        self._c_offsets[instance] = float(self._c_hat[instance])
+        self._restarts_detected += 1
+        if self._telemetry.enabled:
+            self._telemetry.tracer.emit(
+                "instance_restart_detected",
+                instance=instance,
+                generation=generation,
+                c_offset=self._c_offsets[instance],
                 at=self._tuples_scheduled,
             )
 
@@ -289,7 +439,13 @@ class POSGScheduler:
         if not 0 <= message.instance < self._k:
             raise ValueError(f"matrices from unknown instance {message.instance}")
         stored = self._matrices.get(message.instance)
-        if stored is not None and self._config.merge_matrices:
+        restarted = message.generation > self._generations[message.instance]
+        if restarted:
+            # A new incarnation: its matrices describe only post-crash
+            # tuples, so any stored pre-crash pair must be replaced, not
+            # merged into.
+            self._note_restart(message.instance, message.generation)
+        if stored is not None and self._config.merge_matrices and not restarted:
             # The instance reset after shipping, so the incoming pair holds
             # only fresh samples; merging accumulates the full history
             # (Count-Min sketches are linear).  An optional decay ages the
@@ -302,6 +458,7 @@ class POSGScheduler:
             self._matrices[message.instance] = message.matrices
         self._pairs = tuple(self._matrices.values())
         self._matrices_received += 1
+        self._last_matrices_at[message.instance] = self._tuples_scheduled
         self._control_bits_received += message.size_bits()
         if self._telemetry.enabled:
             self._telemetry.tracer.emit(
@@ -324,10 +481,28 @@ class POSGScheduler:
         self._sendall_counter = 0
         self._pending_replies = set(range(self._k))
         self._pending_deltas = {}
+        if self._recovery is not None:
+            self._sync_retries = 0
+            self._current_timeout = self._recovery.sync_timeout
+            self._resend_targets = None
         self._transition(SchedulerState.SEND_ALL)
 
     def _on_sync_reply(self, reply: SyncReply) -> None:
-        if reply.epoch != self._epoch or reply.instance not in self._pending_replies:
+        outdated = False
+        if 0 <= reply.instance < self._k:
+            known = self._generations[reply.instance]
+            if reply.generation > known:
+                # The restart surfaced through a reply before any
+                # post-crash matrices did; re-baseline immediately.
+                self._note_restart(reply.instance, reply.generation)
+            elif reply.generation < known:
+                # Pre-crash measurement from a dead incarnation.
+                outdated = True
+        if (
+            outdated
+            or reply.epoch != self._epoch
+            or reply.instance not in self._pending_replies
+        ):
             self._stale_replies_dropped += 1
             if self._telemetry.enabled:
                 self._telemetry.tracer.emit(
@@ -351,8 +526,14 @@ class POSGScheduler:
                 stale=False,
                 at=self._tuples_scheduled,
             )
+        delta = reply.delta
+        offset = self._c_offsets[reply.instance]
+        if offset != 0.0:
+            # Shift the new incarnation's delta so the fold reconstructs
+            # the lifetime cumulated time (see _note_restart).
+            delta += offset
         self._pending_replies.discard(reply.instance)
-        self._pending_deltas[reply.instance] = reply.delta
+        self._pending_deltas[reply.instance] = delta
         if not self._pending_replies and self._state is SchedulerState.WAIT_ALL:
             self._resynchronize()  # Figure 3.E
 
@@ -392,6 +573,10 @@ class POSGScheduler:
             "control_bits_sent": self._control_bits_sent,
             "control_bits_received": self._control_bits_received,
             "control_bits": self._control_bits_sent + self._control_bits_received,
+            "sync_retransmits": self._sync_retransmits,
+            "sync_rounds_abandoned": self._sync_rounds_abandoned,
+            "watchdog_fallbacks": self._watchdog_fallbacks,
+            "restarts_detected": self._restarts_detected,
         }
 
     def _collect_samples(self) -> list[Sample]:
@@ -445,6 +630,30 @@ class POSGScheduler:
                 "gauge",
                 (("state", self._state.value),),
                 help="Current scheduler FSM state (label carries the state)",
+            ),
+            Sample(
+                "posg_scheduler_sync_retransmits_total",
+                self._sync_retransmits,
+                "counter",
+                help="SEND_ALL retransmission rounds triggered by timeout",
+            ),
+            Sample(
+                "posg_scheduler_sync_rounds_abandoned_total",
+                self._sync_rounds_abandoned,
+                "counter",
+                help="Sync rounds abandoned after exhausting retries",
+            ),
+            Sample(
+                "posg_scheduler_watchdog_fallbacks_total",
+                self._watchdog_fallbacks,
+                "counter",
+                help="ROUND_ROBIN fallbacks forced by the staleness watchdog",
+            ),
+            Sample(
+                "posg_scheduler_restarts_detected_total",
+                self._restarts_detected,
+                "counter",
+                help="Instance crash-restarts detected via generation tags",
             ),
         ]
         samples.extend(
@@ -505,6 +714,36 @@ class POSGScheduler:
     def stale_replies_dropped(self) -> int:
         """Sync replies discarded because their epoch was preempted."""
         return self._stale_replies_dropped
+
+    @property
+    def recovery(self):
+        """The :class:`RecoveryConfig` in force, or ``None`` (disabled)."""
+        return self._recovery
+
+    @property
+    def pending_replies(self) -> frozenset[int]:
+        """Instances whose reply for the current epoch is still missing."""
+        return frozenset(self._pending_replies)
+
+    @property
+    def sync_retransmits(self) -> int:
+        """SEND_ALL retransmission rounds triggered by the sync timeout."""
+        return self._sync_retransmits
+
+    @property
+    def sync_rounds_abandoned(self) -> int:
+        """Sync rounds abandoned after exhausting the retry budget."""
+        return self._sync_rounds_abandoned
+
+    @property
+    def watchdog_fallbacks(self) -> int:
+        """ROUND_ROBIN fallbacks forced by the staleness watchdog."""
+        return self._watchdog_fallbacks
+
+    @property
+    def restarts_detected(self) -> int:
+        """Instance crash-restarts detected via generation tags."""
+        return self._restarts_detected
 
     @property
     def control_bits(self) -> int:

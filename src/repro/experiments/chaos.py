@@ -1,0 +1,225 @@
+"""The ``chaos`` CLI subcommand: POSG under injected faults.
+
+Usage::
+
+    python -m repro.experiments chaos
+    python -m repro.experiments chaos --scale 0.1 --output out/
+
+Runs a Figure 4-sized stream (m = 32,768 scaled, k = 5) twice with the
+self-healing control plane enabled (see "Failure model and recovery"
+in DESIGN.md):
+
+- a **fault-free** run — defenses armed but nothing to defend against;
+- a **chaos** run on the same stream and seeds — 10% of every
+  control-plane message class dropped, plus one seeded crash of an
+  operator instance two thirds of the way through the stream.
+
+It prints a Figure-10-style timeline (binned average completion time
+for both runs, so the crash spike and the recovery back to baseline
+are visible), the scheduler's defense counters, and the completion-time
+degradation ``L_chaos / L_fault_free``.  With ``--output DIR`` it
+writes ``report.json`` (a v2 :class:`~repro.telemetry.report.RunReport`
+of the chaos run, fault-free run as the baseline, fault summary
+embedded), ``metrics.prom`` and ``trace.jsonl`` — the same artifact
+set as the ``telemetry`` subcommand.
+
+The module is imported lazily by ``repro.experiments.cli`` and pulls
+the core/simulator stack in only inside :func:`run`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+from collections.abc import Sequence
+
+#: control-plane loss rate of the acceptance scenario
+DROP_RATE = 0.10
+#: which instance the scripted crash takes down
+CRASH_INSTANCE = 2
+#: number of bins in the Figure-10-style timeline
+TIMELINE_BINS = 24
+
+
+def _timeline(completions, bins: int) -> list[float]:
+    """Mean completion time per stream-order bin."""
+    import numpy as np
+
+    completions = np.asarray(completions, dtype=np.float64)
+    edges = np.linspace(0, completions.size, bins + 1, dtype=np.int64)
+    return [
+        float(completions[lo:hi].mean()) if hi > lo else 0.0
+        for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+
+
+def run(
+    scale: float | None = None,
+    output: str | None = None,
+    chunk_size: int = 2048,
+    seed: int = 0,
+) -> int:
+    """Execute the chaos scenario; returns a process exit code."""
+    import numpy as np
+
+    from repro.core.config import POSGConfig, RecoveryConfig
+    from repro.core.grouping import POSGGrouping
+    from repro.core.scheduler import SchedulerState
+    from repro.faults import CrashFault, FaultPlan, MessageFaults
+    from repro.simulator.run import simulate_stream
+    from repro.telemetry.recorder import TelemetryRecorder
+    from repro.telemetry.report import RunReport
+    from repro.telemetry.tracer import Tracer
+    from repro.workloads.synthetic import default_stream
+
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    # the floor leaves a restarted instance enough stream to re-stabilize
+    m = max(8_192, int(32_768 * scale))
+    k = 5
+
+    directory: pathlib.Path | None = None
+    trace_path: pathlib.Path | None = None
+    if output is not None:
+        directory = pathlib.Path(output)
+        directory.mkdir(parents=True, exist_ok=True)
+        trace_path = directory / "trace.jsonl"
+
+    # The chaos scenario stresses the control plane, not sketch accuracy,
+    # so it uses a small Count-Min (2 x 16) over a compact item universe:
+    # the matrices stabilize within the first third of the stream at every
+    # scale, leaving room for the crash and the recovery after it.  The
+    # window and the defense thresholds scale with the stream so the short
+    # CI smoke run still completes sync rounds.
+    window = min(256, max(64, m // 128))
+    stream = default_stream(seed=seed, m=m, n=128)
+    recovery = RecoveryConfig(
+        sync_timeout=max(256, m // 32),
+        staleness_limit=max(4096, m // 4),
+    )
+    config = POSGConfig(
+        window_size=window, rows=2, cols=16, recovery=recovery
+    )
+
+    span = float(stream.arrivals[-1] - stream.arrivals[0])
+    crash = CrashFault(
+        instance=CRASH_INSTANCE,
+        at_ms=float(stream.arrivals[2 * m // 3]),
+        outage_ms=0.05 * span,
+    )
+    loss = MessageFaults(drop=DROP_RATE)
+    plan = FaultPlan(
+        matrices=loss,
+        sync_requests=loss,
+        sync_replies=loss,
+        crashes=(crash,),
+        seed=seed,
+    )
+
+    def simulate(policy, faults=None, telemetry=None):
+        return simulate_stream(
+            stream,
+            policy,
+            k=k,
+            rng=np.random.default_rng(seed + 1),
+            chunk_size=chunk_size,
+            telemetry=telemetry,
+            faults=faults,
+        )
+
+    tracer = Tracer(sink=str(trace_path)) if trace_path is not None else Tracer()
+    with TelemetryRecorder(tracer=tracer) as recorder:
+        # Fault-free reference: same config, same defenses, no injector —
+        # un-instrumented so the registry holds only the chaos run.
+        clean_policy = POSGGrouping(config)
+        clean = simulate(clean_policy)
+
+        chaos_policy = POSGGrouping(config, telemetry=recorder)
+        chaos = simulate(chaos_policy, faults=plan, telemetry=recorder)
+        report = RunReport.from_simulation(
+            chaos, k, baseline=clean, telemetry=recorder
+        )
+
+    scheduler = chaos_policy.scheduler
+    state = scheduler.state
+    recovered = state is SchedulerState.RUN
+    degradation = (
+        chaos.stats.average_completion_time / clean.stats.average_completion_time
+    )
+
+    print(f"== chaos: POSG under faults (m={m}, k={k}) ==")
+    print(
+        f"plan: {DROP_RATE:.0%} drop on matrices/sync-requests/sync-replies; "
+        f"crash instance {crash.instance} at {crash.at_ms:.0f} ms "
+        f"(tuple {2 * m // 3}) for {crash.outage_ms:.0f} ms"
+    )
+    print()
+    print("Figure-10-style timeline (mean completion ms per bin):")
+    clean_bins = _timeline(clean.stats.completions, TIMELINE_BINS)
+    chaos_bins = _timeline(chaos.stats.completions, TIMELINE_BINS)
+    print(f"{'bin':>4}  {'fault-free':>12}  {'chaos':>12}")
+    for index, (a, b) in enumerate(zip(clean_bins, chaos_bins)):
+        print(f"{index:>4}  {a:>12.3f}  {b:>12.3f}")
+    print()
+    print(
+        f"L fault-free = {clean.stats.average_completion_time:.3f} ms   "
+        f"L chaos = {chaos.stats.average_completion_time:.3f} ms   "
+        f"degradation = {degradation:.3f}x"
+    )
+    print(
+        f"defenses: {scheduler.sync_retransmits} retransmits, "
+        f"{scheduler.sync_rounds_abandoned} sync rounds abandoned, "
+        f"{scheduler.watchdog_fallbacks} watchdog fallbacks, "
+        f"{scheduler.restarts_detected} restarts detected"
+    )
+    print(f"final scheduler state: {state.name} (recovered={recovered})")
+
+    if directory is not None:
+        report_path = report.save(directory / "report.json")
+        prom_path = directory / "metrics.prom"
+        prom_path.write_text(recorder.registry.to_prometheus())
+        print(f"wrote {report_path}")
+        print(f"wrote {prom_path}")
+        print(f"wrote {trace_path}")
+
+    if not recovered:
+        print("ERROR: scheduler did not recover to RUN", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.chaos",
+        description="Run POSG under injected faults and report recovery.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="stream-length scale factor (1.0 = paper sizes)",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="directory for report.json, metrics.prom and trace.jsonl",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=2048,
+        help="simulator chunk size (0 = per-tuple reference engine)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream/fault seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(
+        scale=args.scale,
+        output=args.output,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

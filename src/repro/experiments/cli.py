@@ -7,12 +7,16 @@ Usage::
     python -m repro.experiments figure10 --scale 0.5
     python -m repro.experiments all --reps 3 --scale 0.25
     python -m repro.experiments telemetry --scale 0.1 --output out/
+    python -m repro.experiments chaos --scale 0.1 --output out/
 
 Each figure command prints the same series the paper plots (see
 EXPERIMENTS.md for the interpretation).  The ``telemetry`` subcommand
 runs the Figure 4 configuration once under a live recorder and emits
 the run report, Prometheus metrics and JSONL event trace (see
-"Telemetry & run reports" in EXPERIMENTS.md).
+"Telemetry & run reports" in EXPERIMENTS.md).  The ``chaos``
+subcommand runs the same configuration under the fault-injection layer
+(control-plane loss plus a seeded crash) and reports the recovery
+timeline (see "Chaos runs" in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -47,10 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(FIGURES) + ["all", "list", "telemetry"],
+        choices=sorted(FIGURES) + ["all", "list", "telemetry", "chaos"],
         help="which figure to regenerate ('all' runs everything, "
         "'list' shows what is available, 'telemetry' runs one "
-        "instrumented demo run)",
+        "instrumented demo run, 'chaos' one fault-injected run)",
     )
     parser.add_argument(
         "--reps", type=int, default=None,
@@ -79,12 +83,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             summary = (function.__doc__ or "").strip().splitlines()[0]
             print(f"{name:10s} {summary}")
         print("telemetry  One instrumented run: report, metrics, trace.")
+        print("chaos      One fault-injected run: recovery timeline, report.")
         return 0
     if args.figure == "telemetry":
         # lazy import keeps the figure path free of telemetry CLI costs
         from repro.telemetry.cli import run as run_telemetry
 
         return run_telemetry(scale=args.scale, output=args.output)
+    if args.figure == "chaos":
+        from repro.experiments.chaos import run as run_chaos
+
+        return run_chaos(scale=args.scale, output=args.output)
     if args.reps is not None:
         os.environ["REPRO_REPS"] = str(args.reps)
     if args.scale is not None:

@@ -1,0 +1,212 @@
+"""Declarative fault plans: *what* goes wrong, when, and how often.
+
+A :class:`FaultPlan` is a frozen, fully-validated description of the
+faults to inject into one run — per-message-kind probabilities for the
+control plane plus scripted at-time events for the instances.  It holds
+no mutable state and draws no randomness itself; pairing a plan with a
+seed-derived generator is the job of
+:class:`~repro.faults.injector.FaultInjector`, which keeps runs
+deterministic: the same plan, seed and workload produce the same faults.
+
+The model follows the failure assumptions of the paper's evaluation
+(Figure 10 is a recovery-timeline experiment) and of the systems POSG
+targets: control messages ride an asynchronous network that may drop,
+delay, duplicate or reorder them, and operator instances may crash
+(losing their in-memory ``F``/``W`` matrices and ``C_op``) or run slow
+for a while.  Data tuples are *not* faulted — shuffle grouping sits on
+the data path, and the point of the subsystem is to stress the control
+plane underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Per-kind control-message fault probabilities.
+
+    Each probability is evaluated independently per message:
+    ``drop`` discards it, ``duplicate`` delivers a second copy,
+    ``delay`` adds a fixed ``delay_ms``, and ``reorder`` adds a
+    uniform random extra latency in ``[0, reorder_ms)`` (which is what
+    actually reorders messages relative to each other).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_ms: float = 0.0
+    reorder: float = 0.0
+    reorder_ms: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("delay_ms", "reorder_ms"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.delay > 0.0 and self.delay_ms == 0.0:
+            raise ValueError("delay > 0 requires delay_ms > 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can fire for this message kind."""
+        return (
+            self.drop > 0.0
+            or self.duplicate > 0.0
+            or self.delay > 0.0
+            or self.reorder > 0.0
+        )
+
+    def summary(self) -> dict:
+        """Plain-dict form for run reports."""
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "delay": self.delay,
+            "delay_ms": self.delay_ms,
+            "reorder": self.reorder,
+            "reorder_ms": self.reorder_ms,
+        }
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Scripted crash-restart of one operator instance.
+
+    At virtual time ``at_ms`` the instance loses all in-memory state
+    (matrices, snapshot, ``C_op`` — see ``InstanceTracker.restart``) and
+    stays down for ``outage_ms`` before the new incarnation starts
+    executing again.
+    """
+
+    instance: int
+    at_ms: float
+    outage_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.instance < 0:
+            raise ValueError(f"instance must be >= 0, got {self.instance}")
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.outage_ms < 0.0:
+            raise ValueError(f"outage_ms must be >= 0, got {self.outage_ms}")
+
+    def summary(self) -> dict:
+        """Plain-dict form for run reports."""
+        return {
+            "instance": self.instance,
+            "at_ms": self.at_ms,
+            "outage_ms": self.outage_ms,
+        }
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Scripted slow-node window: execution times inflate by ``factor``.
+
+    While ``at_ms <= now < at_ms + duration_ms`` every tuple executed by
+    ``instance`` takes ``factor`` times its nominal duration — the
+    operator-slowdown scenario PKG and POTUS evaluate under.
+    """
+
+    instance: int
+    at_ms: float
+    duration_ms: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.instance < 0:
+            raise ValueError(f"instance must be >= 0, got {self.instance}")
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.duration_ms <= 0.0:
+            raise ValueError(f"duration_ms must be > 0, got {self.duration_ms}")
+        if self.factor <= 0.0:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+
+    def summary(self) -> dict:
+        """Plain-dict form for run reports."""
+        return {
+            "instance": self.instance,
+            "at_ms": self.at_ms,
+            "duration_ms": self.duration_ms,
+            "factor": self.factor,
+        }
+
+
+#: a MessageFaults with every probability at zero (the default)
+NO_FAULTS = MessageFaults()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Complete fault description for one run.
+
+    Parameters
+    ----------
+    matrices, sync_requests, sync_replies:
+        Per-kind control-plane fault probabilities.  Piggy-backed
+        :class:`~repro.core.messages.SyncRequest` messages ride on data
+        tuples, so only their ``drop`` probability applies (delaying or
+        duplicating the carrying tuple would fault the data plane).
+    crashes:
+        Scripted :class:`CrashFault` events, any order (the injector
+        sorts them by time).
+    slowdowns:
+        Scripted :class:`SlowdownFault` windows.
+    seed:
+        Seed for the injector's private random generator; the same plan
+        and seed reproduce the same fault sequence.
+    """
+
+    matrices: MessageFaults = NO_FAULTS
+    sync_requests: MessageFaults = NO_FAULTS
+    sync_replies: MessageFaults = NO_FAULTS
+    crashes: tuple[CrashFault, ...] = field(default_factory=tuple)
+    slowdowns: tuple[SlowdownFault, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # accept lists for convenience, store tuples (frozen dataclass)
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+        for crash in self.crashes:
+            if not isinstance(crash, CrashFault):
+                raise TypeError(f"crashes must hold CrashFault, got {crash!r}")
+        for slow in self.slowdowns:
+            if not isinstance(slow, SlowdownFault):
+                raise TypeError(f"slowdowns must hold SlowdownFault, got {slow!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can inject anything at all.
+
+        An inactive plan is the contract behind the bit-identity
+        guarantee: engines check it once and skip the interposition
+        entirely, so a run with ``FaultPlan()`` equals a run with no
+        plan.
+        """
+        return (
+            self.matrices.active
+            or self.sync_requests.active
+            or self.sync_replies.active
+            or bool(self.crashes)
+            or bool(self.slowdowns)
+        )
+
+    def summary(self) -> dict:
+        """Plain-dict form for ``RunReport`` / ``report.json``."""
+        return {
+            "seed": self.seed,
+            "matrices": self.matrices.summary(),
+            "sync_requests": self.sync_requests.summary(),
+            "sync_replies": self.sync_replies.summary(),
+            "crashes": [crash.summary() for crash in self.crashes],
+            "slowdowns": [slow.summary() for slow in self.slowdowns],
+        }

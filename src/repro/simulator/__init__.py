@@ -18,7 +18,12 @@ Two execution paths are provided:
 
 from repro.simulator.events import Event, EventQueue
 from repro.simulator.engine import Simulation
-from repro.simulator.network import ConstantLatency, LatencyModel, UniformLatency
+from repro.simulator.network import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    UniformLatency,
+)
 from repro.simulator.metrics import CompletionStats
 from repro.simulator.run import SimulationResult, simulate_stream
 from repro.simulator.topology import StageTopology
@@ -30,6 +35,7 @@ __all__ = [
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",
+    "LognormalLatency",
     "CompletionStats",
     "SimulationResult",
     "simulate_stream",

@@ -53,3 +53,34 @@ class UniformLatency(LatencyModel):
 
     def sample(self) -> float:
         return float(self._rng.uniform(self._low, self._high))
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed delay: ``base + Lognormal(mean, sigma)`` milliseconds.
+
+    Wide-area control-plane latencies are famously heavy-tailed, and a
+    heavy tail is what makes message *reordering* interesting: one slow
+    matrices message can arrive after the sync round it preempted.
+    ``mean`` and ``sigma`` parameterize the underlying normal (the
+    standard numpy convention); ``base`` adds a constant propagation
+    floor.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        sigma: float,
+        base: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        self._mean = mean
+        self._sigma = sigma
+        self._base = base
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample(self) -> float:
+        return self._base + float(self._rng.lognormal(self._mean, self._sigma))

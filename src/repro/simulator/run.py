@@ -51,6 +51,8 @@ from repro.core.grouping import (
     RoundRobinGrouping,
 )
 from repro.core.scheduler import SchedulerState
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.simulator.metrics import CompletionStats
 from repro.simulator.network import ConstantLatency, LatencyModel
 from repro.telemetry.recorder import NULL_RECORDER
@@ -79,6 +81,9 @@ class SimulationResult:
     #: ms at that arrival), produced when ``sample_queues_every`` is set
     queue_samples: "np.ndarray | None" = None
     queue_sample_indices: "np.ndarray | None" = None
+    #: the fault injector that ran (``None`` for fault-free runs); holds
+    #: the plan summary and the injected-fault counters
+    faults: "FaultInjector | None" = None
 
     @property
     def average_completion_time(self) -> float:
@@ -129,6 +134,7 @@ def simulate_stream(
     sample_queues_every: int | None = None,
     chunk_size: int = 2048,
     telemetry=None,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> SimulationResult:
     """Simulate one stream through one grouping policy.
 
@@ -168,6 +174,14 @@ def simulate_stream(
         free on the hot path.  To also capture scheduler/instance FSM
         events, construct the policy with the same recorder
         (``POSGGrouping(config, telemetry=recorder)``).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or a pre-built
+        :class:`~repro.faults.injector.FaultInjector`) injecting seeded
+        control-plane and instance faults.  An inactive plan is
+        equivalent to no plan: the fault-free code paths run untouched,
+        preserving bit-identical results.  With faults active both
+        engines interpose at the same per-tuple points, so the run stays
+        bit-identical across ``chunk_size`` settings.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -185,18 +199,28 @@ def simulate_stream(
         )
     data_lat = _as_latency_list(data_latency, k)
     control_lat = _as_latency(control_latency)
+    recorder = telemetry if telemetry is not None else NULL_RECORDER
+
+    if isinstance(faults, FaultInjector):
+        injector = faults if faults.active else None
+    elif isinstance(faults, FaultPlan):
+        injector = FaultInjector(faults, k=k, telemetry=recorder) if faults.active else None
+    elif faults is None:
+        injector = None
+    else:
+        raise TypeError(f"faults must be a FaultPlan or FaultInjector, got {faults!r}")
 
     if chunk_size == 0:
         result = _simulate_reference(
             stream, policy, k, scenario, data_lat, control_lat, rng,
-            sample_queues_every,
+            sample_queues_every, injector,
         )
     else:
         result = _simulate_chunked(
             stream, policy, k, scenario, data_lat, control_lat, rng,
-            sample_queues_every, chunk_size,
+            sample_queues_every, chunk_size, injector,
         )
-    recorder = telemetry if telemetry is not None else NULL_RECORDER
+    result.faults = injector
     if recorder.enabled:
         _record_run_telemetry(recorder, result, k)
     return result
@@ -248,6 +272,38 @@ def _record_run_telemetry(recorder, result: SimulationResult, k: int) -> None:
     )
 
 
+def _fire_due_crashes(
+    injector: FaultInjector,
+    crash_ptr: int,
+    arrival: float,
+    agents,
+    busy_until,
+) -> int:
+    """Fire every scripted crash due at or before ``arrival``.
+
+    The direct simulation has no event loop between arrivals, so the
+    crash model is "pause + amnesia": the instance's tracker loses its
+    in-memory state (``InstanceTracker.restart``) and the instance
+    accepts no new work until the outage ends (``busy_until`` pushed to
+    the restart time; tuples already routed there queue behind it, which
+    is FIFO service resuming after the restart).
+    """
+    crashes = injector.crashes
+    while crash_ptr < len(crashes) and crashes[crash_ptr].at_ms <= arrival:
+        crash = crashes[crash_ptr]
+        crash_ptr += 1
+        agent = agents[crash.instance]
+        tracker = getattr(agent, "tracker", None)
+        if tracker is not None:
+            tracker.restart()
+        back_at = crash.at_ms + crash.outage_ms
+        if busy_until[crash.instance] < back_at:
+            busy_until[crash.instance] = back_at
+        injector.note_crash(crash.instance, crash.at_ms)
+        injector.note_restart(crash.instance, back_at)
+    return crash_ptr
+
+
 # ----------------------------------------------------------------------
 # reference engine (per-tuple; the equivalence baseline)
 # ----------------------------------------------------------------------
@@ -260,6 +316,7 @@ def _simulate_reference(
     control_lat: LatencyModel,
     rng: np.random.Generator | None,
     sample_queues_every: int | None,
+    injector: FaultInjector | None = None,
 ) -> SimulationResult:
     # Oracle closure for Full Knowledge: reads the loop's current index.
     position = [0]
@@ -291,6 +348,8 @@ def _simulate_reference(
     state_transitions: list[tuple[int, SchedulerState]] = []
     queue_samples: list[list[float]] = []
     queue_sample_indices: list[int] = []
+    crash_ptr = 0
+    faulting = injector is not None
 
     for j in range(m):
         arrival = arrivals[j]
@@ -299,6 +358,10 @@ def _simulate_reference(
             queue_sample_indices.append(j)
             queue_samples.append(
                 [max(0.0, busy - arrival) for busy in busy_until]
+            )
+        if faulting:
+            crash_ptr = _fire_due_crashes(
+                injector, crash_ptr, arrival, agents, busy_until
             )
 
         # Deliver every control message due by now (see module docstring).
@@ -316,6 +379,13 @@ def _simulate_reference(
         at_instance = arrival + data_lat[instance].sample()
         start = at_instance if at_instance > busy_until[instance] else busy_until[instance]
         execution_time = base_times[j] * scenario.multiplier(instance, j)
+        sync_request = decision.sync_request
+        if faulting:
+            factor = injector.execution_factor(instance, arrival)
+            if factor != 1.0:
+                execution_time = execution_time * factor
+            if sync_request is not None and injector.drop_request():
+                sync_request = None
         finish = start + execution_time
         busy_until[instance] = finish
         completions[j] = finish - arrival
@@ -323,14 +393,21 @@ def _simulate_reference(
 
         if has_agents and agents[instance] is not None:
             messages = agents[instance].on_executed(
-                int(items[j]), execution_time, decision.sync_request
+                int(items[j]), execution_time, sync_request
             )
             for message in messages:
                 delivery = finish + control_lat.sample()
-                heapq.heappush(control_queue, (delivery, control_seq, message))
-                control_seq += 1
                 control_messages += 1
                 control_bits += message.size_bits()
+                if faulting:
+                    for when in injector.deliver_times(message, delivery):
+                        heapq.heappush(
+                            control_queue, (when, control_seq, message)
+                        )
+                        control_seq += 1
+                else:
+                    heapq.heappush(control_queue, (delivery, control_seq, message))
+                    control_seq += 1
         if decision.sync_request is not None:
             control_messages += 1
             control_bits += decision.sync_request.size_bits()
@@ -371,6 +448,7 @@ def _simulate_chunked(
     rng: np.random.Generator | None,
     sample_queues_every: int | None,
     chunk_size: int,
+    injector: FaultInjector | None = None,
 ) -> SimulationResult:
     m = stream.m
     items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
@@ -441,14 +519,22 @@ def _simulate_chunked(
         position=position,
     )
 
+    # Fault injection and the recovery defenses interpose per tuple, so
+    # they run through the hoisted generic loop: both engines then make
+    # identical per-tuple calls (same injector rng draws, same defense
+    # tick points) and faulted runs stay bit-identical across engines.
+    block_safe = injector is None
     if type(policy) is POSGGrouping:
-        _run_posg(state, policy, agents, chunk_size)
-    elif type(policy) is RoundRobinGrouping and not has_agents:
+        if block_safe and policy.scheduler.recovery is None:
+            _run_posg(state, policy, agents, chunk_size)
+        else:
+            _run_generic(state, policy, agents, has_agents, True, injector)
+    elif type(policy) is RoundRobinGrouping and not has_agents and block_safe:
         _run_round_robin(state, policy)
-    elif type(policy) is FullKnowledgeGrouping and not has_agents:
+    elif type(policy) is FullKnowledgeGrouping and not has_agents and block_safe:
         _run_full_knowledge(state, policy)
     else:
-        _run_generic(state, policy, agents, has_agents, track_states)
+        _run_generic(state, policy, agents, has_agents, track_states, injector)
 
     return SimulationResult(
         stats=CompletionStats(
@@ -607,8 +693,14 @@ def _run_generic(
     agents,
     has_agents: bool,
     track_states: bool,
+    injector: FaultInjector | None = None,
 ) -> None:
-    """Hoisted per-tuple loop for arbitrary policies (and POSG subclasses)."""
+    """Hoisted per-tuple loop for arbitrary policies (and POSG subclasses).
+
+    Also the only chunked-engine loop that supports fault injection: it
+    replays the reference engine's per-tuple order exactly, so the
+    injector's random draws land at the same points under both engines.
+    """
     m = len(state.items)
     items = state.items
     arrivals = state.arrivals
@@ -617,6 +709,8 @@ def _run_generic(
     control_queue = state.control_queue
     position = state.position
     previous_state = policy.state if track_states else None
+    crash_ptr = 0
+    faulting = injector is not None
     for j in range(m):
         arrival = arrivals[j]
         position[0] = j
@@ -624,6 +718,10 @@ def _run_generic(
             state.queue_sample_indices.append(j)
             state.queue_samples.append(
                 [max(0.0, b - arrival) for b in busy]
+            )
+        if faulting:
+            crash_ptr = _fire_due_crashes(
+                injector, crash_ptr, arrival, agents, busy
             )
         while control_queue and control_queue[0][0] <= arrival:
             _, _, message = heapq.heappop(control_queue)
@@ -639,6 +737,13 @@ def _run_generic(
         b = busy[instance]
         start = at_instance if at_instance > b else b
         execution_time = state.execution_time(instance, j)
+        sync_request = decision.sync_request
+        if faulting:
+            factor = injector.execution_factor(instance, arrival)
+            if factor != 1.0:
+                execution_time = execution_time * factor
+            if sync_request is not None and injector.drop_request():
+                sync_request = None
         finish = start + execution_time
         busy[instance] = finish
         state.completions.append(finish - arrival)
@@ -646,16 +751,23 @@ def _run_generic(
 
         if has_agents and agents[instance] is not None:
             messages = agents[instance].on_executed(
-                items[j], execution_time, decision.sync_request
+                items[j], execution_time, sync_request
             )
             for message in messages:
                 delivery = finish + state.control_lat.sample()
-                heapq.heappush(
-                    control_queue, (delivery, state.control_seq, message)
-                )
-                state.control_seq += 1
                 state.control_messages += 1
                 state.control_bits += message.size_bits()
+                if faulting:
+                    for when in injector.deliver_times(message, delivery):
+                        heapq.heappush(
+                            control_queue, (when, state.control_seq, message)
+                        )
+                        state.control_seq += 1
+                else:
+                    heapq.heappush(
+                        control_queue, (delivery, state.control_seq, message)
+                    )
+                    state.control_seq += 1
         if decision.sync_request is not None:
             state.control_messages += 1
             state.control_bits += decision.sync_request.size_bits()

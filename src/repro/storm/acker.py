@@ -54,11 +54,13 @@ class AckTracker:
     # tree lifecycle
     # ------------------------------------------------------------------
     def fresh_ack_id(self) -> int:
-        """A random non-zero 64-bit edge id."""
-        while True:
-            value = int(self._rng.integers(1, 1 << 63))
-            if value:
-                return value
+        """A random non-zero 64-bit edge id.
+
+        The draw covers the full non-zero 64-bit range; zero (the XOR
+        identity, which could complete a tree early) is excluded by the
+        lower bound, so no rejection loop is needed.
+        """
+        return int(self._rng.integers(1, 1 << 64, dtype=np.uint64))
 
     def register_root(self, msg_id: Any, ack_id: int, now: float) -> None:
         """A spout emitted an anchored tuple."""

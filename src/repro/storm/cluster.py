@@ -15,6 +15,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CrashFault, FaultPlan
 from repro.simulator.engine import Simulation
 from repro.storm.acker import AckTracker
 from repro.storm.executor import BoltExecutor, SpoutExecutor
@@ -63,10 +65,35 @@ class ClusterConfig:
 
 
 class LocalCluster:
-    """Runs one topology to completion on virtual time."""
+    """Runs one topology to completion on virtual time.
+
+    Parameters
+    ----------
+    config:
+        Runtime knobs; defaults when omitted.
+    telemetry:
+        Optional :class:`~repro.telemetry.recorder.TelemetryRecorder`.
+    rng:
+        Generator for the cluster's randomness (ack-id draws).  Falls
+        back to ``default_rng(config.seed)``, so either a shared
+        generator or a config seed makes runs reproducible end to end.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or pre-built
+        injector).  Scripted crashes/slowdowns target ``fault_bolt``;
+        message faults apply to the POSG control messages the cluster
+        dispatches.  An inactive plan changes nothing.
+    fault_bolt:
+        Name of the bolt whose tasks scripted faults target; may be
+        omitted when the topology has exactly one bolt.
+    """
 
     def __init__(
-        self, config: ClusterConfig | None = None, telemetry=None
+        self,
+        config: ClusterConfig | None = None,
+        telemetry=None,
+        rng: np.random.Generator | None = None,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        fault_bolt: str | None = None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.sim = Simulation()
@@ -76,8 +103,23 @@ class LocalCluster:
             self.telemetry.registry.register_collector(self.metrics.samples)
         self.acker = AckTracker(
             self.config.message_timeout,
-            rng=np.random.default_rng(self.config.seed),
+            rng=rng if rng is not None else np.random.default_rng(self.config.seed),
         )
+        if isinstance(faults, FaultInjector):
+            self._injector = faults if faults.active else None
+        elif isinstance(faults, FaultPlan):
+            self._injector = (
+                FaultInjector(faults, telemetry=self.telemetry)
+                if faults.active
+                else None
+            )
+        elif faults is None:
+            self._injector = None
+        else:
+            raise TypeError(
+                f"faults must be a FaultPlan or FaultInjector, got {faults!r}"
+            )
+        self._fault_bolt = fault_bolt
         self._topology: Topology | None = None
         self._spout_executors: list[SpoutExecutor] = []
         self._bolt_executors: dict[str, list[BoltExecutor]] = {}
@@ -127,6 +169,62 @@ class LocalCluster:
                 )
                 self._spout_executors.append(executor)
                 executor.open()
+
+        if self._injector is not None:
+            self._arm_faults()
+
+    def _arm_faults(self) -> None:
+        """Schedule scripted faults against the target bolt's tasks."""
+        injector = self._injector
+        name = self._fault_bolt
+        if name is None:
+            if len(self._bolt_executors) != 1:
+                raise ValueError(
+                    "fault_bolt must name the target bolt when the topology "
+                    f"has {len(self._bolt_executors)} bolts"
+                )
+            name = next(iter(self._bolt_executors))
+        elif name not in self._bolt_executors:
+            raise ValueError(f"fault_bolt {name!r} is not a bolt in the topology")
+        self._fault_bolt = name
+        executors = self._bolt_executors[name]
+        for event in (*injector.crashes, *injector.plan.slowdowns):
+            if event.instance >= len(executors):
+                raise ValueError(
+                    f"scripted fault targets task {event.instance} but bolt "
+                    f"{name!r} has parallelism {len(executors)}"
+                )
+        if injector.plan.slowdowns:
+            for executor in executors:
+                executor.fault_injector = injector
+        for crash in injector.crashes:
+            self.sim.after(
+                crash.at_ms, (lambda c: lambda: self._fire_crash(c))(crash)
+            )
+
+    def _fire_crash(self, crash: CrashFault) -> None:
+        """Crash one bolt task: fail its tuples, notify groupings."""
+        executors = self._bolt_executors[self._fault_bolt]
+        executor = executors[crash.instance]
+        lost = executor.crash()
+        self._injector.note_crash(crash.instance, self.sim.now)
+        for tup in lost:
+            self.fail_tuple(tup)
+        bolt_spec = self._topology.bolts[self._fault_bolt]
+        for subscription in bolt_spec.subscriptions:
+            grouping = subscription.grouping
+            if isinstance(grouping, CustomStreamGrouping):
+                grouping.on_instance_crash(crash.instance)
+        self.sim.after(
+            crash.outage_ms,
+            (lambda ex, i: lambda: self._finish_restart(ex, i))(
+                executor, crash.instance
+            ),
+        )
+
+    def _finish_restart(self, executor: BoltExecutor, instance: int) -> None:
+        executor.restart()
+        self._injector.note_restart(instance, self.sim.now)
 
     def run(self, until: float | None = None) -> float:
         """Drain the event loop; returns the final virtual time."""
@@ -215,6 +313,16 @@ class LocalCluster:
             proto.sync_request = None
             tasks = grouping.choose_tasks(proto)
             sync_request = proto.sync_request  # set by POSG-style groupings
+            if (
+                sync_request is not None
+                and self._injector is not None
+                and self._injector.drop_request()
+            ):
+                # The piggy-backed request is lost on the wire; the data
+                # tuple itself still arrives.  Its bits were spent, so the
+                # control-overhead accounting still counts the send.
+                self.metrics.record_control_message(sync_request.size_bits())
+                sync_request = None
             for position, task in enumerate(tasks):
                 if not 0 <= task < bolt_spec.parallelism:
                     raise ValueError(
@@ -311,7 +419,16 @@ class LocalCluster:
                 self.metrics.record_control_message(
                     size_bits() if size_bits is not None else 0
                 )
-                self.sim.after(
-                    self.config.control_latency,
-                    (lambda g, msg: lambda: g.on_control(msg))(grouping, message),
-                )
+                if self._injector is not None:
+                    delays = self._injector.deliver_times(
+                        message, self.config.control_latency
+                    )
+                else:
+                    delays = (self.config.control_latency,)
+                for delay in delays:
+                    self.sim.after(
+                        delay,
+                        (lambda g, msg: lambda: g.on_control(msg))(
+                            grouping, message
+                        ),
+                    )

@@ -149,6 +149,13 @@ class BoltExecutor:
         self.queue: deque[StormTuple] = deque()
         self.busy = False
         self.executed = 0
+        self.alive = True
+        #: bumped on every crash so in-flight finish timers from a dead
+        #: incarnation are recognized and dropped
+        self._incarnation = 0
+        self._current: StormTuple | None = None
+        #: set by the cluster when slow-node faults target this task
+        self.fault_injector = None
 
     def prepare(self) -> None:
         context = TaskContext(
@@ -166,6 +173,12 @@ class BoltExecutor:
 
     def enqueue(self, tup: StormTuple) -> None:
         """A tuple arrived on this task's input."""
+        if not self.alive:
+            # The task is down: the tuple is lost, its tree fails and the
+            # spout replays (or gives up on) it — Storm's at-least-once
+            # contract under worker crashes.
+            self.cluster.fail_tuple(tup)
+            return
         self.queue.append(tup)
         if not self.busy:
             self._start_next()
@@ -173,14 +186,25 @@ class BoltExecutor:
     def _start_next(self) -> None:
         tup = self.queue.popleft()
         self.busy = True
+        self._current = tup
         duration = self.bolt.work_time(tup)
         if duration < 0:
             raise ValueError(
                 f"bolt {self.spec.name!r} returned negative work_time {duration}"
             )
-        self.cluster.sim.after(duration, lambda: self._finish(tup, duration))
+        if self.fault_injector is not None:
+            duration *= self.fault_injector.execution_factor(
+                self.task_index, self.cluster.sim.now
+            )
+        incarnation = self._incarnation
+        self.cluster.sim.after(
+            duration, lambda: self._finish(tup, duration, incarnation)
+        )
 
-    def _finish(self, tup: StormTuple, duration: float) -> None:
+    def _finish(self, tup: StormTuple, duration: float, incarnation: int = 0) -> None:
+        if incarnation != self._incarnation:
+            return  # timer from a crashed incarnation; the tuple is gone
+        self._current = None
         self.executed += 1
         self.bolt.execute(tup)
         # Basic-bolt convenience: auto-ack inputs the bolt didn't handle.
@@ -191,3 +215,29 @@ class BoltExecutor:
             self._start_next()
         else:
             self.busy = False
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash(self) -> list[StormTuple]:
+        """Kill this task; returns the tuples it loses.
+
+        The queue and the in-service tuple vanish with the process; the
+        caller (the cluster) fails their trees through the acker so the
+        spouts learn about the loss.
+        """
+        self.alive = False
+        self._incarnation += 1
+        lost = list(self.queue)
+        self.queue.clear()
+        if self.busy and self._current is not None:
+            lost.append(self._current)
+        self._current = None
+        self.busy = False
+        return lost
+
+    def restart(self) -> None:
+        """Bring the task back up (empty queue, fresh incarnation)."""
+        self.alive = True
+        if self.queue and not self.busy:
+            self._start_next()

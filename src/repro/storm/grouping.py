@@ -90,6 +90,14 @@ class CustomStreamGrouping(StreamGrouping):
     def on_control(self, message) -> None:
         """Control message from a downstream task (default: ignored)."""
 
+    def on_instance_crash(self, task: int) -> None:
+        """A subscribed bolt task crash-restarted (default: ignored).
+
+        Fired by the cluster's fault injection; stateful groupings (POSG)
+        use it to wipe the per-task tracker the way a real process
+        restart would.
+        """
+
     def wants_execution_reports(self) -> bool:
         """Whether bolt tasks must report executions to this grouping."""
         return False

@@ -80,6 +80,12 @@ class POSGShuffleGrouping(CustomStreamGrouping):
     def on_control(self, message) -> None:
         self._policy.on_control(message)
 
+    def on_instance_crash(self, task: int) -> None:
+        """Wipe the crashed task's instance-side state (new generation)."""
+        agent = self._agents.get(task)
+        if agent is not None:
+            agent.tracker.restart()
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

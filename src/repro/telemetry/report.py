@@ -23,7 +23,7 @@ import numpy as np
 #: tracer event kinds that make up the FSM timeline section
 FSM_EVENT_KINDS = ("scheduler_state", "instance_window")
 
-SCHEMA = "posg-run-report/v1"
+SCHEMA = "posg-run-report/v2"
 
 
 @dataclass
@@ -58,6 +58,8 @@ class RunReport:
     fsm_timeline: list = field(default_factory=list)
     #: flat metrics snapshot from the recorder's registry
     metrics: dict = field(default_factory=dict)
+    #: ``FaultInjector.report()`` when the run was fault-injected (v2)
+    faults: dict | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -132,6 +134,11 @@ class RunReport:
             timeline = [e for e in events if e["kind"] in FSM_EVENT_KINDS]
             metrics = telemetry.registry.snapshot()
 
+        faults = None
+        injector = getattr(result, "faults", None)
+        if injector is not None and hasattr(injector, "report"):
+            faults = injector.report()
+
         return cls(
             schema=SCHEMA,
             policy=name,
@@ -151,6 +158,7 @@ class RunReport:
             instances=instance_stats,
             fsm_timeline=timeline,
             metrics=metrics,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -186,6 +194,14 @@ class RunReport:
             lines.insert(2, f"speedup vs baseline = {self.speedup_vs_baseline:.3f}")
         if self.run_entry_index is not None:
             lines.append(f"scheduler entered RUN at tuple {self.run_entry_index}")
+        if self.faults is not None:
+            injected = self.faults.get("injected", {})
+            dropped = sum(injected.get("dropped", {}).values())
+            lines.append(
+                f"faults: {dropped} control messages dropped, "
+                f"{injected.get('crashes', 0)} crashes, "
+                f"{injected.get('slowed_tuples', 0)} slowed tuples"
+            )
         return "\n".join(lines)
 
 

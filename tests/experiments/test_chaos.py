@@ -1,0 +1,33 @@
+"""Smoke test for the chaos experiment (fault-injected POSG run)."""
+
+import json
+
+from repro.experiments.cli import main
+
+
+class TestChaosExperiment:
+    def test_runs_recovers_and_writes_artifacts(self, tmp_path, capsys):
+        # --scale below the floor still clamps to the minimum stream that
+        # leaves a restarted instance room to re-stabilize
+        code = main(["chaos", "--scale", "0.01", "--output", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "recovered=True" in out
+
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["schema"] == "posg-run-report/v2"
+        assert report["faults"] is not None
+        assert report["faults"]["injected"]["crashes"] == 1
+        assert sum(report["faults"]["injected"]["dropped"].values()) > 0
+        assert report["speedup_vs_baseline"] > 0
+
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "posg_fault_" in prom
+        assert "posg_scheduler_sync_retransmits_total" in prom
+        trace = (tmp_path / "trace.jsonl").read_text()
+        assert "fault_" in trace
+
+    def test_listed_in_cli(self, capsys):
+        assert main(["list"]) == 0
+        assert "chaos" in capsys.readouterr().out

@@ -10,7 +10,11 @@ from repro.core.grouping import (
     RoundRobinGrouping,
 )
 from repro.core.scheduler import SchedulerState
-from repro.simulator.network import ConstantLatency, UniformLatency
+from repro.simulator.network import (
+    ConstantLatency,
+    LognormalLatency,
+    UniformLatency,
+)
 from repro.simulator.run import simulate_stream
 from repro.workloads.distributions import UniformItems, ZipfItems
 from repro.workloads.nonstationary import LoadShiftScenario
@@ -181,3 +185,45 @@ class TestLatencyModels:
     def test_uniform_latency_validation(self):
         with pytest.raises(ValueError):
             UniformLatency(2.0, 1.0)
+
+    def test_lognormal_latency_floors_at_base(self):
+        latency = LognormalLatency(0.0, 1.0, base=2.0,
+                                   rng=np.random.default_rng(0))
+        samples = [latency.sample() for _ in range(200)]
+        assert all(s > 2.0 for s in samples)
+
+    def test_lognormal_latency_is_heavy_tailed(self):
+        latency = LognormalLatency(0.0, 2.0, rng=np.random.default_rng(0))
+        samples = np.array([latency.sample() for _ in range(2000)])
+        # the tail stretches far beyond the median — that is the point
+        assert np.max(samples) > 10 * np.median(samples)
+
+    def test_lognormal_latency_seeded_reproducibility(self):
+        a = LognormalLatency(0.5, 1.0, rng=np.random.default_rng(7))
+        b = LognormalLatency(0.5, 1.0, rng=np.random.default_rng(7))
+        assert [a.sample() for _ in range(20)] == [b.sample() for _ in range(20)]
+
+    def test_lognormal_latency_zero_sigma_is_constant(self):
+        latency = LognormalLatency(0.0, 0.0, base=1.0,
+                                   rng=np.random.default_rng(0))
+        assert latency.sample() == pytest.approx(2.0)  # base + e^0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mean": 0.0, "sigma": -1.0},
+        {"mean": 0.0, "sigma": 1.0, "base": -0.5},
+    ])
+    def test_lognormal_latency_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LognormalLatency(**kwargs)
+
+    def test_lognormal_control_latency_runs_end_to_end(self):
+        stream = small_stream()
+        result = simulate_stream(
+            stream,
+            RoundRobinGrouping(),
+            k=5,
+            control_latency=LognormalLatency(
+                0.0, 1.0, base=0.5, rng=np.random.default_rng(3)
+            ),
+        )
+        assert result.stats.completions.shape == (stream.m,)

@@ -1,0 +1,204 @@
+"""Fault injection wired through the Storm-like engine.
+
+The cluster interposes the injector on the POSG control plane (matrices
+and sync replies delivered via ``report_execution``, piggy-backed sync
+requests in ``_route``) and scripts crash/restart and slowdown events
+against one bolt's tasks.  A crashed task fails its queued tuple trees
+through the acker, exactly like a lost Storm worker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig, RecoveryConfig
+from repro.core.scheduler import SchedulerState
+from repro.faults import CrashFault, FaultPlan, MessageFaults, SlowdownFault
+from repro.storm.cluster import ClusterConfig, LocalCluster
+from repro.storm.components import STREAM_SPOUT_FIELDS, StreamSpout, WorkBolt
+from repro.storm.posg_grouping import POSGShuffleGrouping
+from repro.storm.topology import TopologyBuilder
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+K = 3
+
+
+def make_stream(m=3000, n=128, seed=0):
+    spec = StreamSpec(m=m, n=n, k=K)
+    return generate_stream(ZipfItems(n, 1.0), spec, np.random.default_rng(seed))
+
+
+def recovery_posg_config():
+    return POSGConfig(
+        window_size=64,
+        rows=2,
+        cols=16,
+        recovery=RecoveryConfig(sync_timeout=256, staleness_limit=4096),
+    )
+
+
+def run_posg_topology(stream, faults=None, posg_config=None, cluster_seed=9,
+                      telemetry=None):
+    grouping = POSGShuffleGrouping(
+        item_field="value",
+        config=posg_config or recovery_posg_config(),
+        rng=np.random.default_rng(1),
+        telemetry=telemetry,
+    )
+    spout = StreamSpout(stream)
+    builder = TopologyBuilder()
+    builder.set_spout("source", lambda: spout,
+                      output_fields=STREAM_SPOUT_FIELDS)
+    builder.set_bolt("worker", lambda: WorkBolt(stream.time_table),
+                     parallelism=K).custom_grouping("source", grouping)
+    cluster = LocalCluster(
+        ClusterConfig(seed=cluster_seed), faults=faults, fault_bolt="worker"
+    )
+    cluster.submit(builder.build())
+    cluster.run()
+    return cluster, grouping, spout
+
+
+def chaos_plan(stream, seed=7):
+    loss = MessageFaults(drop=0.10)
+    return FaultPlan(
+        matrices=loss,
+        sync_requests=loss,
+        sync_replies=loss,
+        crashes=(CrashFault(instance=1,
+                            at_ms=float(stream.arrivals[2 * stream.m // 3]),
+                            outage_ms=200.0),),
+        seed=seed,
+    )
+
+
+class TestDisabledPlan:
+    def test_inactive_plan_changes_nothing(self):
+        stream = make_stream(m=1500)
+        bare, bare_grouping, _ = run_posg_topology(stream, faults=None)
+        planned, planned_grouping, _ = run_posg_topology(
+            stream, faults=FaultPlan()
+        )
+        assert bare.metrics.completed == planned.metrics.completed
+        assert bare.metrics.control_messages == planned.metrics.control_messages
+        assert bare.metrics.control_bits == planned.metrics.control_bits
+        assert (bare_grouping.scheduler.stats()
+                == planned_grouping.scheduler.stats())
+
+
+class TestCrashFaults:
+    def test_crash_fails_queued_trees_and_restarts(self):
+        stream = make_stream()
+        plan = FaultPlan(
+            crashes=(CrashFault(instance=1,
+                                at_ms=float(stream.arrivals[stream.m // 2]),
+                                outage_ms=200.0),)
+        )
+        cluster, grouping, spout = run_posg_topology(stream, faults=plan)
+        injected = cluster._injector.report()["injected"]
+        assert injected["crashes"] == 1
+        assert injected["restarts"] == 1
+        # the tracker behind task 1 went through a generation bump
+        assert grouping.policy.tracker(1).restarts == 1
+        # every tree resolved one way or the other; the crash lost some
+        assert cluster.metrics.completed + cluster.metrics.failed == stream.m
+        assert cluster.metrics.failed == spout.failed
+
+    def test_crash_target_beyond_parallelism_rejected(self):
+        stream = make_stream(m=100)
+        plan = FaultPlan(crashes=(CrashFault(instance=K, at_ms=1.0),))
+        grouping = POSGShuffleGrouping(
+            item_field="value", config=recovery_posg_config(),
+            rng=np.random.default_rng(1),
+        )
+        builder = TopologyBuilder()
+        builder.set_spout("source", lambda: StreamSpout(stream),
+                          output_fields=STREAM_SPOUT_FIELDS)
+        builder.set_bolt("worker", lambda: WorkBolt(stream.time_table),
+                         parallelism=K).custom_grouping("source", grouping)
+        cluster = LocalCluster(faults=plan, fault_bolt="worker")
+        with pytest.raises(ValueError, match="parallelism"):
+            cluster.submit(builder.build())
+
+    def test_unknown_fault_bolt_rejected(self):
+        stream = make_stream(m=100)
+        plan = FaultPlan(crashes=(CrashFault(instance=0, at_ms=1.0),))
+        builder = TopologyBuilder()
+        builder.set_spout("source", lambda: StreamSpout(stream),
+                          output_fields=STREAM_SPOUT_FIELDS)
+        builder.set_bolt("worker", lambda: WorkBolt(stream.time_table),
+                         parallelism=K).shuffle_grouping("source")
+        cluster = LocalCluster(faults=plan, fault_bolt="nope")
+        with pytest.raises(ValueError, match="nope"):
+            cluster.submit(builder.build())
+
+
+class TestSlowdownFaults:
+    def test_slowdown_inflates_completion_latency(self):
+        stream = make_stream(m=800)
+        span = float(stream.arrivals[-1]) + 1_000.0
+        slow = FaultPlan(
+            slowdowns=tuple(
+                SlowdownFault(instance=i, at_ms=0.0, duration_ms=span,
+                              factor=10.0)
+                for i in range(K)
+            )
+        )
+        quiet, _, _ = run_posg_topology(stream)
+        slowed, _, _ = run_posg_topology(stream, faults=slow)
+        assert (slowed.metrics.completion_latencies().mean()
+                > quiet.metrics.completion_latencies().mean())
+        injected = slowed._injector.report()["injected"]
+        assert injected["slowed_tuples"] > 0
+
+
+class TestControlPlaneLoss:
+    def test_scheduler_recovers_under_loss_and_crash(self):
+        from repro.telemetry.recorder import TelemetryRecorder
+
+        stream = make_stream(m=4000)
+        with TelemetryRecorder() as recorder:
+            cluster, grouping, _ = run_posg_topology(
+                stream, faults=chaos_plan(stream), telemetry=recorder
+            )
+            scheduler = grouping.scheduler
+            # The scheduler must re-enter RUN after the crash; the last
+            # sync round may legitimately still be in flight when the
+            # spout runs dry, so the final state is not the criterion.
+            crash_tuple = 2 * stream.m // 3
+            run_entries = [
+                event["at"]
+                for event in recorder.tracer.events("scheduler_state")
+                if event["to"] == SchedulerState.RUN.value
+            ]
+            assert run_entries and run_entries[-1] > crash_tuple
+        assert scheduler.restarts_detected >= 1
+        injected = cluster._injector.report()["injected"]
+        assert sum(injected["dropped"].values()) > 0
+        # dropped piggy-backed requests still cost their wire bits
+        assert cluster.metrics.control_bits > 0
+
+    def test_loss_is_reproducible_for_a_seed(self):
+        stream = make_stream(m=1500)
+        first, g1, _ = run_posg_topology(stream, faults=chaos_plan(stream))
+        second, g2, _ = run_posg_topology(stream, faults=chaos_plan(stream))
+        assert (first._injector.report()["injected"]
+                == second._injector.report()["injected"])
+        assert first.metrics.completed == second.metrics.completed
+        assert g1.scheduler.stats() == g2.scheduler.stats()
+
+
+class TestSeededAckIds:
+    def test_config_seed_makes_ack_ids_reproducible(self):
+        a = LocalCluster(ClusterConfig(seed=5))
+        b = LocalCluster(ClusterConfig(seed=5))
+        ids_a = [a.acker.fresh_ack_id() for _ in range(32)]
+        ids_b = [b.acker.fresh_ack_id() for _ in range(32)]
+        assert ids_a == ids_b
+        assert all(1 <= i < (1 << 64) for i in ids_a)
+
+    def test_explicit_rng_overrides_config_seed(self):
+        a = LocalCluster(ClusterConfig(seed=5), rng=np.random.default_rng(11))
+        b = LocalCluster(ClusterConfig(seed=6), rng=np.random.default_rng(11))
+        assert ([a.acker.fresh_ack_id() for _ in range(8)]
+                == [b.acker.fresh_ack_id() for _ in range(8)])

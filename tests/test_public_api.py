@@ -23,6 +23,7 @@ class TestTopLevel:
         "repro.workloads",
         "repro.analysis",
         "repro.experiments",
+        "repro.faults",
     ])
     def test_subpackage_all_exports_resolve(self, module):
         package = importlib.import_module(module)
@@ -34,7 +35,7 @@ class TestTopLevel:
         for module_name in [
             "repro", "repro.sketches", "repro.core", "repro.simulator",
             "repro.storm", "repro.workloads", "repro.analysis",
-            "repro.experiments",
+            "repro.experiments", "repro.faults",
         ]:
             package = importlib.import_module(module_name)
             assert package.__doc__, f"{module_name} lacks a module docstring"
