@@ -4,8 +4,8 @@ PYTHON ?= python
 # every target runs against the in-tree sources without an install step
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-throughput bench-telemetry chaos figures \
-	figures-paper-scale examples clean
+.PHONY: install test bench bench-throughput bench-telemetry bench-audit \
+	bench-history chaos observe figures figures-paper-scale examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,11 +26,29 @@ bench-throughput:
 bench-telemetry:
 	$(PYTHON) benchmarks/bench_telemetry_overhead.py
 
+# estimator-audit overhead gate: writes BENCH_audit_overhead.json and
+# fails if a sparse audit costs more than 3% or the default sampled
+# audit more than 10%
+bench-audit:
+	$(PYTHON) benchmarks/bench_audit_overhead.py
+
+# append {throughput, telemetry overhead, audit overhead} to
+# BENCH_history.jsonl with provenance; fails (without appending) if
+# throughput regressed more than 10% vs the last recorded entry
+bench-history:
+	$(PYTHON) benchmarks/bench_history.py
+
 # fault-injection acceptance scenario: 10% control-plane loss plus one
 # mid-stream crash; writes report.json/metrics.prom/trace.jsonl under
 # chaos-out/ and exits non-zero unless the scheduler recovers to RUN
 chaos:
 	$(PYTHON) -m repro.experiments chaos --scale 0.25 --output chaos-out
+
+# scheduling-quality observatory: estimator audit, decision-quality
+# metrics, phase profile and dashboard; writes quality_report.{json,html},
+# metrics.prom, profile.json and flamegraph.txt under observe-out/
+observe:
+	$(PYTHON) -m repro.experiments observe --scale 0.25 --output observe-out
 
 # regenerate every paper figure without pytest
 figures:

@@ -1,0 +1,159 @@
+"""Append-only performance history with a regression gate.
+
+One invocation measures the three numbers the repository tracks over
+time — POSG throughput on the Figure 4 configuration, the telemetry
+overhead ratio, and the estimator-audit overhead ratio — and appends
+them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
+stamped with the usual provenance block (commit, dirty flag, python /
+numpy versions, platform).
+
+Before appending, the run is compared against the **last recorded
+entry with the same stream length**: if POSG throughput dropped by
+more than 10% the script exits non-zero and does NOT append, so a
+regressing commit cannot quietly rebase the baseline it is measured
+against.  Scaled-down runs (``REPRO_SCALE`` < 1.0) append with the
+gate skipped — CI smoke entries carry their own ``m`` and never match
+full-scale entries anyway.
+
+Usage::
+
+    python benchmarks/bench_history.py            # measure, gate, append
+    REPRO_REPS=2 REPRO_SCALE=0.05 python benchmarks/bench_history.py
+
+The overhead ratios reuse the paired-median estimator of
+``bench_telemetry_overhead.py`` / ``bench_audit_overhead.py`` at a
+reduced repetition count: history entries chart the trajectory; the
+dedicated benchmarks remain the precise gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import POSGGrouping
+from repro.simulator.run import simulate_stream
+from repro.telemetry.audit import AuditConfig
+from repro.telemetry.provenance import provenance
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.workloads.synthetic import default_stream
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: throughput may not drop more than this vs the last recorded entry
+MAX_THROUGHPUT_REGRESSION = 0.10
+
+
+def _timed_run(m: int, telemetry=None, audit=None) -> float:
+    """One chunked POSG run; elapsed seconds."""
+    stream = default_stream(seed=0, m=m)
+    policy = POSGGrouping(POSGConfig.paper_defaults(), telemetry=telemetry)
+    t0 = time.perf_counter()
+    simulate_stream(
+        stream,
+        policy,
+        k=5,
+        rng=np.random.default_rng(1),
+        chunk_size=2048,
+        telemetry=telemetry,
+        audit=audit,
+    )
+    return time.perf_counter() - t0
+
+
+def _overhead_ratio(m: int, reps: int, run_variant) -> float:
+    """Paired median of plain_time / variant_time over ``reps`` rounds."""
+    ratios = []
+    for round_index in range(reps):
+        if round_index % 2 == 0:
+            plain = _timed_run(m)
+            variant = run_variant(m)
+        else:
+            variant = run_variant(m)
+            plain = _timed_run(m)
+        ratios.append(plain / variant)
+    return statistics.median(ratios)
+
+
+def _last_comparable(m: int) -> dict | None:
+    """Most recent history entry with the same stream length."""
+    if not HISTORY.exists():
+        return None
+    last = None
+    for line in HISTORY.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry.get("config", {}).get("m") == m:
+            last = entry
+    return last
+
+
+def main() -> int:
+    reps = max(1, int(os.environ.get("REPRO_REPS", "15")))
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    m = max(1024, int(32_768 * scale))
+
+    _timed_run(m)  # warmup
+    throughput = m / min(_timed_run(m) for _ in range(reps))
+
+    def with_telemetry(m: int) -> float:
+        with TelemetryRecorder() as recorder:
+            return _timed_run(m, telemetry=recorder)
+
+    def with_audit(m: int) -> float:
+        return _timed_run(m, audit=AuditConfig())
+
+    telemetry_ratio = _overhead_ratio(m, reps, with_telemetry)
+    audit_ratio = _overhead_ratio(m, reps, with_audit)
+
+    entry = {
+        "schema": "posg-bench-history/v1",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "provenance": provenance(REPO_ROOT),
+        "config": {"m": m, "k": 5, "reps": reps, "scale": scale},
+        "posg_tuples_per_sec": throughput,
+        "telemetry_enabled_vs_plain": telemetry_ratio,
+        "audit_sampled_vs_plain": audit_ratio,
+    }
+
+    previous = _last_comparable(m)
+    if previous is not None:
+        baseline = previous["posg_tuples_per_sec"]
+        change = throughput / baseline - 1.0
+        print(
+            f"previous entry ({previous['recorded_at']}): "
+            f"{baseline:,.0f} t/s; this run: {throughput:,.0f} t/s "
+            f"({change:+.1%})"
+        )
+        if scale >= 1.0 and throughput < baseline * (1.0 - MAX_THROUGHPUT_REGRESSION):
+            print(
+                f"FAIL: throughput regressed {-change:.1%} vs the last "
+                f"recorded run (limit {MAX_THROUGHPUT_REGRESSION:.0%}); "
+                "not appending"
+            )
+            return 1
+    else:
+        print(f"no previous entry for m={m}; recording the first one")
+
+    with HISTORY.open("a") as handle:
+        handle.write(json.dumps(entry) + "\n")
+    print(f"appended to {HISTORY}")
+    print(
+        f"posg {throughput:,.0f} t/s | telemetry {telemetry_ratio:.3f}x | "
+        f"audit {audit_ratio:.3f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,6 +152,29 @@ class FWPair:
         np.divide(best_work, best_freq, out=out, where=observed)
         return out
 
+    def row_values(self, item: int) -> list[tuple[float, float]]:
+        """Per-row ``(F cell, W/F ratio)`` for ``item`` — the cells that
+        :meth:`estimate` scans, exposed for collision diagnostics.
+
+        Rows whose ``F`` cell is empty report the global-mean fallback
+        as their ratio (what :meth:`estimate` would return if that row
+        won).  Diagnostic path (the estimator audit); not used for
+        routing.
+        """
+        freq_item = self._freq._matrix.item
+        work_item = self._work._matrix.item
+        out: list[tuple[float, float]] = []
+        mean = None
+        for row, col in enumerate(self._freq.bucket_cache.columns(item)):
+            freq = freq_item(row, col)
+            if freq > 0:
+                out.append((freq, work_item(row, col) / freq))
+            else:
+                if mean is None:
+                    mean = self.mean_execution_time()
+                out.append((freq, mean))
+        return out
+
     def mean_execution_time(self) -> float:
         """Average measured execution time over everything folded in."""
         if self._freq.total_weight <= 0:

@@ -348,7 +348,7 @@ class POSGScheduler:
     # ------------------------------------------------------------------
     # block fast path (vectorized data plane)
     # ------------------------------------------------------------------
-    def begin_block(self, items: np.ndarray) -> "_BlockRouter | None":
+    def begin_block(self, items: np.ndarray, profiler=None) -> "_BlockRouter | None":
         """Start routing a *control-quiet* block of tuples.
 
         Returns a :class:`_BlockRouter` whose ``route_next()`` replays
@@ -363,14 +363,20 @@ class POSGScheduler:
 
         Returns ``None`` in SEND_ALL (every tuple piggy-backs a
         :class:`SyncRequest` there, so the per-tuple path is required).
+
+        ``profiler`` (a :class:`~repro.telemetry.profiler.PhaseProfiler`,
+        duck-typed) wraps the block hashing and estimate gathering in
+        "hash"/"estimate" spans.
         """
         if self._state is SchedulerState.ROUND_ROBIN:
             return _BlockRouter(self, None)
         if self._state is SchedulerState.SEND_ALL:
             return None
-        return _BlockRouter(self, self._block_estimates(items))
+        return _BlockRouter(self, self._block_estimates(items, profiler))
 
-    def _block_estimates(self, items: np.ndarray) -> list[list[float]]:
+    def _block_estimates(
+        self, items: np.ndarray, profiler=None
+    ) -> list[list[float]]:
         """Per-instance estimate columns for a block: ``[k][count]``.
 
         All pairs ship from instances sharing one hash family (Listing
@@ -385,8 +391,22 @@ class POSGScheduler:
         if pairs:
             family = pairs[0].hashes
             if all(pair.hashes is family for pair in pairs):
+                if profiler is not None:
+                    profiler.start("hash")
                 buckets = pairs[0].freq.bucket_cache.columns_many(items)
+                if profiler is not None:
+                    profiler.stop()
+        if profiler is None:
+            return self._gather_columns(items, count, pairs, buckets)
+        profiler.start("estimate")
+        try:
+            return self._gather_columns(items, count, pairs, buckets)
+        finally:
+            profiler.stop()
 
+    def _gather_columns(
+        self, items: np.ndarray, count: int, pairs, buckets
+    ) -> list[list[float]]:
         def column(pair: FWPair) -> np.ndarray:
             if buckets is not None:
                 return pair.estimate_many_at(buckets)
@@ -422,6 +442,20 @@ class POSGScheduler:
             return sum(pair.estimate(item) for pair in self._pairs) / len(self._pairs)
         pair = self._matrices.get(instance)
         return pair.estimate(item) if pair is not None else 0.0
+
+    def row_estimates(
+        self, item: int, instance: int
+    ) -> "list[tuple[float, float]] | None":
+        """Per-row ``(F, W/F)`` cells behind :meth:`estimate`, or ``None``.
+
+        Exposes the target instance's pair row by row so the estimator
+        audit can diagnose Count-Min collisions (rows disagreeing on the
+        count mean some row took a collision).  Returns ``None`` before
+        the instance's first matrices arrive.  Read-only: no scheduler
+        state changes.
+        """
+        pair = self._matrices.get(instance)
+        return pair.row_values(item) if pair is not None else None
 
     # ------------------------------------------------------------------
     # control path

@@ -16,12 +16,16 @@ in DESIGN.md):
 
 It prints a Figure-10-style timeline (binned average completion time
 for both runs, so the crash spike and the recovery back to baseline
-are visible), the scheduler's defense counters, and the completion-time
-degradation ``L_chaos / L_fault_free``.  With ``--output DIR`` it
-writes ``report.json`` (a v2 :class:`~repro.telemetry.report.RunReport`
-of the chaos run, fault-free run as the baseline, fault summary
-embedded), ``metrics.prom`` and ``trace.jsonl`` — the same artifact
-set as the ``telemetry`` subcommand.
+are visible), the scheduler's defense counters, the completion-time
+degradation ``L_chaos / L_fault_free``, and the estimator audit's
+error quantiles split at the crash (the audit segments the stream at
+the crash index, so the report shows W/F accuracy before and after
+the restart).  With ``--output DIR`` it writes ``report.json`` (a v3
+:class:`~repro.telemetry.report.RunReport` of the chaos run —
+fault-free run as the baseline, fault summary, estimator-audit and
+decision-quality blocks embedded), ``metrics.prom`` and
+``trace.jsonl`` — the same artifact set as the ``telemetry``
+subcommand.
 
 The module is imported lazily by ``repro.experiments.cli`` and pulls
 the core/simulator stack in only inside :func:`run`.
@@ -69,9 +73,16 @@ def run(
     from repro.core.scheduler import SchedulerState
     from repro.faults import CrashFault, FaultPlan, MessageFaults
     from repro.simulator.run import simulate_stream
+    from repro.telemetry.audit import AuditConfig
+    from repro.telemetry.quality import (
+        compute_quality,
+        execution_time_matrix,
+        record_quality,
+    )
     from repro.telemetry.recorder import TelemetryRecorder
     from repro.telemetry.report import RunReport
     from repro.telemetry.tracer import Tracer
+    from repro.workloads.nonstationary import LoadShiftScenario
     from repro.workloads.synthetic import default_stream
 
     if scale is None:
@@ -104,9 +115,10 @@ def run(
     )
 
     span = float(stream.arrivals[-1] - stream.arrivals[0])
+    crash_index = 2 * m // 3
     crash = CrashFault(
         instance=CRASH_INSTANCE,
-        at_ms=float(stream.arrivals[2 * m // 3]),
+        at_ms=float(stream.arrivals[crash_index]),
         outage_ms=0.05 * span,
     )
     loss = MessageFaults(drop=DROP_RATE)
@@ -118,7 +130,7 @@ def run(
         seed=seed,
     )
 
-    def simulate(policy, faults=None, telemetry=None):
+    def simulate(policy, faults=None, telemetry=None, audit=None):
         return simulate_stream(
             stream,
             policy,
@@ -127,7 +139,16 @@ def run(
             chunk_size=chunk_size,
             telemetry=telemetry,
             faults=faults,
+            audit=audit,
         )
+
+    # Audit every routed tuple at chaos scale (the run is short) but
+    # back off at paper scale; the segment boundary at the crash splits
+    # the estimator-error quantiles into before/after-restart blocks.
+    audit_config = AuditConfig(
+        sample_every=max(8, m // 2048),
+        segment_boundaries=(crash_index,),
+    )
 
     tracer = Tracer(sink=str(trace_path)) if trace_path is not None else Tracer()
     with TelemetryRecorder(tracer=tracer) as recorder:
@@ -137,9 +158,21 @@ def run(
         clean = simulate(clean_policy)
 
         chaos_policy = POSGGrouping(config, telemetry=recorder)
-        chaos = simulate(chaos_policy, faults=plan, telemetry=recorder)
+        chaos = simulate(
+            chaos_policy, faults=plan, telemetry=recorder, audit=audit_config
+        )
+        # Decision quality vs the oracle: true times are scenario-free
+        # here (constant multipliers; the crash stalls an instance but
+        # does not slow tuples), so the matrix rebuild is exact.
+        times = execution_time_matrix(
+            stream, LoadShiftScenario.constant(k), k
+        )
+        quality = compute_quality(
+            np.asarray(chaos.stats.assignments), times, k
+        )
+        record_quality(recorder, quality)
         report = RunReport.from_simulation(
-            chaos, k, baseline=clean, telemetry=recorder
+            chaos, k, baseline=clean, telemetry=recorder, quality=quality
         )
 
     scheduler = chaos_policy.scheduler
@@ -175,6 +208,24 @@ def run(
         f"{scheduler.restarts_detected} restarts detected"
     )
     print(f"final scheduler state: {state.name} (recovered={recovered})")
+    audit_report = chaos.audit.report()
+    segments = audit_report["segments"]
+    print("estimator audit (mean |estimate - true|, ms):")
+    for segment, label in zip(
+        segments, ("before crash", "after crash")
+    ):
+        end = segment["end"] if segment["end"] is not None else m
+        print(
+            f"  {label:>12} [{segment['start']:>6}, {end:>6}): "
+            f"{segment['samples']} samples, "
+            f"mean |err| = {segment['mean_abs_error_ms']:.3f} ms"
+        )
+    makespan = quality["makespan"]
+    print(
+        f"quality: achieved/oracle makespan = "
+        f"{makespan['achieved_vs_oracle']:.4f}, misrouted = "
+        f"{quality['regret']['misroute_fraction']:.4f}"
+    )
 
     if directory is not None:
         report_path = report.save(directory / "report.json")

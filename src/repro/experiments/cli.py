@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments all --reps 3 --scale 0.25
     python -m repro.experiments telemetry --scale 0.1 --output out/
     python -m repro.experiments chaos --scale 0.1 --output out/
+    python -m repro.experiments observe --scale 0.1 --output out/
 
 Each figure command prints the same series the paper plots (see
 EXPERIMENTS.md for the interpretation).  The ``telemetry`` subcommand
@@ -16,7 +17,10 @@ the run report, Prometheus metrics and JSONL event trace (see
 "Telemetry & run reports" in EXPERIMENTS.md).  The ``chaos``
 subcommand runs the same configuration under the fault-injection layer
 (control-plane loss plus a seeded crash) and reports the recovery
-timeline (see "Chaos runs" in EXPERIMENTS.md).
+timeline (see "Chaos runs" in EXPERIMENTS.md).  The ``observe``
+subcommand runs the scheduling-quality observatory: estimator audit,
+decision-quality metrics, phase profiler and the live dashboard (see
+"The quality observatory" in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -51,10 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(FIGURES) + ["all", "list", "telemetry", "chaos"],
+        choices=sorted(FIGURES) + ["all", "list", "telemetry", "chaos", "observe"],
         help="which figure to regenerate ('all' runs everything, "
         "'list' shows what is available, 'telemetry' runs one "
-        "instrumented demo run, 'chaos' one fault-injected run)",
+        "instrumented demo run, 'chaos' one fault-injected run, "
+        "'observe' one run under the quality observatory)",
     )
     parser.add_argument(
         "--reps", type=int, default=None,
@@ -84,6 +89,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{name:10s} {summary}")
         print("telemetry  One instrumented run: report, metrics, trace.")
         print("chaos      One fault-injected run: recovery timeline, report.")
+        print("observe    One run under the quality observatory: audit, "
+              "quality, profile, dashboard.")
         return 0
     if args.figure == "telemetry":
         # lazy import keeps the figure path free of telemetry CLI costs
@@ -94,6 +101,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.chaos import run as run_chaos
 
         return run_chaos(scale=args.scale, output=args.output)
+    if args.figure == "observe":
+        from repro.experiments.observe import run as run_observe
+
+        return run_observe(scale=args.scale, output=args.output)
     if args.reps is not None:
         os.environ["REPRO_REPS"] = str(args.reps)
     if args.scale is not None:

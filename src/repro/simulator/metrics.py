@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.quantiles import P2Quantile
+
 
 class CompletionStats:
     """Per-tuple completion times and derived statistics."""
@@ -60,9 +62,28 @@ class CompletionStats:
         """Cumulated completion time (the numerator of ``L``)."""
         return float(self._completions.sum())
 
-    def percentile(self, q: float) -> float:
-        """Completion-time percentile (e.g. ``q=99`` for tail latency)."""
-        return float(np.percentile(self._completions, q))
+    def percentile(self, q: float, exact: bool = False) -> float:
+        """Completion-time percentile (e.g. ``q=99`` for tail latency).
+
+        Streams the completions through the O(1)-memory P² estimator by
+        default — the same estimator the quality observatory runs online
+        — so report percentiles and dashboard percentiles agree by
+        construction.  ``exact=True`` selects ``np.percentile`` (full
+        sort) for tests and offline analysis; for small runs (five or
+        fewer tuples) the P² path is exact anyway, since the estimator
+        holds the whole sample.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if exact:
+            return float(np.percentile(self._completions, q))
+        if q == 0.0:
+            return float(self._completions.min())
+        if q == 100.0:
+            return float(self._completions.max())
+        estimator = P2Quantile(q / 100.0)
+        estimator.observe_many(self._completions)
+        return estimator.value
 
     @property
     def max_completion_time(self) -> float:

@@ -55,6 +55,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.simulator.metrics import CompletionStats
 from repro.simulator.network import ConstantLatency, LatencyModel
+from repro.telemetry.audit import AuditConfig, EstimatorAudit
 from repro.telemetry.recorder import NULL_RECORDER
 from repro.workloads.nonstationary import LoadShiftScenario
 from repro.workloads.synthetic import Stream
@@ -84,6 +85,9 @@ class SimulationResult:
     #: the fault injector that ran (``None`` for fault-free runs); holds
     #: the plan summary and the injected-fault counters
     faults: "FaultInjector | None" = None
+    #: the estimator audit that sampled the run (``None`` when disabled);
+    #: carries the streaming error quantiles and Theorem 4.3 tallies
+    audit: "EstimatorAudit | None" = None
 
     @property
     def average_completion_time(self) -> float:
@@ -135,6 +139,8 @@ def simulate_stream(
     chunk_size: int = 2048,
     telemetry=None,
     faults: "FaultPlan | FaultInjector | None" = None,
+    audit: "AuditConfig | EstimatorAudit | None" = None,
+    profiler=None,
 ) -> SimulationResult:
     """Simulate one stream through one grouping policy.
 
@@ -182,6 +188,25 @@ def simulate_stream(
         preserving bit-identical results.  With faults active both
         engines interpose at the same per-tuple points, so the run stays
         bit-identical across ``chunk_size`` settings.
+    audit:
+        Optional :class:`~repro.telemetry.audit.AuditConfig` (or a
+        pre-built :class:`~repro.telemetry.audit.EstimatorAudit`)
+        sampling every N-th routed tuple and comparing the scheduler's
+        W/F estimate against the true execution time.  ``AuditConfig``
+        requires a policy exposing a ``scheduler`` (POSG).  The audit
+        only *reads* scheduler state at deterministic stream indices, so
+        routing decisions and completions are bit-identical with the
+        audit on or off, and — because both engines agree per tuple on
+        ``(item, instance, execution_time)`` and the scheduler matrices
+        are frozen between control deliveries — the sampled observations
+        are bit-identical across engines.  The auditor lands in
+        ``SimulationResult.audit``.
+    profiler:
+        Optional :class:`~repro.telemetry.profiler.PhaseProfiler`;
+        engine phases (control/route/window_close/fold, plus
+        hash/estimate inside the block router) are wrapped in spans
+        under a root ``simulate`` span.  Purely additive timing — no
+        effect on results.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -210,16 +235,23 @@ def simulate_stream(
     else:
         raise TypeError(f"faults must be a FaultPlan or FaultInjector, got {faults!r}")
 
-    if chunk_size == 0:
-        result = _simulate_reference(
-            stream, policy, k, scenario, data_lat, control_lat, rng,
-            sample_queues_every, injector,
-        )
-    else:
-        result = _simulate_chunked(
-            stream, policy, k, scenario, data_lat, control_lat, rng,
-            sample_queues_every, chunk_size, injector,
-        )
+    if profiler is not None:
+        profiler.start("simulate")
+    try:
+        if chunk_size == 0:
+            result = _simulate_reference(
+                stream, policy, k, scenario, data_lat, control_lat, rng,
+                sample_queues_every, injector, audit, recorder, profiler,
+            )
+        else:
+            result = _simulate_chunked(
+                stream, policy, k, scenario, data_lat, control_lat, rng,
+                sample_queues_every, chunk_size, injector, audit, recorder,
+                profiler,
+            )
+    finally:
+        if profiler is not None:
+            profiler.stop()
     result.faults = injector
     if recorder.enabled:
         _record_run_telemetry(recorder, result, k)
@@ -272,6 +304,31 @@ def _record_run_telemetry(recorder, result: SimulationResult, k: int) -> None:
     )
 
 
+def _prepare_audit(audit, policy, recorder) -> "EstimatorAudit | None":
+    """Resolve the ``audit=`` argument once the policy exists.
+
+    Called by the engines *after* factory resolution and ``setup`` so an
+    :class:`AuditConfig` can bind to the policy's scheduler.  A pre-built
+    :class:`EstimatorAudit` passes through untouched (callers wire its
+    telemetry themselves).
+    """
+    if audit is None:
+        return None
+    if isinstance(audit, EstimatorAudit):
+        return audit
+    if isinstance(audit, AuditConfig):
+        scheduler = getattr(policy, "scheduler", None)
+        if scheduler is None:
+            raise ValueError(
+                "audit=AuditConfig(...) needs a policy exposing a scheduler "
+                f"(POSG); policy {getattr(policy, 'name', policy)!r} has none"
+            )
+        return EstimatorAudit(scheduler, audit, telemetry=recorder)
+    raise TypeError(
+        f"audit must be an AuditConfig or EstimatorAudit, got {audit!r}"
+    )
+
+
 def _fire_due_crashes(
     injector: FaultInjector,
     crash_ptr: int,
@@ -317,6 +374,9 @@ def _simulate_reference(
     rng: np.random.Generator | None,
     sample_queues_every: int | None,
     injector: FaultInjector | None = None,
+    audit=None,
+    recorder=NULL_RECORDER,
+    profiler=None,
 ) -> SimulationResult:
     # Oracle closure for Full Knowledge: reads the loop's current index.
     position = [0]
@@ -327,6 +387,7 @@ def _simulate_reference(
     if not isinstance(policy, GroupingPolicy):
         policy = policy(oracle)
     policy.setup(k, rng)
+    auditor = _prepare_audit(audit, policy, recorder)
 
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     has_agents = any(agent is not None for agent in agents)
@@ -350,6 +411,10 @@ def _simulate_reference(
     queue_sample_indices: list[int] = []
     crash_ptr = 0
     faulting = injector is not None
+    # Audit sampling as an index comparison, mirroring the queue-sample
+    # sentinel: never fires when disabled (next_audit == m).
+    audit_every = auditor.sample_every if auditor is not None else 0
+    next_audit = 0 if auditor is not None else m
 
     for j in range(m):
         arrival = arrivals[j]
@@ -365,11 +430,20 @@ def _simulate_reference(
             )
 
         # Deliver every control message due by now (see module docstring).
-        while control_queue and control_queue[0][0] <= arrival:
-            _, _, message = heapq.heappop(control_queue)
-            policy.on_control(message)
+        if control_queue and control_queue[0][0] <= arrival:
+            if profiler is not None:
+                profiler.start("control")
+            while control_queue and control_queue[0][0] <= arrival:
+                _, _, message = heapq.heappop(control_queue)
+                policy.on_control(message)
+            if profiler is not None:
+                profiler.stop()
 
+        if profiler is not None:
+            profiler.start("route")
         decision = policy.route(int(items[j]))
+        if profiler is not None:
+            profiler.stop()
         instance = decision.instance
         if not 0 <= instance < k:
             raise ValueError(
@@ -390,11 +464,18 @@ def _simulate_reference(
         busy_until[instance] = finish
         completions[j] = finish - arrival
         assignments[j] = instance
+        if j == next_audit:
+            auditor.observe(j, int(items[j]), instance, execution_time)
+            next_audit += audit_every
 
         if has_agents and agents[instance] is not None:
+            if profiler is not None:
+                profiler.start("fold")
             messages = agents[instance].on_executed(
                 int(items[j]), execution_time, sync_request
             )
+            if profiler is not None:
+                profiler.stop()
             for message in messages:
                 delivery = finish + control_lat.sample()
                 control_messages += 1
@@ -432,6 +513,7 @@ def _simulate_reference(
             if sample_queues_every is not None
             else None
         ),
+        audit=auditor,
     )
 
 
@@ -449,6 +531,9 @@ def _simulate_chunked(
     sample_queues_every: int | None,
     chunk_size: int,
     injector: FaultInjector | None = None,
+    audit=None,
+    recorder=NULL_RECORDER,
+    profiler=None,
 ) -> SimulationResult:
     m = stream.m
     items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
@@ -489,6 +574,7 @@ def _simulate_chunked(
     if not isinstance(policy, GroupingPolicy):
         policy = policy(oracle)
     policy.setup(k, rng)
+    auditor = _prepare_audit(audit, policy, recorder)
 
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     has_agents = any(agent is not None for agent in agents)
@@ -524,17 +610,30 @@ def _simulate_chunked(
     # identical per-tuple calls (same injector rng draws, same defense
     # tick points) and faulted runs stay bit-identical across engines.
     block_safe = injector is None
+    plain_run = auditor is None and profiler is None
     if type(policy) is POSGGrouping:
         if block_safe and policy.scheduler.recovery is None:
-            _run_posg(state, policy, agents, chunk_size)
+            _run_posg(state, policy, agents, chunk_size, auditor, profiler)
         else:
-            _run_generic(state, policy, agents, has_agents, True, injector)
-    elif type(policy) is RoundRobinGrouping and not has_agents and block_safe:
+            _run_generic(
+                state, policy, agents, has_agents, True, injector,
+                auditor, profiler,
+            )
+    elif (
+        type(policy) is RoundRobinGrouping
+        and not has_agents and block_safe and plain_run
+    ):
         _run_round_robin(state, policy)
-    elif type(policy) is FullKnowledgeGrouping and not has_agents and block_safe:
+    elif (
+        type(policy) is FullKnowledgeGrouping
+        and not has_agents and block_safe and plain_run
+    ):
         _run_full_knowledge(state, policy)
     else:
-        _run_generic(state, policy, agents, has_agents, track_states, injector)
+        _run_generic(
+            state, policy, agents, has_agents, track_states, injector,
+            auditor, profiler,
+        )
 
     return SimulationResult(
         stats=CompletionStats(
@@ -555,6 +654,7 @@ def _simulate_chunked(
             if sample_queues_every is not None
             else None
         ),
+        audit=auditor,
     )
 
 
@@ -694,6 +794,8 @@ def _run_generic(
     has_agents: bool,
     track_states: bool,
     injector: FaultInjector | None = None,
+    auditor=None,
+    profiler=None,
 ) -> None:
     """Hoisted per-tuple loop for arbitrary policies (and POSG subclasses).
 
@@ -711,6 +813,8 @@ def _run_generic(
     previous_state = policy.state if track_states else None
     crash_ptr = 0
     faulting = injector is not None
+    audit_every = auditor.sample_every if auditor is not None else 0
+    next_audit = 0 if auditor is not None else m
     for j in range(m):
         arrival = arrivals[j]
         position[0] = j
@@ -723,11 +827,20 @@ def _run_generic(
             crash_ptr = _fire_due_crashes(
                 injector, crash_ptr, arrival, agents, busy
             )
-        while control_queue and control_queue[0][0] <= arrival:
-            _, _, message = heapq.heappop(control_queue)
-            policy.on_control(message)
+        if control_queue and control_queue[0][0] <= arrival:
+            if profiler is not None:
+                profiler.start("control")
+            while control_queue and control_queue[0][0] <= arrival:
+                _, _, message = heapq.heappop(control_queue)
+                policy.on_control(message)
+            if profiler is not None:
+                profiler.stop()
 
+        if profiler is not None:
+            profiler.start("route")
         decision = policy.route(items[j])
+        if profiler is not None:
+            profiler.stop()
         instance = decision.instance
         if not 0 <= instance < state.k:
             raise ValueError(
@@ -748,11 +861,18 @@ def _run_generic(
         busy[instance] = finish
         state.completions.append(finish - arrival)
         state.assignments.append(instance)
+        if j == next_audit:
+            auditor.observe(j, items[j], instance, execution_time)
+            next_audit += audit_every
 
         if has_agents and agents[instance] is not None:
+            if profiler is not None:
+                profiler.start("fold")
             messages = agents[instance].on_executed(
                 items[j], execution_time, sync_request
             )
+            if profiler is not None:
+                profiler.stop()
             for message in messages:
                 delivery = finish + state.control_lat.sample()
                 state.control_messages += 1
@@ -784,6 +904,8 @@ def _run_posg(
     policy: POSGGrouping,
     agents,
     chunk_size: int,
+    auditor=None,
+    profiler=None,
 ) -> None:
     """POSG data plane: control-quiet fast segments + per-tuple fallback.
 
@@ -836,6 +958,11 @@ def _run_posg(
     # Queue sampling as an index comparison instead of a per-tuple modulo;
     # j visits 0..m-1 in order, so this replays ``j % every == 0``.
     next_sample = 0 if every is not None else m
+    # Audit sampling uses the same sentinel trick: when disabled the
+    # compare never fires, keeping the fast segments' per-tuple cost flat.
+    audit_every = auditor.sample_every if auditor is not None else 0
+    audit_observe = auditor.observe if auditor is not None else None
+    next_audit = 0 if auditor is not None else m
 
     # Instance-side batching state persists across segments: tuples are
     # folded lazily, right before anything inspects the tracker (a window
@@ -859,8 +986,14 @@ def _run_posg(
         bound if a delivery now lands before the previous horizon."""
         tracker = trackers[instance]
         batch = pending_items[instance]
+        if profiler is not None:
+            profiler.start("window_close")
         if batch:
+            if profiler is not None:
+                profiler.start("fold")
             tracker.execute_batch(batch, pending_times[instance])
+            if profiler is not None:
+                profiler.stop()
             batch.clear()
             pending_times[instance].clear()
         messages = tracker.execute(item, execution_time, None)
@@ -875,14 +1008,21 @@ def _run_posg(
         if control_queue and control_queue[0][0] < next_due:
             next_due = control_queue[0][0]
             end = bisect.bisect_left(arrivals, next_due, lo, end)
+        if profiler is not None:
+            profiler.stop()
         return next_due, end
 
     j = 0
     while j < m:
         arrival = arrivals[j]
-        while control_queue and control_queue[0][0] <= arrival:
-            _, _, message = heapq.heappop(control_queue)
-            policy.on_control(message)
+        if control_queue and control_queue[0][0] <= arrival:
+            if profiler is not None:
+                profiler.start("control")
+            while control_queue and control_queue[0][0] <= arrival:
+                _, _, message = heapq.heappop(control_queue)
+                policy.on_control(message)
+            if profiler is not None:
+                profiler.stop()
 
         if scheduler.state is not SchedulerState.SEND_ALL:
             # Control-quiet fast segment.  After the drain every pending
@@ -896,7 +1036,7 @@ def _run_posg(
             else:
                 next_due = _INFINITY
                 end = min(j + chunk_size, m)
-            block = scheduler.begin_block(items_array[j:end])
+            block = scheduler.begin_block(items_array[j:end], profiler=profiler)
             # Drain-induced transition: the reference engine records it at
             # the index of the next routed tuple, which the segment routes.
             current_state = scheduler.state
@@ -931,6 +1071,8 @@ def _run_posg(
                 at_col = at_column
                 fin_append = finishes.append
                 asg_append = assignments.append
+                if profiler is not None:
+                    profiler.start("route")
                 while j < end:
                     if j == next_sample:
                         ar = arrivals[j]
@@ -1058,6 +1200,9 @@ def _run_posg(
                             w4 -= 1
                             pi4.append(items[j])
                             pt4.append(execution_time)
+                    if j == next_audit:
+                        audit_observe(j, items[j], instance, execution_time)
+                        next_audit += audit_every
                     pos += 1
                     j += 1
                 c[0] = c0
@@ -1078,6 +1223,8 @@ def _run_posg(
                 block._rr = rr
                 block._pos = pos
                 block.commit()
+                if profiler is not None:
+                    profiler.stop()
                 continue
             if (
                 estimates is None
@@ -1091,7 +1238,14 @@ def _run_posg(
                 # float sequence (and every finish time) is bit-identical
                 # to the interleaved reference loop; window boundaries are
                 # located up front from ``window_left`` and the boundary
-                # tuple itself runs through the reference step.
+                # tuple itself runs through the reference step.  Audit
+                # samples are replayed from the de-interleaved arrays
+                # after each chunk: matrices are frozen inside the
+                # control-quiet segment, so the estimates the auditor
+                # reads match the reference engine's per-tuple ordering
+                # bit for bit.
+                if profiler is not None:
+                    profiler.start("route")
                 while True:
                     nb = end
                     for i in range(k):
@@ -1146,6 +1300,14 @@ def _run_posg(
                             queue_sample_indices.append(s)
                             queue_samples.append(sample)
                             next_sample += every
+                        while next_audit < safe_end:
+                            s = next_audit
+                            instance = seg_asg[s - j]
+                            audit_observe(
+                                s, items[s], instance,
+                                execution_columns[instance][s],
+                            )
+                            next_audit += audit_every
                         pos += count
                         rr += count
                         j = safe_end
@@ -1180,11 +1342,18 @@ def _run_posg(
                         pending_items[instance].append(items[j])
                         pending_times[instance].append(execution_time)
                         window_left[instance] = wl - 1
+                    if j == next_audit:
+                        audit_observe(j, items[j], instance, execution_time)
+                        next_audit += audit_every
                     j += 1
                 block._rr = rr
                 block._pos = pos
                 block.commit()
+                if profiler is not None:
+                    profiler.stop()
                 continue
+            if profiler is not None:
+                profiler.start("route")
             while j < end:
                 if j == next_sample:
                     arrival = arrivals[j]
@@ -1248,6 +1417,9 @@ def _run_posg(
                 busy[instance] = finish
                 finishes.append(finish)
                 assignments.append(instance)
+                if j == next_audit:
+                    audit_observe(j, items[j], instance, execution_time)
+                    next_audit += audit_every
 
                 wl = window_left[instance]
                 if wl == 1:
@@ -1264,6 +1436,8 @@ def _run_posg(
             block._rr = rr
             block._pos = pos
             block.commit()
+            if profiler is not None:
+                profiler.stop()
             continue
 
         # SEND_ALL (sync requests piggy-back on tuples): reference step.
@@ -1271,7 +1445,11 @@ def _run_posg(
             queue_sample_indices.append(j)
             queue_samples.append([max(0.0, b - arrival) for b in busy])
             next_sample += every
+        if profiler is not None:
+            profiler.start("route")
         decision = policy.route(items[j])
+        if profiler is not None:
+            profiler.stop()
         instance = decision.instance
         at_instance = state.arrival_at_instance(arrival, instance)
         b = busy[instance]
@@ -1281,7 +1459,12 @@ def _run_posg(
         busy[instance] = finish
         finishes.append(finish)
         assignments.append(instance)
+        if j == next_audit:
+            audit_observe(j, items[j], instance, execution_time)
+            next_audit += audit_every
 
+        if profiler is not None:
+            profiler.start("fold")
         if pending_items[instance]:
             trackers[instance].execute_batch(
                 pending_items[instance], pending_times[instance]
@@ -1292,6 +1475,8 @@ def _run_posg(
             items[j], execution_time, decision.sync_request
         )
         window_left[instance] = trackers[instance].window_remaining
+        if profiler is not None:
+            profiler.stop()
         for message in messages:
             delivery = finish + control_lat.sample()
             heapq.heappush(control_queue, (delivery, state.control_seq, message))
@@ -1312,9 +1497,13 @@ def _run_posg(
     # exactly where the per-tuple engine would leave it.
     for instance in range(k):
         if pending_items[instance]:
+            if profiler is not None:
+                profiler.start("fold")
             trackers[instance].execute_batch(
                 pending_items[instance], pending_times[instance]
             )
+            if profiler is not None:
+                profiler.stop()
 
     # completions[j] = finish - arrival, deferred as one elementwise pass
     # (same IEEE subtraction as the per-tuple form).

@@ -20,6 +20,8 @@ from repro.core.grouping import POSGGrouping
 from repro.core.scheduler import POSGScheduler, SchedulerState
 from repro.storm.grouping import CustomStreamGrouping
 from repro.storm.tuples import StormTuple
+from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.recorder import NULL_RECORDER
 
 
 class POSGShuffleGrouping(CustomStreamGrouping):
@@ -38,6 +40,16 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         Optional :class:`~repro.telemetry.recorder.TelemetryRecorder`;
         forwarded to the scheduler- and instance-side FSMs so their
         transitions land in the same registry/tracer as the cluster's.
+    audit:
+        Optional :class:`~repro.telemetry.audit.AuditConfig` (or a
+        pre-built :class:`~repro.telemetry.audit.EstimatorAudit`)
+        sampling executed tuples as the cluster reports them: every
+        N-th execution report compares the scheduler's current W/F
+        estimate against the measured duration.  Unlike the simulator's
+        hook (which samples in *routing* order), reports arrive in
+        completion order, so the sample index counts executions.  The
+        auditor binds to the scheduler in :meth:`prepare` and is
+        exposed as :attr:`audit`.
     """
 
     def __init__(
@@ -46,11 +58,22 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         config: POSGConfig | None = None,
         rng: np.random.Generator | None = None,
         telemetry=None,
+        audit: "AuditConfig | EstimatorAudit | None" = None,
     ) -> None:
         self._item_field = item_field
         self._policy = POSGGrouping(config, telemetry=telemetry)
         self._rng = rng
         self._agents: dict[int, object] = {}
+        self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        if audit is not None and not isinstance(
+            audit, (AuditConfig, EstimatorAudit)
+        ):
+            raise TypeError(
+                f"audit must be an AuditConfig or EstimatorAudit, got {audit!r}"
+            )
+        self._audit_spec = audit
+        self._auditor: EstimatorAudit | None = None
+        self._executed = 0
 
     def prepare(self, source: str, target_tasks: list[int]) -> None:
         super().prepare(source, target_tasks)
@@ -59,6 +82,14 @@ class POSGShuffleGrouping(CustomStreamGrouping):
             position: self._policy.create_instance_agent(position)
             for position in range(len(target_tasks))
         }
+        if isinstance(self._audit_spec, EstimatorAudit):
+            self._auditor = self._audit_spec
+        elif self._audit_spec is not None:
+            self._auditor = EstimatorAudit(
+                self._policy.scheduler,
+                self._audit_spec,
+                telemetry=self._telemetry,
+            )
 
     def choose_tasks(self, tup: StormTuple) -> list[int]:
         item = int(tup.value(self._item_field))
@@ -74,6 +105,15 @@ class POSGShuffleGrouping(CustomStreamGrouping):
 
     def on_execution(self, task: int, tup: StormTuple, duration: float) -> list:
         item = int(tup.value(self._item_field))
+        auditor = self._auditor
+        if auditor is not None:
+            index = self._executed
+            if index % auditor.sample_every == 0:
+                # Before the agent folds the report: the scheduler-side
+                # matrices only change on control delivery, so this reads
+                # the estimate the grouping is currently routing with.
+                auditor.observe(index, item, task, duration)
+            self._executed = index + 1
         agent = self._agents[task]
         return agent.on_executed(item, duration, tup.sync_request)
 
@@ -103,3 +143,8 @@ class POSGShuffleGrouping(CustomStreamGrouping):
     def policy(self) -> POSGGrouping:
         """The underlying engine-agnostic policy."""
         return self._policy
+
+    @property
+    def audit(self) -> EstimatorAudit | None:
+        """The estimator audit, once :meth:`prepare` has bound it."""
+        return self._auditor

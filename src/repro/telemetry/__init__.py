@@ -16,6 +16,24 @@ Three pieces, all dependency-free (stdlib + numpy):
 (:mod:`repro.telemetry.report`); :func:`provenance` stamps benchmark
 artifacts (:mod:`repro.telemetry.provenance`).
 
+The quality-observability layer builds on those hooks:
+
+- :class:`EstimatorAudit` — deterministic sampling of routed tuples,
+  streaming W/F estimation-error quantiles and Theorem 4.3 tail checks
+  (:mod:`repro.telemetry.audit`);
+- :func:`compute_quality` — post-run decision-quality metrics: oracle
+  GOS makespan, windowed imbalance and misroute regret
+  (:mod:`repro.telemetry.quality`);
+- :class:`PhaseProfiler` — nanosecond span profiler for the engine hot
+  paths, flamegraph-ready (:mod:`repro.telemetry.profiler`);
+- :class:`P2Quantile` — the O(1)-memory streaming quantile estimator
+  shared by the audit and :class:`~repro.simulator.metrics.CompletionStats`
+  (:mod:`repro.telemetry.quantiles`);
+- :func:`render_frame` / :class:`LiveDashboard` /
+  :func:`write_html_report` — the live ANSI view and the static HTML
+  quality report (:mod:`repro.telemetry.dashboard`), driven by
+  ``python -m repro.experiments observe``.
+
 Usage::
 
     from repro.telemetry import TelemetryRecorder, Tracer
@@ -31,7 +49,16 @@ The ``telemetry`` CLI subcommand (``python -m repro.experiments
 telemetry``) wires all of this together for the Figure 4 configuration.
 """
 
+from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.dashboard import LiveDashboard, render_frame, write_html_report
+from repro.telemetry.profiler import PhaseProfiler
 from repro.telemetry.provenance import git_sha, provenance
+from repro.telemetry.quality import (
+    compute_quality,
+    execution_time_matrix,
+    record_quality,
+)
+from repro.telemetry.quantiles import P2Quantile
 from repro.telemetry.recorder import NULL_RECORDER, NullRecorder, TelemetryRecorder
 from repro.telemetry.registry import (
     Counter,
@@ -44,16 +71,26 @@ from repro.telemetry.report import RunReport
 from repro.telemetry.tracer import Tracer
 
 __all__ = [
+    "AuditConfig",
     "Counter",
+    "EstimatorAudit",
     "Gauge",
     "Histogram",
+    "LiveDashboard",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "P2Quantile",
+    "PhaseProfiler",
     "RunReport",
     "Sample",
     "TelemetryRecorder",
     "Tracer",
+    "compute_quality",
+    "execution_time_matrix",
     "git_sha",
     "provenance",
+    "record_quality",
+    "render_frame",
+    "write_html_report",
 ]

@@ -1,0 +1,141 @@
+"""Nanosecond phase profiler for the simulation hot paths.
+
+A :class:`PhaseProfiler` measures *where the engine's time goes* —
+hashing, estimate gathering, routing scans, sketch folds, window-close
+FSM work — as a tree of named spans:
+
+    profiler.start("route")
+    ...
+    profiler.start("window_close")   # nests under "route"
+    ...
+    profiler.stop()
+    profiler.stop()
+
+Each distinct path through the span stack (``("route",)``,
+``("route", "window_close")``, ...) accumulates a call count and a total
+time in nanoseconds (``time.perf_counter_ns``).  ``report()`` derives
+self time (total minus the children's totals) and ``to_flamegraph()``
+emits the collapsed-stack text format Brendan Gregg's ``flamegraph.pl``
+(or speedscope) consumes directly::
+
+    simulate;route 12345678
+    simulate;route;window_close 2345678
+
+The profiler is engine-agnostic: the simulator guards every span behind
+``if profiler is not None``, so un-profiled runs pay nothing, and the
+span structure (though not the times) is deterministic for a given
+stream.  Spans do not need to align with tuples — the chunked engine
+opens one "route" span per control-quiet segment.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter_ns
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Aggregating span profiler (see module docstring)."""
+
+    __slots__ = ("_path", "_starts", "_nodes")
+
+    def __init__(self) -> None:
+        #: current span stack, as names
+        self._path: list[str] = []
+        self._starts: list[int] = []
+        #: path tuple -> [calls, total_ns]
+        self._nodes: dict[tuple[str, ...], list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # span API (hot path: two list ops and one clock read per edge)
+    # ------------------------------------------------------------------
+    def start(self, name: str) -> None:
+        """Open a span named ``name``, nested under the current one."""
+        self._path.append(name)
+        self._starts.append(perf_counter_ns())
+
+    def stop(self) -> None:
+        """Close the innermost open span."""
+        elapsed = perf_counter_ns() - self._starts.pop()
+        path = tuple(self._path)
+        self._path.pop()
+        node = self._nodes.get(path)
+        if node is None:
+            self._nodes[path] = [1, elapsed]
+        else:
+            node[0] += 1
+            node[1] += elapsed
+
+    @contextmanager
+    def span(self, name: str):
+        """Context-manager form of :meth:`start`/:meth:`stop`."""
+        self.start(name)
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> tuple[str, ...]:
+        """Names of the currently open spans, outermost first."""
+        return tuple(self._path)
+
+    def report(self) -> dict:
+        """Aggregated spans: ``{"spans": [...], "total_ns": ...}``.
+
+        Each span entry carries its path, call count, total nanoseconds
+        and self nanoseconds (total minus direct children).  Sorted by
+        path so the output is stable.
+        """
+        if self._path:
+            raise RuntimeError(
+                f"cannot report with open spans: {self._path!r}"
+            )
+        children_total: dict[tuple[str, ...], int] = {}
+        for path, (_, total) in self._nodes.items():
+            if len(path) > 1:
+                parent = path[:-1]
+                children_total[parent] = children_total.get(parent, 0) + total
+        spans = []
+        for path in sorted(self._nodes):
+            calls, total = self._nodes[path]
+            spans.append(
+                {
+                    "path": list(path),
+                    "name": path[-1],
+                    "depth": len(path),
+                    "calls": calls,
+                    "total_ns": total,
+                    "self_ns": total - children_total.get(path, 0),
+                }
+            )
+        root_total = sum(
+            total for path, (_, total) in self._nodes.items() if len(path) == 1
+        )
+        return {"total_ns": root_total, "spans": spans}
+
+    def to_flamegraph(self) -> str:
+        """Collapsed-stack lines (``a;b;c <self_ns>``), one per span path."""
+        report = self.report()
+        lines = []
+        for span in report["spans"]:
+            self_ns = span["self_ns"]
+            if self_ns > 0:
+                lines.append(f"{';'.join(span['path'])} {self_ns}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save_json(self, path: "str | Path") -> Path:
+        """Write :meth:`report` as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.report(), indent=2) + "\n")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseProfiler(paths={len(self._nodes)}, open={self._path!r})"

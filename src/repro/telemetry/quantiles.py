@@ -1,0 +1,177 @@
+"""Streaming quantiles: the P² (piecewise-parabolic) estimator.
+
+Jain & Chlamtac's P² algorithm (CACM 1985) tracks one quantile of a
+stream in O(1) memory: five markers whose heights straddle the target
+quantile are nudged after every observation, moving along a parabola
+fitted through their neighbours.  The estimate is the height of the
+middle marker.
+
+Two places use it:
+
+- :class:`~repro.telemetry.audit.EstimatorAudit` keeps error quantiles
+  over the sampled tuples without retaining the samples;
+- :meth:`repro.simulator.metrics.CompletionStats.percentile` defaults to
+  it, bounding report memory at production stream sizes (an
+  ``exact=True`` flag keeps the old ``np.percentile`` available).
+
+The estimator is deterministic: the same observation sequence always
+produces the same value, which the audit's reproducibility guarantee
+relies on.  For fewer than five observations the exact sample quantile
+(linear interpolation, ``np.percentile``'s default rule) is returned.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["P2Quantile"]
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm.
+
+    Parameters
+    ----------
+    q:
+        Target quantile in ``(0, 1)``, e.g. ``0.99`` for the p99.
+    """
+
+    __slots__ = ("q", "_count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._count = 0
+        #: first five observations, kept sorted; becomes marker heights
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        value = float(value)
+        if value != value:
+            raise ValueError("cannot observe NaN")
+        count = self._count + 1
+        self._count = count
+        heights = self._heights
+        if count <= 5:
+            bisect.insort(heights, value)
+            if count == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0 + 4.0 * rate for rate in self._rates
+                ]
+            return
+
+        positions = self._positions
+        # Locate the cell containing the observation, clamping the
+        # extreme markers to the running min/max.  The position and
+        # desired-position updates are unrolled: the estimator audit
+        # calls this once per quantile per sampled tuple, and the loop
+        # bookkeeping dominated the steady-state cost.
+        if value < heights[0]:
+            heights[0] = value
+            positions[1] += 1.0
+            positions[2] += 1.0
+            positions[3] += 1.0
+        elif value >= heights[4]:
+            if value > heights[4]:
+                heights[4] = value
+        elif value < heights[1]:
+            positions[1] += 1.0
+            positions[2] += 1.0
+            positions[3] += 1.0
+        elif value < heights[2]:
+            positions[2] += 1.0
+            positions[3] += 1.0
+        elif value < heights[3]:
+            positions[3] += 1.0
+        positions[4] += 1.0
+        desired = self._desired
+        rates = self._rates
+        desired[1] += rates[1]
+        desired[2] += rates[2]
+        desired[3] += rates[3]
+        desired[4] += 1.0
+
+        # Nudge the three interior markers toward their desired positions.
+        for index in (1, 2, 3):
+            delta = desired[index] - positions[index]
+            pos = positions[index]
+            right = positions[index + 1]
+            left = positions[index - 1]
+            if (delta >= 1.0 and right - pos > 1.0) or (
+                delta <= -1.0 and left - pos < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] = pos + step
+
+    def observe_many(self, values) -> None:
+        """Fold a sequence of observations, in order."""
+        for value in values:
+            self.observe(value)
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        pos = positions[index]
+        left, right = positions[index - 1], positions[index + 1]
+        return heights[index] + step / (right - left) * (
+            (pos - left + step)
+            * (heights[index + 1] - heights[index])
+            / (right - pos)
+            + (right - pos - step)
+            * (heights[index] - heights[index - 1])
+            / (pos - left)
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        other = index + int(step)
+        return heights[index] + step * (heights[other] - heights[index]) / (
+            positions[other] - positions[index]
+        )
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Observations folded in so far."""
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN before any observation).
+
+        Exact (linear-interpolated sample quantile) through the fifth
+        observation, the P² middle-marker height afterwards.
+        """
+        count = self._count
+        if count == 0:
+            return float("nan")
+        heights = self._heights
+        if count <= 5:
+            # np.percentile's default linear interpolation
+            rank = self.q * (count - 1)
+            lo = int(rank)
+            frac = rank - lo
+            if frac == 0.0 or lo + 1 >= count:
+                return heights[lo]
+            return heights[lo] + frac * (heights[lo + 1] - heights[lo])
+        return heights[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"P2Quantile(q={self.q}, count={self._count}, value={self.value})"

@@ -23,7 +23,7 @@ import numpy as np
 #: tracer event kinds that make up the FSM timeline section
 FSM_EVENT_KINDS = ("scheduler_state", "instance_window")
 
-SCHEMA = "posg-run-report/v2"
+SCHEMA = "posg-run-report/v3"
 
 
 @dataclass
@@ -60,6 +60,10 @@ class RunReport:
     metrics: dict = field(default_factory=dict)
     #: ``FaultInjector.report()`` when the run was fault-injected (v2)
     faults: dict | None = None
+    #: ``EstimatorAudit.report()`` when the run was audited (v3)
+    audit: dict | None = None
+    #: ``compute_quality(...)`` decision-quality metrics (v3)
+    quality: dict | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -72,6 +76,7 @@ class RunReport:
         baseline=None,
         telemetry=None,
         policy_name: str | None = None,
+        quality: dict | None = None,
     ) -> "RunReport":
         """Build a report from a ``SimulationResult``-shaped object.
 
@@ -90,6 +95,12 @@ class RunReport:
             events are embedded.
         policy_name:
             Overrides ``result.policy.name``.
+        quality:
+            Optional decision-quality dict from
+            :func:`repro.telemetry.quality.compute_quality` (it needs
+            the stream/scenario, which ``result`` does not carry, so the
+            caller computes it).  The run's estimator-audit block is
+            picked up automatically from ``result.audit``.
         """
         stats = result.stats
         policy = getattr(result, "policy", None)
@@ -139,6 +150,11 @@ class RunReport:
         if injector is not None and hasattr(injector, "report"):
             faults = injector.report()
 
+        audit = None
+        auditor = getattr(result, "audit", None)
+        if auditor is not None and hasattr(auditor, "report"):
+            audit = auditor.report()
+
         return cls(
             schema=SCHEMA,
             policy=name,
@@ -159,6 +175,8 @@ class RunReport:
             fsm_timeline=timeline,
             metrics=metrics,
             faults=faults,
+            audit=audit,
+            quality=quality,
         )
 
     # ------------------------------------------------------------------
@@ -201,6 +219,27 @@ class RunReport:
                 f"faults: {dropped} control messages dropped, "
                 f"{injected.get('crashes', 0)} crashes, "
                 f"{injected.get('slowed_tuples', 0)} slowed tuples"
+            )
+        if self.audit is not None:
+            rel = self.audit.get("rel_error_quantiles", {})
+            quantiles = "  ".join(
+                f"{key}={value:.3f}"
+                for key, value in rel.items()
+                if value is not None
+            )
+            lines.append(
+                f"estimator audit: {self.audit.get('samples', 0)} samples, "
+                f"mean |err| = {self.audit.get('mean_abs_error_ms', 0.0):.3f} ms"
+                + (f", rel err {quantiles}" if quantiles else "")
+            )
+        if self.quality is not None:
+            makespan = self.quality["makespan"]
+            lines.append(
+                "quality: achieved/oracle makespan = "
+                f"{makespan['achieved_vs_oracle']:.4f}, oracle/LB = "
+                f"{makespan['oracle_gos_ratio']:.4f} "
+                f"(bound {makespan['graham_bound']:.2f}), misrouted = "
+                f"{self.quality['regret']['misroute_fraction']:.4f}"
             )
         return "\n".join(lines)
 

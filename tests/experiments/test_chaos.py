@@ -16,11 +16,21 @@ class TestChaosExperiment:
         assert "recovered=True" in out
 
         report = json.loads((tmp_path / "report.json").read_text())
-        assert report["schema"] == "posg-run-report/v2"
+        assert report["schema"] == "posg-run-report/v3"
         assert report["faults"] is not None
         assert report["faults"]["injected"]["crashes"] == 1
         assert sum(report["faults"]["injected"]["dropped"].values()) > 0
         assert report["speedup_vs_baseline"] > 0
+
+        # v3: the estimator audit splits at the crash, quality is present
+        assert report["audit"]["samples"] > 0
+        segments = report["audit"]["segments"]
+        assert len(segments) == 2
+        assert segments[0]["samples"] > 0 and segments[1]["samples"] > 0
+        assert "estimator audit" in out and "before crash" in out
+        quality = report["quality"]
+        assert quality["makespan"]["achieved_vs_oracle"] >= 1.0
+        assert 0.0 <= quality["regret"]["misroute_fraction"] <= 1.0
 
         prom = (tmp_path / "metrics.prom").read_text()
         assert "posg_fault_" in prom

@@ -1,0 +1,59 @@
+"""Smoke tests for the observe experiment (the quality observatory)."""
+
+import json
+
+from repro.experiments.cli import main
+
+
+class TestObserveExperiment:
+    def test_runs_and_writes_artifacts(self, tmp_path, capsys):
+        # --scale below the floor clamps to the minimum observable stream
+        code = main(["observe", "--scale", "0.01", "--output", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "posg observe" in out  # the static dashboard frame
+        assert "estimator audit" in out
+
+        report = json.loads((tmp_path / "quality_report.json").read_text())
+        assert report["schema"] == "posg-run-report/v3"
+        assert report["policy"] == "posg"
+
+        audit = report["audit"]
+        assert audit["samples"] > 0
+        assert audit["theorem43"]["all_markov_hold"] is True
+        assert audit["abs_error_quantiles_ms"]["p50"] is not None
+
+        quality = report["quality"]
+        assert quality["makespan"]["achieved_vs_oracle"] >= 1.0
+        assert quality["makespan"]["theorem42_holds"] is True
+        assert 0.0 <= quality["regret"]["misroute_fraction"] <= 1.0
+
+        html = (tmp_path / "quality_report.html").read_text()
+        assert "Decision quality" in html
+        assert "Estimator audit" in html
+
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "posg_estimator_samples_total" in prom
+        assert "posg_quality_achieved_makespan_ms" in prom
+
+        profile = json.loads((tmp_path / "profile.json").read_text())
+        names = {span["name"] for span in profile["spans"]}
+        assert {"simulate", "route", "estimate"} <= names
+        flame = (tmp_path / "flamegraph.txt").read_text()
+        assert flame.splitlines()[0].startswith("simulate")
+
+    def test_reproducible_audit(self, tmp_path, capsys):
+        for run in ("a", "b"):
+            assert main([
+                "observe", "--scale", "0.01",
+                "--output", str(tmp_path / run),
+            ]) == 0
+        capsys.readouterr()  # drain
+        first = json.loads((tmp_path / "a" / "quality_report.json").read_text())
+        second = json.loads((tmp_path / "b" / "quality_report.json").read_text())
+        assert first["audit"] == second["audit"]
+        assert first["quality"] == second["quality"]
+
+    def test_listed_in_cli(self, capsys):
+        assert main(["list"]) == 0
+        assert "observe" in capsys.readouterr().out

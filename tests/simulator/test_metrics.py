@@ -24,7 +24,24 @@ class TestBasics:
     def test_max_and_percentile(self):
         stats = make_stats(np.arange(1, 101, dtype=float))
         assert stats.max_completion_time == 100.0
-        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.percentile(50, exact=True) == pytest.approx(50.5)
+        # The default streaming (P²) path approximates the same value.
+        assert stats.percentile(50) == pytest.approx(50.5, rel=0.05)
+
+    def test_percentile_extremes_and_validation(self):
+        stats = make_stats(np.arange(1, 101, dtype=float))
+        assert stats.percentile(0) == 1.0
+        assert stats.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_percentile_small_sample_is_exact(self):
+        values = [3.0, 1.0, 2.0]
+        stats = make_stats(values)
+        for q in (0.0, 25.0, 50.0, 90.0, 100.0):
+            assert stats.percentile(q) == pytest.approx(
+                np.percentile(values, q)
+            )
 
     def test_m(self):
         assert make_stats([1.0, 2.0, 3.0]).m == 3

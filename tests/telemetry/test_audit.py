@@ -1,0 +1,139 @@
+"""Unit tests for the online estimator audit (fake-scheduler level)."""
+
+import math
+
+import pytest
+from pytest import approx
+
+from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+class FakeScheduler:
+    """Duck-typed scheduler: deterministic pure estimate, no rows."""
+
+    def estimate(self, item, instance):
+        return float(item)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ValueError):
+            AuditConfig(sample_every=0)
+
+    def test_rejects_empty_quantiles(self):
+        with pytest.raises(ValueError):
+            AuditConfig(quantiles=())
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.5])
+    def test_rejects_quantiles_outside_open_interval(self, q):
+        with pytest.raises(ValueError):
+            AuditConfig(quantiles=(q,))
+
+    def test_rejects_nonpositive_thresholds(self):
+        with pytest.raises(ValueError):
+            AuditConfig(tail_thresholds_ms=(0.0,))
+
+    def test_sorts_segment_boundaries(self):
+        config = AuditConfig(segment_boundaries=(30, 10, 20))
+        assert config.segment_boundaries == (10, 20, 30)
+
+    def test_rejects_scheduler_without_estimate(self):
+        with pytest.raises(ValueError, match="estimate"):
+            EstimatorAudit(object())
+
+
+class TestObservation:
+    def test_error_tallies(self):
+        audit = EstimatorAudit(FakeScheduler(), AuditConfig())
+        # estimate = item; truths chosen so errors are 1, -2, 0
+        audit.observe(0, 5, 0, 4.0)
+        audit.observe(256, 3, 1, 5.0)
+        audit.observe(512, 7, 2, 7.0)
+        report = audit.report()
+        assert report["samples"] == 3
+        assert report["mean_true_ms"] == approx((4 + 5 + 7) / 3)
+        assert report["mean_estimate_ms"] == approx(5.0)
+        assert report["mean_abs_error_ms"] == approx(1.0)
+        assert report["overestimate_fraction"] == approx(1 / 3)
+        # exact quantiles below five observations
+        assert report["abs_error_quantiles_ms"]["p50"] == approx(1.0)
+
+    def test_zero_true_time_counted_not_divided(self):
+        audit = EstimatorAudit(FakeScheduler(), AuditConfig())
+        audit.observe(0, 2, 0, 0.0)
+        report = audit.report()
+        assert report["zero_true_samples"] == 1
+        assert report["rel_error_quantiles"]["p50"] is None
+
+    def test_segments_split_at_boundaries(self):
+        audit = EstimatorAudit(
+            FakeScheduler(), AuditConfig(segment_boundaries=(10,))
+        )
+        for index in range(0, 20, 2):
+            audit.observe(index, 4, 0, 4.0)
+        report = audit.report()
+        segments = report["segments"]
+        assert [s["start"] for s in segments] == [0, 10]
+        assert segments[0]["end"] == 10
+        assert segments[1]["end"] is None  # open until stream end
+        assert segments[0]["samples"] == 5
+        assert segments[1]["samples"] == 5
+        assert report["samples"] == 10
+
+    def test_empty_segment_reports_none(self):
+        audit = EstimatorAudit(
+            FakeScheduler(), AuditConfig(segment_boundaries=(5,))
+        )
+        audit.observe(7, 4, 0, 4.0)  # lands after the boundary
+        segments = audit.report()["segments"]
+        assert segments[0]["samples"] == 0
+        assert segments[0]["mean_abs_error_ms"] is None
+        assert segments[1]["samples"] == 1
+
+
+class TestTheorem43:
+    def test_markov_holds_on_empirical_measure(self):
+        audit = EstimatorAudit(
+            FakeScheduler(), AuditConfig(tail_thresholds_ms=(5.0, 20.0))
+        )
+        for index in range(50):
+            audit.observe(index, 10, 0, 10.0)  # every estimate is 10
+        checks = audit.theorem43_checks()
+        below, above = checks
+        assert below["threshold_ms"] == 5.0
+        assert below["empirical_tail"] == approx(1.0)
+        assert below["markov_bound"] == approx(1.0)  # min(1, 10/5)
+        assert above["empirical_tail"] == approx(0.0)
+        assert above["markov_bound"] == approx(0.5)
+        assert all(check["holds"] for check in checks)
+        assert audit.report()["theorem43"]["all_markov_hold"] is True
+
+    def test_row_bound_none_without_sketch_shape(self):
+        audit = EstimatorAudit(FakeScheduler(), AuditConfig())
+        audit.observe(0, 100, 0, 1.0)
+        assert audit.theorem43_checks()[0]["row_bound"] is None
+
+
+class TestTelemetryExport:
+    def test_collector_publishes_gauges(self):
+        with TelemetryRecorder() as recorder:
+            audit = EstimatorAudit(
+                FakeScheduler(), AuditConfig(), telemetry=recorder
+            )
+            audit.observe(0, 6, 0, 5.0)
+            snapshot = recorder.registry.snapshot()
+        assert snapshot["posg_estimator_samples_total"] == 1
+        assert snapshot["posg_estimator_mean_abs_error_ms"] == approx(1.0)
+        assert any(
+            key.startswith("posg_estimator_tail_fraction") for key in snapshot
+        )
+
+    def test_report_is_json_clean(self):
+        import json
+
+        audit = EstimatorAudit(FakeScheduler(), AuditConfig())
+        for index in range(12):
+            audit.observe(index, index % 5 + 1, 0, 3.0)
+        payload = json.dumps(audit.report())
+        assert "samples" in payload

@@ -1,0 +1,170 @@
+"""Tests for the ANSI dashboard frames and the static HTML report."""
+
+import io
+
+import pytest
+from pytest import approx
+
+from repro.telemetry.dashboard import (
+    LiveDashboard,
+    render_frame,
+    write_html_report,
+)
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+def make_snapshot():
+    return {
+        'posg_scheduler_state_info{state="RUN"}': 1,
+        "posg_scheduler_tuples_scheduled_total": 4096,
+        "posg_scheduler_epoch": 2,
+        "posg_scheduler_sync_rounds_total": 3,
+        'posg_scheduler_c_hat_ms{instance="0"}': 100.0,
+        'posg_scheduler_c_hat_ms{instance="1"}': 50.0,
+        "posg_estimator_samples_total": 64,
+        "posg_estimator_mean_true_ms": 7.0,
+        "posg_estimator_mean_estimate_ms": 7.2,
+        "posg_estimator_mean_abs_error_ms": 0.9,
+        "posg_estimator_rel_error_p50": 0.1,
+        'posg_estimator_tail_fraction{threshold_ms="48"}': 0.02,
+        "posg_quality_achieved_makespan_ms": 900.0,
+        "posg_quality_achieved_vs_oracle": 1.01,
+        "posg_quality_oracle_gos_ratio": 1.002,
+        "posg_quality_imbalance": 0.03,
+        "posg_quality_misroute_fraction": 0.4,
+        "posg_quality_regret_ms": 123.0,
+        "sim_tuples_total": 4096,
+        "sim_avg_completion_ms": 42.5,
+        "sim_control_messages_total": 17,
+    }
+
+
+class TestRenderFrame:
+    def test_sections_present(self):
+        frame = render_frame(make_snapshot(), title="unit test")
+        assert "== unit test ==" in frame
+        assert "state=RUN" in frame
+        assert "C_hat" in frame
+        assert "samples=" in frame
+        assert "achieved/oracle=1.0100" in frame
+        assert "L=42.500 ms" in frame
+
+    def test_plain_frame_has_no_ansi(self):
+        frame = render_frame(make_snapshot())
+        assert "\x1b[" not in frame
+
+    def test_ansi_frame_has_escapes(self):
+        frame = render_frame(make_snapshot(), ansi=True)
+        assert "\x1b[1m" in frame
+
+    def test_empty_snapshot_renders_header_only(self):
+        frame = render_frame({}, title="empty")
+        assert "== empty ==" in frame
+        assert "state=?" in frame
+
+    def test_bars_scale_to_peak(self):
+        frame = render_frame(make_snapshot())
+        lines = {line.split()[0]: line for line in frame.splitlines()
+                 if line.strip().startswith("i")}
+        assert lines["i0"].count("#") > lines["i1"].count("#")
+
+
+class TestLiveDashboard:
+    def test_rejects_bad_interval(self):
+        with TelemetryRecorder() as recorder:
+            with pytest.raises(ValueError):
+                LiveDashboard(recorder, interval=0.0)
+
+    def test_runs_function_and_paints(self):
+        sink = io.StringIO()
+        with TelemetryRecorder() as recorder:
+            recorder.registry.gauge("sim_avg_completion_ms").set(1.25)
+            dashboard = LiveDashboard(
+                recorder, interval=0.01, out=sink, ansi=False, title="live"
+            )
+            result = dashboard.run(lambda: 41 + 1)
+        assert result == 42
+        assert dashboard.frames_rendered >= 2  # initial + final
+        assert "== live ==" in sink.getvalue()
+
+    def test_reraises_worker_exception(self):
+        sink = io.StringIO()
+        with TelemetryRecorder() as recorder:
+            dashboard = LiveDashboard(
+                recorder, interval=0.01, out=sink, ansi=False
+            )
+
+            def explode():
+                raise RuntimeError("worker failed")
+
+            with pytest.raises(RuntimeError, match="worker failed"):
+                dashboard.run(explode)
+
+
+class TestHtmlReport:
+    def make_report(self):
+        return {
+            "schema": "posg-run-report/v3",
+            "policy": "posg",
+            "m": 1024,
+            "k": 5,
+            "average_completion_ms": 12.5,
+            "p99_completion_ms": 60.0,
+            "max_completion_ms": 80.0,
+            "imbalance": 0.01,
+            "control_messages": 10,
+            "control_bits": 5000,
+            "quality": {
+                "makespan": {
+                    "achieved_ms": 300.0,
+                    "oracle_gos_ms": 295.0,
+                    "opt_lower_bound_ms": 294.0,
+                    "achieved_vs_oracle": 1.0169,
+                    "oracle_gos_ratio": 1.0034,
+                    "graham_bound": 1.8,
+                    "theorem42_holds": True,
+                },
+                "imbalance": {"final": 0.02},
+                "regret": {"misroute_fraction": 0.3, "total_ms": 42.0},
+            },
+            "audit": {
+                "samples": 64,
+                "sample_every": 16,
+                "mean_true_ms": 7.0,
+                "mean_estimate_ms": 7.1,
+                "mean_abs_error_ms": 0.8,
+                "overestimate_fraction": 0.6,
+                "abs_error_quantiles_ms": {"p50": 0.5, "p99": 4.0},
+                "rel_error_quantiles": {"p50": 0.08, "p99": 0.9},
+                "theorem43": {
+                    "rows": 4,
+                    "checks": [
+                        {
+                            "threshold_ms": 48.0,
+                            "empirical_tail": 0.0,
+                            "markov_bound": 0.15,
+                            "row_bound": 0.0005,
+                            "holds": True,
+                        }
+                    ],
+                },
+            },
+        }
+
+    def test_writes_sections_and_embedded_json(self, tmp_path):
+        path = write_html_report(tmp_path / "report.html", self.make_report())
+        document = path.read_text()
+        assert document.startswith("<!doctype html>")
+        assert "Decision quality" in document
+        assert "Estimator audit" in document
+        assert "Theorem 4.3 tail checks" in document
+        assert "posg-run-report/v3" in document
+        assert "report-json" in document
+
+    def test_minimal_report_skips_optional_sections(self, tmp_path):
+        report = {"schema": "posg-run-report/v3", "policy": "rr", "m": 1, "k": 1}
+        path = write_html_report(tmp_path / "minimal.html", report)
+        document = path.read_text()
+        assert "Decision quality" not in document
+        assert "Estimator audit" not in document
+        assert "<h1>POSG quality report</h1>" in document

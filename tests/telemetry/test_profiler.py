@@ -1,0 +1,134 @@
+"""Tests for the nanosecond phase profiler."""
+
+import json
+
+import pytest
+
+from repro.telemetry.profiler import PhaseProfiler
+
+
+class TestSpans:
+    def test_nested_paths_accumulate(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            profiler.start("route")
+            profiler.start("window_close")
+            profiler.stop()
+            profiler.stop()
+        report = profiler.report()
+        by_path = {tuple(span["path"]): span for span in report["spans"]}
+        assert by_path[("route",)]["calls"] == 3
+        assert by_path[("route", "window_close")]["calls"] == 3
+        assert by_path[("route", "window_close")]["depth"] == 2
+
+    def test_self_time_excludes_children(self):
+        profiler = PhaseProfiler()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        report = profiler.report()
+        by_path = {tuple(span["path"]): span for span in report["spans"]}
+        outer = by_path[("outer",)]
+        inner = by_path[("outer", "inner")]
+        assert outer["self_ns"] == outer["total_ns"] - inner["total_ns"]
+        assert inner["self_ns"] == inner["total_ns"]
+        assert report["total_ns"] == outer["total_ns"]
+
+    def test_open_spans_property(self):
+        profiler = PhaseProfiler()
+        assert profiler.open_spans == ()
+        profiler.start("a")
+        profiler.start("b")
+        assert profiler.open_spans == ("a", "b")
+        profiler.stop()
+        profiler.stop()
+
+    def test_report_refuses_open_spans(self):
+        profiler = PhaseProfiler()
+        profiler.start("dangling")
+        with pytest.raises(RuntimeError, match="dangling"):
+            profiler.report()
+
+    def test_span_context_manager_closes_on_error(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiler.span("risky"):
+                raise RuntimeError("boom")
+        assert profiler.open_spans == ()
+
+
+class TestOutput:
+    def test_flamegraph_collapsed_stacks(self):
+        profiler = PhaseProfiler()
+        with profiler.span("simulate"):
+            with profiler.span("route"):
+                pass
+        text = profiler.to_flamegraph()
+        lines = [line for line in text.splitlines() if line]
+        assert any(line.startswith("simulate ") for line in lines)
+        assert any(line.startswith("simulate;route ") for line in lines)
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+
+    def test_empty_flamegraph_is_empty_string(self):
+        assert PhaseProfiler().to_flamegraph() == ""
+
+    def test_save_json_round_trips(self, tmp_path):
+        profiler = PhaseProfiler()
+        with profiler.span("simulate"):
+            pass
+        path = profiler.save_json(tmp_path / "profile.json")
+        payload = json.loads(path.read_text())
+        assert payload["spans"][0]["name"] == "simulate"
+        assert payload["total_ns"] >= 0
+
+
+class TestEngineIntegration:
+    def test_chunked_run_produces_expected_phases(self):
+        import numpy as np
+
+        from repro.core.config import POSGConfig
+        from repro.core.grouping import POSGGrouping
+        from repro.simulator.run import simulate_stream
+        from repro.workloads.synthetic import default_stream
+
+        profiler = PhaseProfiler()
+        stream = default_stream(seed=0, m=6000, n=128, w_n=32)
+        simulate_stream(
+            stream,
+            POSGGrouping(POSGConfig(window_size=64, rows=2, cols=16)),
+            k=3,
+            rng=np.random.default_rng(1),
+            chunk_size=512,
+            profiler=profiler,
+        )
+        report = profiler.report()
+        names = {span["name"] for span in report["spans"]}
+        # all five instrumented phases plus the root span appear
+        assert {"simulate", "control", "route", "fold", "window_close",
+                "hash", "estimate"} <= names
+        roots = [span for span in report["spans"] if span["depth"] == 1]
+        assert [span["name"] for span in roots] == ["simulate"]
+        assert roots[0]["calls"] == 1
+
+    def test_reference_engine_accepts_profiler(self):
+        import numpy as np
+
+        from repro.core.config import POSGConfig
+        from repro.core.grouping import POSGGrouping
+        from repro.simulator.run import simulate_stream
+        from repro.workloads.synthetic import default_stream
+
+        profiler = PhaseProfiler()
+        stream = default_stream(seed=0, m=1500, n=64, w_n=16)
+        simulate_stream(
+            stream,
+            POSGGrouping(POSGConfig(window_size=64, rows=2, cols=16)),
+            k=3,
+            rng=np.random.default_rng(1),
+            chunk_size=0,
+            profiler=profiler,
+        )
+        names = {span["name"] for span in profiler.report()["spans"]}
+        assert "simulate" in names and "route" in names

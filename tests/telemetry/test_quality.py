@@ -1,0 +1,96 @@
+"""Tests for the decision-quality metrics (hand-computed small cases)."""
+
+import numpy as np
+import pytest
+from pytest import approx
+
+from repro.telemetry.quality import (
+    compute_quality,
+    execution_time_matrix,
+    record_quality,
+)
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+class TestHandComputed:
+    def test_unit_times_one_misroute(self):
+        """m=4, k=2, every tuple costs 1 ms everywhere.
+
+        assignments [0, 0, 1, 1]: tuple 1 goes to instance 0 while
+        instance 1 sits idle — exactly one misroute with gap 1 ms.
+        """
+        times = np.ones((4, 2))
+        quality = compute_quality([0, 0, 1, 1], times, k=2, window=2)
+        makespan = quality["makespan"]
+        assert makespan["achieved_ms"] == approx(2.0)
+        assert makespan["oracle_gos_ms"] == approx(2.0)
+        assert makespan["opt_lower_bound_ms"] == approx(2.0)
+        assert makespan["achieved_vs_oracle"] == approx(1.0)
+        assert makespan["oracle_gos_ratio"] == approx(1.0)
+        assert makespan["graham_bound"] == approx(1.5)
+        assert quality["identical_machines"] is True
+        assert makespan["theorem42_holds"] is True
+        regret = quality["regret"]
+        assert regret["misrouted"] == 1
+        assert regret["misroute_fraction"] == approx(0.25)
+        assert regret["total_ms"] == approx(1.0)
+        assert quality["imbalance"]["final"] == approx(0.0)
+        # two windows of two tuples; the miss is in the first
+        assert [w["misroute_fraction"] for w in regret["windows"]] == [0.5, 0.0]
+
+    def test_perfect_schedule_has_zero_regret(self):
+        times = np.ones((4, 2))
+        quality = compute_quality([0, 1, 0, 1], times, k=2)
+        assert quality["regret"]["misrouted"] == 0
+        assert quality["regret"]["total_ms"] == 0.0
+        assert quality["makespan"]["achieved_vs_oracle"] == approx(1.0)
+
+    def test_heterogeneous_machines_skip_theorem42(self):
+        times = np.asarray([[1.0, 2.0], [1.0, 2.0]])
+        quality = compute_quality([0, 1], times, k=2)
+        assert quality["identical_machines"] is False
+        assert quality["makespan"]["theorem42_holds"] is None
+
+    def test_all_on_one_instance_imbalance(self):
+        times = np.ones((4, 2))
+        quality = compute_quality([0, 0, 0, 0], times, k=2)
+        # loads [4, 0]: max/mean - 1 = 4/2 - 1
+        assert quality["imbalance"]["final"] == approx(1.0)
+        assert quality["makespan"]["achieved_ms"] == approx(4.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            compute_quality([0, 1], np.ones((3, 2)), k=2)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            compute_quality([0, 1], np.ones((2, 2)), k=2, window=0)
+
+
+class TestExecutionTimeMatrix:
+    def test_constant_scenario_repeats_base_times(self):
+        from repro.workloads.nonstationary import LoadShiftScenario
+        from repro.workloads.synthetic import default_stream
+
+        stream = default_stream(seed=0, m=256, n=64)
+        times = execution_time_matrix(
+            stream, LoadShiftScenario.constant(3), k=3
+        )
+        assert times.shape == (256, 3)
+        base = np.asarray(stream.base_times)
+        for column in range(3):
+            assert np.array_equal(times[:, column], base)
+
+
+class TestRecordQuality:
+    def test_gauges_published(self):
+        times = np.ones((4, 2))
+        quality = compute_quality([0, 0, 1, 1], times, k=2)
+        with TelemetryRecorder() as recorder:
+            record_quality(recorder, quality)
+            snapshot = recorder.registry.snapshot()
+        assert snapshot["posg_quality_achieved_makespan_ms"] == approx(2.0)
+        assert snapshot["posg_quality_misroute_fraction"] == approx(0.25)
+        assert snapshot["posg_quality_regret_ms"] == approx(1.0)

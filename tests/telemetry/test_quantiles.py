@@ -1,0 +1,88 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from pytest import approx
+
+from repro.telemetry.quantiles import P2Quantile
+
+
+class TestValidation:
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_quantile_outside_open_interval(self, q):
+        with pytest.raises(ValueError):
+            P2Quantile(q)
+
+    def test_rejects_nan(self):
+        estimator = P2Quantile(0.5)
+        with pytest.raises(ValueError):
+            estimator.observe(float("nan"))
+
+    def test_empty_value_is_nan(self):
+        assert np.isnan(P2Quantile(0.5).value)
+
+
+class TestSmallSamples:
+    """Through five observations the estimate is the exact quantile."""
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9])
+    def test_exact_up_to_five(self, count, q):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0][:count]
+        estimator = P2Quantile(q)
+        estimator.observe_many(values)
+        assert estimator.value == approx(np.percentile(values, q * 100))
+        assert estimator.count == count
+
+
+class TestKnownDistributions:
+    """P² tracks exact percentiles on streams with known shape."""
+
+    @pytest.mark.parametrize(
+        "q, rel",
+        [(0.5, 0.02), (0.9, 0.02), (0.99, 0.05)],
+    )
+    def test_uniform(self, q, rel):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(10.0, 20.0, size=20_000)
+        estimator = P2Quantile(q)
+        estimator.observe_many(values)
+        assert estimator.value == approx(
+            np.percentile(values, q * 100), rel=rel
+        )
+
+    @pytest.mark.parametrize("q", [0.5, 0.9])
+    def test_lognormal_heavy_tail(self, q):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(mean=1.0, sigma=1.0, size=20_000)
+        estimator = P2Quantile(q)
+        estimator.observe_many(values)
+        assert estimator.value == approx(
+            np.percentile(values, q * 100), rel=0.05
+        )
+
+    def test_bimodal_median_lands_between_modes(self):
+        rng = np.random.default_rng(3)
+        values = np.concatenate(
+            [rng.normal(0.0, 0.1, 10_000), rng.normal(10.0, 0.1, 10_000)]
+        )
+        rng.shuffle(values)
+        estimator = P2Quantile(0.5)
+        estimator.observe_many(values)
+        assert 0.0 < estimator.value < 10.0
+
+
+class TestDeterminism:
+    def test_same_sequence_same_estimate(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(5.0, size=5_000)
+        a, b = P2Quantile(0.9), P2Quantile(0.9)
+        a.observe_many(values)
+        b.observe_many(values)
+        assert a.value == b.value
+
+    def test_extremes_track_running_min_max(self):
+        estimator = P2Quantile(0.5)
+        estimator.observe_many([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        assert estimator._heights[0] == 1.0
+        assert estimator._heights[4] == 9.0
