@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-throughput bench-telemetry bench-audit \
-	bench-history chaos observe figures figures-paper-scale examples clean
+	bench-history chaos observe multisource figures figures-paper-scale \
+	examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -49,6 +50,13 @@ chaos:
 # metrics.prom, profile.json and flamegraph.txt under observe-out/
 observe:
 	$(PYTHON) -m repro.experiments observe --scale 0.25 --output observe-out
+
+# multi-source sharding sweep: L(s)/L(1) for s in {1,2,4,8}; writes the
+# degradation curve to multisource-out/multisource.json and exits
+# non-zero if s=1 diverges from the single-scheduler path or any shard
+# never completes a sync round
+multisource:
+	$(PYTHON) -m repro.experiments multisource --scale 0.25 --output multisource-out
 
 # regenerate every paper figure without pytest
 figures:

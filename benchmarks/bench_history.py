@@ -1,15 +1,17 @@
 """Append-only performance history with a regression gate.
 
-One invocation measures the three numbers the repository tracks over
-time — POSG throughput on the Figure 4 configuration, the telemetry
-overhead ratio, and the estimator-audit overhead ratio — and appends
+One invocation measures the four numbers the repository tracks over
+time — POSG throughput on the Figure 4 configuration, the same
+configuration sharded over four sources, the telemetry overhead
+ratio, and the estimator-audit overhead ratio — and appends
 them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
 stamped with the usual provenance block (commit, dirty flag, python /
 numpy versions, platform).
 
 Before appending, the run is compared against the **last recorded
-entry with the same stream length**: if POSG throughput dropped by
-more than 10% the script exits non-zero and does NOT append, so a
+entry with the same stream length**: if POSG throughput (single- or
+multi-source) dropped by more than 10% the script exits non-zero and
+does NOT append, so a
 regressing commit cannot quietly rebase the baseline it is measured
 against.  Scaled-down runs (``REPRO_SCALE`` < 1.0) append with the
 gate skipped — CI smoke entries carry their own ``m`` and never match
@@ -39,6 +41,7 @@ import numpy as np
 
 from repro.core.config import POSGConfig
 from repro.core.grouping import POSGGrouping
+from repro.core.multisource import MultiSourcePOSGGrouping
 from repro.simulator.run import simulate_stream
 from repro.telemetry.audit import AuditConfig
 from repro.telemetry.provenance import provenance
@@ -52,10 +55,15 @@ HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 MAX_THROUGHPUT_REGRESSION = 0.10
 
 
-def _timed_run(m: int, telemetry=None, audit=None) -> float:
+def _timed_run(m: int, telemetry=None, audit=None, sources=None) -> float:
     """One chunked POSG run; elapsed seconds."""
     stream = default_stream(seed=0, m=m)
-    policy = POSGGrouping(POSGConfig.paper_defaults(), telemetry=telemetry)
+    if sources is None:
+        policy = POSGGrouping(POSGConfig.paper_defaults(), telemetry=telemetry)
+    else:
+        policy = MultiSourcePOSGGrouping(
+            sources, POSGConfig.paper_defaults(), telemetry=telemetry
+        )
     t0 = time.perf_counter()
     simulate_stream(
         stream,
@@ -105,6 +113,12 @@ def main() -> int:
 
     _timed_run(m)  # warmup
     throughput = m / min(_timed_run(m) for _ in range(reps))
+    # sharded data plane (per-tuple engine; its own baseline, not
+    # comparable to the vectorized single-source number)
+    s4_reps = max(1, reps // 3)
+    s4_throughput = m / min(
+        _timed_run(m, sources=4) for _ in range(s4_reps)
+    )
 
     def with_telemetry(m: int) -> float:
         with TelemetryRecorder() as recorder:
@@ -122,6 +136,7 @@ def main() -> int:
         "provenance": provenance(REPO_ROOT),
         "config": {"m": m, "k": 5, "reps": reps, "scale": scale},
         "posg_tuples_per_sec": throughput,
+        "posg_s4_tuples_per_sec": s4_throughput,
         "telemetry_enabled_vs_plain": telemetry_ratio,
         "audit_sampled_vs_plain": audit_ratio,
     }
@@ -142,6 +157,22 @@ def main() -> int:
                 "not appending"
             )
             return 1
+        s4_baseline = previous.get("posg_s4_tuples_per_sec")
+        if s4_baseline is not None:
+            s4_change = s4_throughput / s4_baseline - 1.0
+            print(
+                f"previous s=4 entry: {s4_baseline:,.0f} t/s; this run: "
+                f"{s4_throughput:,.0f} t/s ({s4_change:+.1%})"
+            )
+            if scale >= 1.0 and s4_throughput < s4_baseline * (
+                1.0 - MAX_THROUGHPUT_REGRESSION
+            ):
+                print(
+                    f"FAIL: s=4 throughput regressed {-s4_change:.1%} vs the "
+                    f"last recorded run (limit "
+                    f"{MAX_THROUGHPUT_REGRESSION:.0%}); not appending"
+                )
+                return 1
     else:
         print(f"no previous entry for m={m}; recording the first one")
 
@@ -149,8 +180,8 @@ def main() -> int:
         handle.write(json.dumps(entry) + "\n")
     print(f"appended to {HISTORY}")
     print(
-        f"posg {throughput:,.0f} t/s | telemetry {telemetry_ratio:.3f}x | "
-        f"audit {audit_ratio:.3f}x"
+        f"posg {throughput:,.0f} t/s | s=4 {s4_throughput:,.0f} t/s | "
+        f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x"
     )
     return 0
 

@@ -34,6 +34,7 @@ from repro.core.grouping import (
     TwoChoicesGrouping,
     POSGGrouping,
 )
+from repro.core.multisource import MultiSourcePOSGGrouping
 from repro.core.reactive import ReactiveGrouping
 from repro.core.dkg import DKGGrouping
 
@@ -59,6 +60,7 @@ __all__ = [
     "FullKnowledgeGrouping",
     "TwoChoicesGrouping",
     "POSGGrouping",
+    "MultiSourcePOSGGrouping",
     "ReactiveGrouping",
     "DKGGrouping",
 ]

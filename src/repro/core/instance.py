@@ -136,8 +136,13 @@ class InstanceTracker:
                 SyncReply(
                     instance=self._instance_id,
                     epoch=sync_request.epoch,
+                    # _cumulated_time is the instance's TOTAL measured
+                    # time — under multi-source scheduling this is what
+                    # re-baselines each shard against the global load,
+                    # not just the shard's own share.
                     delta=self._cumulated_time - sync_request.c_hat_at_send,
                     generation=self._generation,
+                    source=sync_request.source,
                 )
             )
 

@@ -60,6 +60,10 @@ class SyncRequest:
     instance: int
     epoch: int
     c_hat_at_send: float
+    #: originating scheduler shard under multi-source scheduling (0 = the
+    #: only scheduler in the single-source deployment); rides the message
+    #: header like ``generation``, so ``size_bits`` is unchanged
+    source: int = 0
 
     def size_bits(self) -> int:
         """One float on the wire (the rest rides along with the tuple)."""
@@ -75,6 +79,10 @@ class SyncReply:
     delta: float
     #: crash-restart counter of the sending instance (0 = never restarted)
     generation: int = 0
+    #: scheduler shard the triggering :class:`SyncRequest` came from —
+    #: echoed back so the reply can be routed to the right scheduler
+    #: under multi-source scheduling; rides the header (size unchanged)
+    source: int = 0
 
     def size_bits(self) -> int:
         """One float on the wire."""

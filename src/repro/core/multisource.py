@@ -1,0 +1,195 @@
+"""Multi-source (sharded) POSG scheduling.
+
+The paper deploys a *single* scheduling operator ``S`` in front of the
+``k`` instances of operator ``O``.  Real topologies have ``s`` parallel
+upstream executors, each running its own shuffle-grouping scheduler over
+the *same* downstream instances — so each scheduler only routes (and
+therefore only estimates) its own share of the stream.  This module
+models that deployment:
+
+- ``s`` independent :class:`~repro.core.scheduler.POSGScheduler`\\ s, one
+  per upstream source, each with its own FSM, epoch counter and
+  ``C_hat`` vector;
+- **one** :class:`~repro.core.instance.InstanceTracker` per downstream
+  instance, shared by every scheduler — the instance measures its total
+  cumulated execution time ``C_op`` across *all* sources;
+- stable ``(F, W)`` matrices are **broadcast**: every scheduler receives
+  (a private copy of) each instance's matrices message, so all shards
+  estimate with the same information;
+- :class:`~repro.core.messages.SyncRequest`\\ s carry the originating
+  shard id (``source``), and the instance echoes it on the
+  :class:`~repro.core.messages.SyncReply` so the reply is routed back to
+  the shard that asked.
+
+The crucial consequence of sharing the trackers is what ``Delta_op``
+means under sharding.  A scheduler's ``C_hat[op]`` only accumulates the
+estimates of *its own* assignments (roughly ``1/s`` of the load), but
+the instance computes ``Delta_op = C_op - c_hat_at_send`` against its
+**total** measured time.  Folding that delta therefore re-baselines the
+shard's estimate to the instance's *global* load: after each completed
+sync round every scheduler greedily balances against what the instance
+actually executed for everyone, not just for its own shard.  Between
+rounds the shards drift apart again (each sees only its own share of
+the arrivals), which is exactly the degradation the
+``python -m repro.experiments multisource`` experiment measures.
+
+With ``sources=1`` the subsystem collapses to the paper's deployment
+and is bit-identical to :class:`~repro.core.grouping.POSGGrouping`:
+one scheduler is built with ``source=None`` (so telemetry carries no
+extra labels), matrices "broadcast" to exactly that scheduler without
+copying, and every ``SyncReply`` carries ``source=0`` and routes to
+scheduler 0 — the same object graph and the same float operations in
+the same order as the single-scheduler path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.grouping import GroupingPolicy, POSGGrouping, RouteDecision
+from repro.core.matrices import make_shared_hashes
+from repro.core.messages import ControlMessage, MatricesMessage, SyncReply
+from repro.core.scheduler import POSGScheduler
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+class MultiSourcePOSGGrouping(POSGGrouping):
+    """POSG sharded across ``s`` upstream sources (one scheduler each).
+
+    Drop-in replacement for :class:`~repro.core.grouping.POSGGrouping`
+    in both engines: the ``s`` sub-streams are interleaved
+    deterministically by arrival index (tuple ``i`` is routed by
+    scheduler ``i mod s``, matching ``s`` upstream executors fed
+    round-robin by a balanced ingest layer).
+
+    Parameters
+    ----------
+    sources:
+        Number of upstream schedulers ``s`` (>= 1).
+    config, latency_hints, telemetry:
+        As for :class:`~repro.core.grouping.POSGGrouping`; shared by
+        every shard.
+    """
+
+    name = "posg_multisource"
+
+    def __init__(
+        self,
+        sources: int = 2,
+        config: POSGConfig | None = None,
+        latency_hints: "list[float] | None" = None,
+        telemetry=NULL_RECORDER,
+    ) -> None:
+        if sources < 1:
+            raise ValueError(f"sources must be >= 1, got {sources}")
+        super().__init__(config, latency_hints=latency_hints, telemetry=telemetry)
+        self._sources = int(sources)
+        self._schedulers: list[POSGScheduler] = []
+        self._cursor = 0
+
+    def setup(self, k: int, rng: np.random.Generator | None = None) -> None:
+        GroupingPolicy.setup(self, k, rng)
+        self._hashes = make_shared_hashes(self._config, rng=rng)
+        if self._sources == 1:
+            # source=None keeps the collapsed deployment bit-identical
+            # to POSGGrouping (no scheduler labels on telemetry).
+            shard_ids: list[int | None] = [None]
+        else:
+            shard_ids = list(range(self._sources))
+        self._schedulers = [
+            POSGScheduler(
+                k,
+                self._config,
+                latency_hints=self._latency_hints,
+                telemetry=self._telemetry,
+                source=shard,
+            )
+            for shard in shard_ids
+        ]
+        self._scheduler = self._schedulers[0]
+        self._agents = {}
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def route(self, item: int) -> RouteDecision:
+        """Route one tuple through the next shard in arrival order."""
+        source = self._cursor
+        cursor = source + 1
+        self._cursor = 0 if cursor == self._sources else cursor
+        decision = self._schedulers[source].submit(item)
+        return RouteDecision(decision.instance, decision.sync_request)
+
+    # ------------------------------------------------------------------
+    # control path
+    # ------------------------------------------------------------------
+    def on_control(self, message: ControlMessage) -> None:
+        """Broadcast matrices to every shard; route replies by source.
+
+        Each shard past the first receives a private *copy* of the
+        matrices: with ``config.merge_matrices`` the scheduler merges
+        incoming counters into its stored pair in place, so sharing one
+        object across shards would double-count every merge.
+        """
+        if isinstance(message, MatricesMessage):
+            self._schedulers[0].on_message(message)
+            for scheduler in self._schedulers[1:]:
+                scheduler.on_message(
+                    MatricesMessage(
+                        instance=message.instance,
+                        matrices=message.matrices.copy(),
+                        tuples_observed=message.tuples_observed,
+                        generation=message.generation,
+                    )
+                )
+        elif isinstance(message, SyncReply):
+            if not 0 <= message.source < self._sources:
+                raise ValueError(
+                    f"sync reply for unknown scheduler shard {message.source} "
+                    f"(have {self._sources})"
+                )
+            self._schedulers[message.source].on_message(message)
+        else:
+            raise TypeError(f"unexpected control message: {message!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> int:
+        """Number of upstream scheduler shards ``s``."""
+        return self._sources
+
+    @property
+    def schedulers(self) -> tuple[POSGScheduler, ...]:
+        """Every shard's scheduler, indexed by source id."""
+        return tuple(self._schedulers)
+
+    def stats(self) -> dict:
+        """Merged control-plane accounting across every shard.
+
+        Counter fields sum over the shards; ``state`` / ``epoch`` are
+        reported per shard under ``per_source``.
+        """
+        per_source = [scheduler.stats() for scheduler in self._schedulers]
+        merged: dict = {
+            "sources": self._sources,
+            "per_source": per_source,
+        }
+        for key in (
+            "tuples_scheduled",
+            "sync_rounds_completed",
+            "matrices_received",
+            "stale_replies_dropped",
+            "control_bits_sent",
+            "control_bits_received",
+            "control_bits",
+            "sync_retransmits",
+            "sync_rounds_abandoned",
+            "watchdog_fallbacks",
+            "restarts_detected",
+        ):
+            merged[key] = sum(stats[key] for stats in per_source)
+        return merged

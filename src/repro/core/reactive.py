@@ -13,10 +13,15 @@ the claim is measurable:
   each ``report_interval`` executed tuples (the periodic overhead);
 - the scheduler routes each tuple to the instance minimizing
   ``reported_time + in_flight * mean_tuple_cost``, where ``in_flight``
-  is the number of tuples assigned to the instance but not yet covered
-  by its last report — i.e. it extrapolates with the *average* cost
-  because, unlike POSG, it knows nothing about the content-dependence of
-  execution times.
+  is the number of tuples assigned to the instance since its last
+  report — i.e. it extrapolates with the instance's own
+  *average* cost (falling back to the global average before an instance
+  has one) because, unlike POSG, it knows nothing about the
+  content-dependence of execution times;
+- instances that have not reported yet keep receiving round-robin
+  shares: with no load figure there is nothing to rank them by, and
+  projecting them as ``0 + in_flight * mean_cost`` would let one early
+  report herd the whole stream onto the silent instances.
 
 It reacts to load imbalance with one report-latency of staleness but can
 never anticipate that a particular tuple is expensive — exactly the gap
@@ -74,7 +79,9 @@ class ReactiveGrouping(GroupingPolicy):
         self._reported: np.ndarray | None = None
         self._reported_executed: np.ndarray | None = None
         self._assigned: np.ndarray | None = None
-        self._mean_cost = 0.0
+        self._assigned_at_report: np.ndarray | None = None
+        self._mean_costs: np.ndarray | None = None
+        self._has_reported: np.ndarray | None = None
         self._rr_counter = 0
         self._reports_received = 0
 
@@ -83,31 +90,64 @@ class ReactiveGrouping(GroupingPolicy):
         self._reported = np.zeros(k, dtype=np.float64)
         self._reported_executed = np.zeros(k, dtype=np.float64)
         self._assigned = np.zeros(k, dtype=np.float64)
+        self._assigned_at_report = np.zeros(k, dtype=np.float64)
+        self._mean_costs = np.zeros(k, dtype=np.float64)
+        self._has_reported = np.zeros(k, dtype=bool)
         self._rr_counter = 0
         self._reports_received = 0
 
     def route(self, item: int) -> RouteDecision:
         assert self._reported is not None and self._assigned is not None
         assert self._reported_executed is not None
-        if self._reports_received == 0:
-            # no load information yet: fall back to round robin
-            instance = self._rr_counter % self.k
+        assert self._mean_costs is not None and self._has_reported is not None
+        if not self._has_reported.all():
+            # keep round-robin over the instances still missing a report:
+            # they carry no load figure to rank by, and each needs
+            # executions before it can produce one
+            silent = np.flatnonzero(~self._has_reported)
+            instance = int(silent[self._rr_counter % len(silent)])
             self._rr_counter += 1
         else:
-            in_flight = self._assigned - self._reported_executed
-            projected = self._reported + in_flight * self._mean_cost
+            assert self._assigned_at_report is not None
+            # tuples assigned but not covered by the last report: the
+            # assigned-minus-executed backlog where reports lag behind
+            # the queue, and never less than the assignments made after
+            # the report arrived (which it cannot have covered)
+            in_flight = np.maximum(
+                self._assigned - self._reported_executed,
+                self._assigned - self._assigned_at_report,
+            )
+            # each instance extrapolates with its own mean cost (a slow
+            # instance's in-flight tuples are worth more virtual time);
+            # the global mean stands in where a report carried no mean
+            fallback = self._global_mean_cost()
+            costs = np.where(self._mean_costs > 0.0, self._mean_costs, fallback)
+            projected = self._reported + in_flight * costs
             instance = int(np.argmin(projected))
         self._assigned[instance] += 1.0
         return RouteDecision(instance)
+
+    def _global_mean_cost(self) -> float:
+        assert self._reported is not None and self._reported_executed is not None
+        executed = float(self._reported_executed.sum())
+        return float(self._reported.sum()) / executed if executed > 0 else 0.0
 
     def on_control(self, message: ControlMessage) -> None:
         if not isinstance(message, LoadReport):
             raise TypeError(f"reactive scheduler got {message!r}")
         assert self._reported is not None and self._reported_executed is not None
+        assert self._mean_costs is not None and self._has_reported is not None
+        assert self._assigned is not None and self._assigned_at_report is not None
         self._reported[message.instance] = message.cumulated_time
         self._reported_executed[message.instance] = message.tuples_executed
+        self._assigned_at_report[message.instance] = self._assigned[
+            message.instance
+        ]
         if message.tuples_executed > 0:
-            self._mean_cost = message.cumulated_time / message.tuples_executed
+            self._mean_costs[message.instance] = (
+                message.cumulated_time / message.tuples_executed
+            )
+        self._has_reported[message.instance] = True
         self._reports_received += 1
 
     def create_instance_agent(self, instance_id: int) -> InstanceAgent:

@@ -83,6 +83,15 @@ class POSGScheduler:
         Number of parallel instances of the downstream operator.
     config:
         Shared POSG parameters.
+    source:
+        Scheduler shard id under multi-source scheduling (see
+        :class:`~repro.core.multisource.MultiSourcePOSGGrouping`).  When
+        set, outgoing :class:`SyncRequest`\\ s are stamped with it (the
+        instance echoes it back so replies route to the right shard) and
+        every telemetry sample / trace event carries a ``scheduler``
+        label.  ``None`` (the default) keeps the single-scheduler
+        behaviour bit-identical: requests carry ``source=0`` (the
+        dataclass default) and no extra labels are emitted.
 
     The hosting engine drives the scheduler through two entry points:
     :meth:`submit` for every data tuple and :meth:`on_message` for every
@@ -95,10 +104,19 @@ class POSGScheduler:
         config: POSGConfig | None = None,
         latency_hints: "np.ndarray | list[float] | None" = None,
         telemetry=NULL_RECORDER,
+        source: int | None = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self._k = k
+        self._source = source
+        self._source_id = 0 if source is None else int(source)
+        # pre-built label/kwarg extras so the single-scheduler hot path
+        # pays nothing and multi-source telemetry is distinguishable
+        self._source_labels: tuple = (
+            () if source is None else (("scheduler", str(source)),)
+        )
+        self._source_trace: dict = {} if source is None else {"scheduler": source}
         self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self._config = config if config is not None else POSGConfig()
         if latency_hints is None:
@@ -184,6 +202,7 @@ class POSGScheduler:
                 instance=instance,
                 epoch=self._epoch,
                 c_hat_at_send=float(self._c_hat[instance]),
+                source=self._source_id,
             )
             self._control_bits_sent += request.size_bits()
             if self._telemetry.enabled:
@@ -194,6 +213,7 @@ class POSGScheduler:
                     c_hat=request.c_hat_at_send,
                     bits=request.size_bits(),
                     at=self._tuples_scheduled,
+                    **self._source_trace,
                 )
             if done:
                 self._enter_wait_all()
@@ -227,6 +247,7 @@ class POSGScheduler:
                 **{"from": old_state.value, "to": new_state.value},
                 epoch=self._epoch,
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
 
     def _enter_wait_all(self) -> None:
@@ -288,6 +309,7 @@ class POSGScheduler:
                 retry=self._sync_retries,
                 timeout=self._current_timeout,
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
         self._transition(SchedulerState.SEND_ALL)
 
@@ -303,6 +325,7 @@ class POSGScheduler:
                 missing=missing,
                 retries=self._sync_retries,
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
         self._resynchronize()
 
@@ -321,6 +344,7 @@ class POSGScheduler:
                 stale=list(stale),
                 epoch=self._epoch,
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
         self._transition(SchedulerState.ROUND_ROBIN)
 
@@ -343,6 +367,7 @@ class POSGScheduler:
                 generation=generation,
                 c_offset=self._c_offsets[instance],
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
 
     # ------------------------------------------------------------------
@@ -502,6 +527,7 @@ class POSGScheduler:
                 bits=message.size_bits(),
                 merged=bool(stored is not None and self._config.merge_matrices),
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
         if self._state is SchedulerState.ROUND_ROBIN:
             if len(self._matrices) == self._k:
@@ -547,6 +573,7 @@ class POSGScheduler:
                     bits=reply.size_bits(),
                     stale=True,
                     at=self._tuples_scheduled,
+                    **self._source_trace,
                 )
             return
         self._control_bits_received += reply.size_bits()
@@ -559,6 +586,7 @@ class POSGScheduler:
                 bits=reply.size_bits(),
                 stale=False,
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
         delta = reply.delta
         offset = self._c_offsets[reply.instance]
@@ -583,6 +611,7 @@ class POSGScheduler:
                 epoch=self._epoch,
                 rounds=self._sync_rounds_completed,
                 at=self._tuples_scheduled,
+                **self._source_trace,
             )
         self._transition(SchedulerState.RUN)
 
@@ -614,79 +643,97 @@ class POSGScheduler:
         }
 
     def _collect_samples(self) -> list[Sample]:
-        """Export-time metric samples (registered as a collector)."""
+        """Export-time metric samples (registered as a collector).
+
+        Under multi-source scheduling every sample carries a
+        ``scheduler`` label so the shards stay distinguishable in one
+        registry; single-scheduler deployments (``source=None``) emit the
+        exact same label-free samples as before.
+        """
+        extra = self._source_labels
         samples = [
             Sample(
                 "posg_scheduler_tuples_scheduled_total",
                 self._tuples_scheduled,
                 "counter",
+                extra,
                 help="Tuples submitted to the POSG scheduler",
             ),
             Sample(
                 "posg_scheduler_epoch",
                 self._epoch,
                 "gauge",
+                extra,
                 help="Current synchronization epoch",
             ),
             Sample(
                 "posg_scheduler_sync_rounds_total",
                 self._sync_rounds_completed,
                 "counter",
+                extra,
                 help="Completed WAIT_ALL -> RUN synchronizations",
             ),
             Sample(
                 "posg_scheduler_matrices_received_total",
                 self._matrices_received,
                 "counter",
+                extra,
                 help="(F, W) pairs received from instances",
             ),
             Sample(
                 "posg_scheduler_stale_replies_total",
                 self._stale_replies_dropped,
                 "counter",
+                extra,
                 help="Sync replies dropped because their epoch was preempted",
             ),
             Sample(
                 "posg_scheduler_control_bits_sent_total",
                 self._control_bits_sent,
                 "counter",
+                extra,
                 help="Control-plane bits sent by the scheduler",
             ),
             Sample(
                 "posg_scheduler_control_bits_received_total",
                 self._control_bits_received,
                 "counter",
+                extra,
                 help="Control-plane bits received by the scheduler",
             ),
             Sample(
                 "posg_scheduler_state_info",
                 1,
                 "gauge",
-                (("state", self._state.value),),
+                (("state", self._state.value),) + extra,
                 help="Current scheduler FSM state (label carries the state)",
             ),
             Sample(
                 "posg_scheduler_sync_retransmits_total",
                 self._sync_retransmits,
                 "counter",
+                extra,
                 help="SEND_ALL retransmission rounds triggered by timeout",
             ),
             Sample(
                 "posg_scheduler_sync_rounds_abandoned_total",
                 self._sync_rounds_abandoned,
                 "counter",
+                extra,
                 help="Sync rounds abandoned after exhausting retries",
             ),
             Sample(
                 "posg_scheduler_watchdog_fallbacks_total",
                 self._watchdog_fallbacks,
                 "counter",
+                extra,
                 help="ROUND_ROBIN fallbacks forced by the staleness watchdog",
             ),
             Sample(
                 "posg_scheduler_restarts_detected_total",
                 self._restarts_detected,
                 "counter",
+                extra,
                 help="Instance crash-restarts detected via generation tags",
             ),
         ]
@@ -695,7 +742,7 @@ class POSGScheduler:
                 "posg_scheduler_c_hat_ms",
                 value,
                 "gauge",
-                (("instance", str(instance)),),
+                (("instance", str(instance)),) + extra,
                 help="Estimated cumulated execution time per instance",
             )
             for instance, value in enumerate(self._c_hat.tolist())
@@ -706,6 +753,11 @@ class POSGScheduler:
     def k(self) -> int:
         """Number of downstream instances."""
         return self._k
+
+    @property
+    def source(self) -> int | None:
+        """Scheduler shard id, or ``None`` outside multi-source mode."""
+        return self._source
 
     @property
     def config(self) -> POSGConfig:

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments telemetry --scale 0.1 --output out/
     python -m repro.experiments chaos --scale 0.1 --output out/
     python -m repro.experiments observe --scale 0.1 --output out/
+    python -m repro.experiments multisource --scale 0.25 --output out/
 
 Each figure command prints the same series the paper plots (see
 EXPERIMENTS.md for the interpretation).  The ``telemetry`` subcommand
@@ -20,7 +21,10 @@ subcommand runs the same configuration under the fault-injection layer
 timeline (see "Chaos runs" in EXPERIMENTS.md).  The ``observe``
 subcommand runs the scheduling-quality observatory: estimator audit,
 decision-quality metrics, phase profiler and the live dashboard (see
-"The quality observatory" in EXPERIMENTS.md).
+"The quality observatory" in EXPERIMENTS.md).  The ``multisource``
+subcommand sweeps the sharded deployment over s ∈ {1, 2, 4, 8} and
+reports the L(s)/L(1) degradation curve (see "Multi-source scheduling"
+in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -55,11 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(FIGURES) + ["all", "list", "telemetry", "chaos", "observe"],
+        choices=sorted(FIGURES)
+        + ["all", "list", "telemetry", "chaos", "observe", "multisource"],
         help="which figure to regenerate ('all' runs everything, "
         "'list' shows what is available, 'telemetry' runs one "
         "instrumented demo run, 'chaos' one fault-injected run, "
-        "'observe' one run under the quality observatory)",
+        "'observe' one run under the quality observatory, "
+        "'multisource' the sharded-scheduling degradation sweep)",
     )
     parser.add_argument(
         "--reps", type=int, default=None,
@@ -91,6 +97,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("chaos      One fault-injected run: recovery timeline, report.")
         print("observe    One run under the quality observatory: audit, "
               "quality, profile, dashboard.")
+        print("multisource  Sharded-scheduling sweep: L(s)/L(1) for "
+              "s in {1, 2, 4, 8}.")
         return 0
     if args.figure == "telemetry":
         # lazy import keeps the figure path free of telemetry CLI costs
@@ -105,6 +113,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.observe import run as run_observe
 
         return run_observe(scale=args.scale, output=args.output)
+    if args.figure == "multisource":
+        from repro.experiments.multisource import run as run_multisource
+
+        return run_multisource(scale=args.scale, output=args.output)
     if args.reps is not None:
         os.environ["REPRO_REPS"] = str(args.reps)
     if args.scale is not None:

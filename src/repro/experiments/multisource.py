@@ -1,0 +1,216 @@
+"""The ``multisource`` CLI subcommand: POSG sharded across ``s`` sources.
+
+Usage::
+
+    python -m repro.experiments multisource
+    python -m repro.experiments multisource --scale 0.25 --output out/
+
+The paper deploys one scheduling operator; real topologies run ``s``
+parallel upstream executors, each scheduling its own share of the
+stream over the same ``k`` instances (see "Multi-source scheduling" in
+DESIGN.md).  This experiment measures what that sharding costs: it runs
+the same stream through
+:class:`~repro.core.multisource.MultiSourcePOSGGrouping` for
+``s in {1, 2, 4, 8}`` and reports the average completion time ``L(s)``
+and the degradation curve ``L(s)/L(1)``, alongside each run's sync
+activity, control-plane volume and decision quality against the
+full-knowledge oracle.
+
+Two built-in gates make the run self-checking:
+
+- the ``s = 1`` run must be bit-identical to the single-scheduler
+  :class:`~repro.core.grouping.POSGGrouping` path (same assignments,
+  same control traffic) — the collapsed deployment *is* the paper's;
+- every shard of every run must complete at least one sync round
+  (otherwise the configuration starves the sharded control plane and
+  the curve would compare unsynchronized schedulers).
+
+With ``--output DIR`` it writes ``multisource.json`` holding the full
+degradation curve for downstream tooling (the CI smoke job uploads it).
+
+The module is imported lazily by ``repro.experiments.cli`` and pulls
+the core/simulator stack in only inside :func:`run`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from collections.abc import Sequence
+
+#: shard counts the degradation curve sweeps
+SOURCE_COUNTS = (1, 2, 4, 8)
+
+
+def run(
+    scale: float | None = None,
+    output: str | None = None,
+    chunk_size: int = 2048,
+    seed: int = 0,
+    source_counts: Sequence[int] = SOURCE_COUNTS,
+) -> int:
+    """Execute the multi-source sweep; returns a process exit code."""
+    import numpy as np
+
+    from repro.core.config import POSGConfig
+    from repro.core.grouping import POSGGrouping
+    from repro.core.multisource import MultiSourcePOSGGrouping
+    from repro.simulator.run import simulate_stream
+    from repro.telemetry.quality import compute_quality, execution_time_matrix
+    from repro.workloads.nonstationary import LoadShiftScenario
+    from repro.workloads.synthetic import default_stream
+
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    # the floor keeps every shard of the largest s past its first sync
+    # round (each shard only sees m/s tuples)
+    m = max(8_192, int(32_768 * scale))
+    k = 5
+    # same control-plane sizing as the chaos scenario: a small sketch
+    # over a compact universe, window scaled so short smoke runs still
+    # complete sync rounds on every shard
+    window = min(256, max(64, m // 128))
+    config = POSGConfig(window_size=window, rows=2, cols=16)
+    stream = default_stream(seed=seed, m=m, n=128)
+    times = execution_time_matrix(stream, LoadShiftScenario.constant(k), k)
+
+    def simulate(policy):
+        return simulate_stream(
+            stream,
+            policy,
+            k=k,
+            rng=np.random.default_rng(seed + 1),
+            chunk_size=chunk_size,
+        )
+
+    print(f"== multisource: sharded POSG (m={m}, k={k}, window={window}) ==")
+
+    # -- gate 1: s=1 collapses to the paper's single-scheduler path ----
+    single = simulate(POSGGrouping(config))
+    collapsed = simulate(MultiSourcePOSGGrouping(1, config))
+    identical = bool(
+        np.array_equal(single.stats.assignments, collapsed.stats.assignments)
+        and single.control_bits == collapsed.control_bits
+    )
+    print(
+        "s=1 vs single-scheduler POSG: "
+        + ("bit-identical" if identical else "MISMATCH")
+    )
+
+    rows = []
+    starved = []
+    for sources in source_counts:
+        policy = MultiSourcePOSGGrouping(sources, config)
+        result = simulate(policy)
+        rounds = [s.sync_rounds_completed for s in policy.schedulers]
+        if min(rounds) < 1:
+            starved.append(sources)
+        quality = compute_quality(
+            np.asarray(result.stats.assignments), times, k
+        )
+        rows.append(
+            {
+                "sources": sources,
+                "avg_completion_ms": float(
+                    result.stats.average_completion_time
+                ),
+                "sync_rounds_min": int(min(rounds)),
+                "sync_rounds_total": int(sum(rounds)),
+                "control_bits": int(result.control_bits),
+                "misroute_fraction": float(
+                    quality["regret"]["misroute_fraction"]
+                ),
+            }
+        )
+
+    base = rows[0]["avg_completion_ms"]
+    for row in rows:
+        row["degradation"] = row["avg_completion_ms"] / base
+
+    print()
+    print(
+        f"{'s':>3}  {'L(s) ms':>10}  {'L(s)/L(1)':>9}  {'sync rounds':>11}  "
+        f"{'control KiB':>11}  {'misrouted':>9}"
+    )
+    for row in rows:
+        print(
+            f"{row['sources']:>3}  {row['avg_completion_ms']:>10.3f}  "
+            f"{row['degradation']:>9.3f}  "
+            f"{row['sync_rounds_min']:>4}..{row['sync_rounds_total']:<5}  "
+            f"{row['control_bits'] / 8192:>11.1f}  "
+            f"{row['misroute_fraction']:>9.4f}"
+        )
+
+    if output is not None:
+        directory = pathlib.Path(output)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "m": m,
+            "k": k,
+            "window_size": window,
+            "seed": seed,
+            "chunk_size": chunk_size,
+            "single_scheduler_identical": identical,
+            "curve": rows,
+        }
+        path = directory / "multisource.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+
+    if not identical:
+        print(
+            "ERROR: s=1 diverged from the single-scheduler path",
+            file=sys.stderr,
+        )
+        return 1
+    if starved:
+        print(
+            f"ERROR: shards never synchronized for s in {starved} "
+            "(window too small for this stream)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.multisource",
+        description="Measure POSG's degradation under multi-source sharding.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="stream-length scale factor (1.0 = paper sizes)",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="directory for multisource.json (the degradation curve)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=2048,
+        help="simulator chunk size (0 = per-tuple reference engine)",
+    )
+    parser.add_argument(
+        "--sources", type=int, nargs="+", default=list(SOURCE_COUNTS),
+        help="shard counts to sweep (default: 1 2 4 8)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(
+        scale=args.scale,
+        output=args.output,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+        source_counts=tuple(args.sources),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

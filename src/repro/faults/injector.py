@@ -72,6 +72,11 @@ class FaultInjector:
         self._plan = plan
         self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self._rng = np.random.default_rng(plan.seed)
+        # per-scheduler channel overrides (multi-source deployments);
+        # empty dicts for ordinary plans, so the lookups below fall
+        # straight through to the global channels
+        self._request_overrides = dict(plan.source_sync_requests)
+        self._reply_overrides = dict(plan.source_sync_replies)
         self._crashes = tuple(sorted(plan.crashes, key=lambda c: c.at_ms))
         self._slowdowns = tuple(sorted(plan.slowdowns, key=lambda s: s.at_ms))
         self._dropped = dict.fromkeys(KINDS, 0)
@@ -122,15 +127,19 @@ class FaultInjector:
             times.append(when)
         return times
 
-    def drop_request(self) -> bool:
+    def drop_request(self, request: SyncRequest | None = None) -> bool:
         """Whether the piggy-backed :class:`SyncRequest` being sent is lost.
 
         Piggy-backed requests ride on data tuples, so drop is the only
         supported fault for them: the tuple itself is always delivered
         (shuffle grouping must not lose data), only its control payload
-        vanishes.
+        vanishes.  Passing the ``request`` lets multi-source plans apply
+        a per-scheduler override (keyed by ``request.source``); without
+        one the global ``sync_requests`` channel applies.
         """
         faults = self._plan.sync_requests
+        if request is not None and self._request_overrides:
+            faults = self._request_overrides.get(request.source, faults)
         if faults.drop > 0.0 and self._rng.random() < faults.drop:
             self._dropped["sync_request"] += 1
             if self._telemetry.enabled:
@@ -139,11 +148,27 @@ class FaultInjector:
         return False
 
     def _classify(self, message: ControlMessage) -> tuple[str, MessageFaults | None]:
+        """Resolve the fault channel for one message.
+
+        Source-tagged messages (sync requests and replies) consult the
+        plan's per-scheduler overrides first; matrices are a broadcast
+        channel (the per-shard fan-out happens inside the policy, past
+        the network the injector models) and always use the global
+        probabilities.
+        """
         if isinstance(message, MatricesMessage):
             return "matrices", self._plan.matrices
         if isinstance(message, SyncReply):
+            if self._reply_overrides:
+                override = self._reply_overrides.get(message.source)
+                if override is not None:
+                    return "sync_reply", override
             return "sync_reply", self._plan.sync_replies
         if isinstance(message, SyncRequest):
+            if self._request_overrides:
+                override = self._request_overrides.get(message.source)
+                if override is not None:
+                    return "sync_request", override
             return "sync_request", self._plan.sync_requests
         return "unknown", None
 

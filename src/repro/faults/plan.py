@@ -155,6 +155,17 @@ class FaultPlan:
         :class:`~repro.core.messages.SyncRequest` messages ride on data
         tuples, so only their ``drop`` probability applies (delaying or
         duplicating the carrying tuple would fault the data plane).
+    source_sync_requests, source_sync_replies:
+        Per-*scheduler* overrides for multi-source deployments (see
+        :class:`~repro.core.multisource.MultiSourcePOSGGrouping`): a
+        mapping from scheduler shard id to :class:`MessageFaults`,
+        applied instead of the global probability for messages carrying
+        that ``source`` tag.  Shards without an entry use the global
+        channel.  Matrices messages are a *broadcast* channel (the
+        fan-out to the shards happens inside the policy, past the
+        network the injector models), so they have no per-scheduler
+        override.  Accepts a dict for convenience; stored as a sorted
+        tuple of ``(source, faults)`` pairs.
     crashes:
         Scripted :class:`CrashFault` events, any order (the injector
         sorts them by time).
@@ -168,14 +179,49 @@ class FaultPlan:
     matrices: MessageFaults = NO_FAULTS
     sync_requests: MessageFaults = NO_FAULTS
     sync_replies: MessageFaults = NO_FAULTS
+    source_sync_requests: tuple[tuple[int, MessageFaults], ...] = ()
+    source_sync_replies: tuple[tuple[int, MessageFaults], ...] = ()
     crashes: tuple[CrashFault, ...] = field(default_factory=tuple)
     slowdowns: tuple[SlowdownFault, ...] = field(default_factory=tuple)
     seed: int = 0
+
+    @staticmethod
+    def _normalize_overrides(name: str, overrides) -> tuple:
+        if isinstance(overrides, dict):
+            overrides = tuple(sorted(overrides.items()))
+        else:
+            overrides = tuple(tuple(pair) for pair in overrides)
+        for source, faults in overrides:
+            if not isinstance(source, int) or source < 0:
+                raise ValueError(
+                    f"{name} keys must be scheduler ids >= 0, got {source!r}"
+                )
+            if not isinstance(faults, MessageFaults):
+                raise TypeError(
+                    f"{name} values must be MessageFaults, got {faults!r}"
+                )
+        if len({source for source, _ in overrides}) != len(overrides):
+            raise ValueError(f"{name} has duplicate scheduler ids")
+        return overrides
 
     def __post_init__(self) -> None:
         # accept lists for convenience, store tuples (frozen dataclass)
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+        object.__setattr__(
+            self,
+            "source_sync_requests",
+            self._normalize_overrides(
+                "source_sync_requests", self.source_sync_requests
+            ),
+        )
+        object.__setattr__(
+            self,
+            "source_sync_replies",
+            self._normalize_overrides(
+                "source_sync_replies", self.source_sync_replies
+            ),
+        )
         for crash in self.crashes:
             if not isinstance(crash, CrashFault):
                 raise TypeError(f"crashes must hold CrashFault, got {crash!r}")
@@ -196,13 +242,15 @@ class FaultPlan:
             self.matrices.active
             or self.sync_requests.active
             or self.sync_replies.active
+            or any(faults.active for _, faults in self.source_sync_requests)
+            or any(faults.active for _, faults in self.source_sync_replies)
             or bool(self.crashes)
             or bool(self.slowdowns)
         )
 
     def summary(self) -> dict:
         """Plain-dict form for ``RunReport`` / ``report.json``."""
-        return {
+        summary = {
             "seed": self.seed,
             "matrices": self.matrices.summary(),
             "sync_requests": self.sync_requests.summary(),
@@ -210,3 +258,14 @@ class FaultPlan:
             "crashes": [crash.summary() for crash in self.crashes],
             "slowdowns": [slow.summary() for slow in self.slowdowns],
         }
+        if self.source_sync_requests:
+            summary["source_sync_requests"] = {
+                str(source): faults.summary()
+                for source, faults in self.source_sync_requests
+            }
+        if self.source_sync_replies:
+            summary["source_sync_replies"] = {
+                str(source): faults.summary()
+                for source, faults in self.source_sync_replies
+            }
+        return summary

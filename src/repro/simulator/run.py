@@ -458,7 +458,7 @@ def _simulate_reference(
             factor = injector.execution_factor(instance, arrival)
             if factor != 1.0:
                 execution_time = execution_time * factor
-            if sync_request is not None and injector.drop_request():
+            if sync_request is not None and injector.drop_request(sync_request):
                 sync_request = None
         finish = start + execution_time
         busy_until[instance] = finish
@@ -855,7 +855,7 @@ def _run_generic(
             factor = injector.execution_factor(instance, arrival)
             if factor != 1.0:
                 execution_time = execution_time * factor
-            if sync_request is not None and injector.drop_request():
+            if sync_request is not None and injector.drop_request(sync_request):
                 sync_request = None
         finish = start + execution_time
         busy[instance] = finish

@@ -59,7 +59,9 @@ class SpaceSaving:
         if len(self._entries) < self._capacity:
             self._entries[item] = _Entry(item=item, count=weight, error=0.0)
             return
-        victim = min(self._entries.values(), key=lambda e: e.count)
+        # lowest item id breaks count ties so eviction (and everything
+        # downstream of it) is deterministic regardless of insertion order
+        victim = min(self._entries.values(), key=lambda e: (e.count, e.item))
         del self._entries[victim.item]
         self._evicted = True
         self._entries[item] = _Entry(
@@ -90,13 +92,13 @@ class SpaceSaving:
             for entry in self._entries.values()
             if entry.count >= threshold
         ]
-        return sorted(hitters, key=lambda pair: -pair[1])
+        return sorted(hitters, key=lambda pair: (-pair[1], pair[0]))
 
     def monitored(self) -> list[tuple[int, float]]:
         """All monitored ``(item, count)`` pairs, descending by count."""
         return sorted(
             ((e.item, e.count) for e in self._entries.values()),
-            key=lambda pair: -pair[1],
+            key=lambda pair: (-pair[1], pair[0]),
         )
 
     def _unmonitored_bound(self) -> float:
@@ -140,7 +142,7 @@ class SpaceSaving:
                 count += bound_other
                 error += bound_other
             combined[item] = _Entry(item=item, count=count, error=error)
-        survivors = sorted(combined.values(), key=lambda e: -e.count)
+        survivors = sorted(combined.values(), key=lambda e: (-e.count, e.item))
         if len(survivors) > self._capacity:
             self._evicted = True
         self._evicted = self._evicted or other._evicted

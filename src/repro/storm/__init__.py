@@ -43,6 +43,7 @@ from repro.storm.acker import AckTracker
 from repro.storm.cluster import ClusterConfig, LocalCluster
 from repro.storm.metrics import TopologyMetrics
 from repro.storm.posg_grouping import POSGShuffleGrouping
+from repro.storm.multisource import MultiSourcePOSGCoordinator
 
 __all__ = [
     "StormTuple",
@@ -64,4 +65,5 @@ __all__ = [
     "LocalCluster",
     "TopologyMetrics",
     "POSGShuffleGrouping",
+    "MultiSourcePOSGCoordinator",
 ]

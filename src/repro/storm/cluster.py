@@ -316,7 +316,7 @@ class LocalCluster:
             if (
                 sync_request is not None
                 and self._injector is not None
-                and self._injector.drop_request()
+                and self._injector.drop_request(sync_request)
             ):
                 # The piggy-backed request is lost on the wire; the data
                 # tuple itself still arrives.  Its bits were spent, so the

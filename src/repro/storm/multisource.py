@@ -1,0 +1,232 @@
+"""Multi-source POSG on the Storm layer: ``s`` upstream executors.
+
+The simulator's :class:`~repro.core.multisource.MultiSourcePOSGGrouping`
+interleaves the sub-streams itself; on the Storm layer the sharding is
+*physical* — the topology has ``s`` spouts (or ``s`` tasks of one
+upstream component), and each spout's subscription to the worker bolt
+carries its own grouping object running its own scheduler FSM.  The
+:class:`MultiSourcePOSGCoordinator` builds those per-shard groupings
+around one shared core so the deployment matches the model:
+
+- one scheduler per shard (``coordinator.shard(i)`` for spout ``i``);
+- **one** instance agent per bolt task, shared by all shards — the
+  tracker measures the task's total execution time across every source,
+  which is what makes ``Delta_op`` a global re-baselining signal;
+- matrices broadcast to every shard, sync replies route back to the
+  shard whose ``source`` tag the request carried (both via the shared
+  core's dispatch).
+
+The cluster reports each executed tuple to *every* grouping that wants
+execution reports, and a crash notifies every subscription's grouping.
+Both must fold exactly once per event, so only the shard-0 grouping
+subscribes to reports and handles crash notifications; the control
+messages an instance returns therefore re-enter through shard 0 and are
+fanned out by the coordinator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.multisource import MultiSourcePOSGGrouping
+from repro.core.scheduler import POSGScheduler
+from repro.storm.grouping import CustomStreamGrouping
+from repro.storm.tuples import StormTuple
+from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+class MultiSourcePOSGCoordinator:
+    """Shared state behind the ``s`` per-spout grouping shards.
+
+    Parameters
+    ----------
+    sources:
+        Number of upstream scheduler shards ``s`` (>= 1); the topology
+        must attach each of ``coordinator.shard(0..s-1)`` to exactly one
+        subscription of the same worker bolt.
+    item_field:
+        Tuple field carrying the attribute value (as for
+        :class:`~repro.storm.posg_grouping.POSGShuffleGrouping`).
+    config, rng, telemetry:
+        As for the single-source grouping; shared by every shard.
+    audit:
+        Optional :class:`~repro.telemetry.audit.AuditConfig` (or
+        pre-built auditor).  Binds to shard 0's scheduler — the
+        matrices broadcast keeps every shard's stored estimates
+        numerically identical, so shard 0 speaks for all of them.
+    """
+
+    def __init__(
+        self,
+        sources: int = 2,
+        item_field: str = "value",
+        config: POSGConfig | None = None,
+        rng: np.random.Generator | None = None,
+        telemetry=None,
+        audit: "AuditConfig | EstimatorAudit | None" = None,
+    ) -> None:
+        self._core = MultiSourcePOSGGrouping(
+            sources, config, telemetry=telemetry
+        )
+        self._item_field = item_field
+        self._rng = rng
+        self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        if audit is not None and not isinstance(
+            audit, (AuditConfig, EstimatorAudit)
+        ):
+            raise TypeError(
+                f"audit must be an AuditConfig or EstimatorAudit, got {audit!r}"
+            )
+        self._audit_spec = audit
+        self._auditor: EstimatorAudit | None = None
+        self._agents: dict[int, object] = {}
+        self._executed = 0
+        self._shards: dict[int, _ShardGrouping] = {}
+        self._bound_tasks: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # topology wiring
+    # ------------------------------------------------------------------
+    def shard(self, source: int) -> "CustomStreamGrouping":
+        """The grouping for upstream shard ``source`` (claim each once)."""
+        if not 0 <= source < self._core.sources:
+            raise ValueError(
+                f"shard must be in [0, {self._core.sources}), got {source}"
+            )
+        if source in self._shards:
+            raise ValueError(f"shard {source} already claimed")
+        grouping = _ShardGrouping(self, source)
+        self._shards[source] = grouping
+        return grouping
+
+    def _bind(self, source: int, target_tasks: list[int]) -> None:
+        """First shard to prepare sets up the shared core; rest verify."""
+        if self._bound_tasks is None:
+            self._bound_tasks = list(target_tasks)
+            self._core.setup(len(target_tasks), self._rng)
+            self._agents = {
+                position: self._core.create_instance_agent(position)
+                for position in range(len(target_tasks))
+            }
+            if isinstance(self._audit_spec, EstimatorAudit):
+                self._auditor = self._audit_spec
+            elif self._audit_spec is not None:
+                self._auditor = EstimatorAudit(
+                    self._core.scheduler,
+                    self._audit_spec,
+                    telemetry=self._telemetry,
+                )
+        elif list(target_tasks) != self._bound_tasks:
+            raise ValueError(
+                f"shard {source} prepared against tasks {target_tasks}, "
+                f"but the coordinator is bound to {self._bound_tasks}; "
+                "every shard must subscribe the same worker bolt"
+            )
+
+    # ------------------------------------------------------------------
+    # shared hooks (called by the shard groupings)
+    # ------------------------------------------------------------------
+    def _route(self, source: int, item: int):
+        return self._core.schedulers[source].submit(item)
+
+    def _on_execution(
+        self, task: int, tup: StormTuple, duration: float
+    ) -> list:
+        item = int(tup.value(self._item_field))
+        auditor = self._auditor
+        if auditor is not None:
+            index = self._executed
+            if index % auditor.sample_every == 0:
+                auditor.observe(index, item, task, duration)
+            self._executed = index + 1
+        agent = self._agents[task]
+        return agent.on_executed(item, duration, tup.sync_request)
+
+    def on_control(self, message) -> None:
+        """Dispatch through the core: broadcast matrices, route replies."""
+        self._core.on_control(message)
+
+    def _on_instance_crash(self, task: int) -> None:
+        agent = self._agents.get(task)
+        if agent is not None:
+            agent.tracker.restart()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def item_field(self) -> str:
+        """The tuple field carrying the attribute value."""
+        return self._item_field
+
+    @property
+    def sources(self) -> int:
+        """Number of upstream scheduler shards ``s``."""
+        return self._core.sources
+
+    @property
+    def policy(self) -> MultiSourcePOSGGrouping:
+        """The shared sharded policy core."""
+        return self._core
+
+    @property
+    def schedulers(self) -> tuple[POSGScheduler, ...]:
+        """Every shard's scheduler, indexed by source id."""
+        return self._core.schedulers
+
+    @property
+    def scheduler(self) -> POSGScheduler:
+        """Shard 0's scheduler (the audit anchor)."""
+        return self._core.scheduler
+
+    @property
+    def audit(self) -> EstimatorAudit | None:
+        """The estimator audit, once the first shard has prepared."""
+        return self._auditor
+
+    def stats(self) -> dict:
+        """Merged per-shard control-plane accounting (see the core)."""
+        return self._core.stats()
+
+
+class _ShardGrouping(CustomStreamGrouping):
+    """One upstream shard's grouping: routes via its own scheduler.
+
+    Execution reports and crash notifications fan out to every grouping
+    of the bolt, so only shard 0 accepts them (and folds through the
+    coordinator exactly once); the other shards are pure routers.
+    """
+
+    def __init__(self, coordinator: MultiSourcePOSGCoordinator, source: int) -> None:
+        self._coordinator = coordinator
+        self._source = source
+
+    def prepare(self, source: str, target_tasks: list[int]) -> None:
+        super().prepare(source, target_tasks)
+        self._coordinator._bind(self._source, self._target_tasks)
+
+    def choose_tasks(self, tup: StormTuple) -> list[int]:
+        item = int(tup.value(self._coordinator.item_field))
+        decision = self._coordinator._route(self._source, item)
+        tup.sync_request = decision.sync_request
+        return [self._target_tasks[decision.instance]]
+
+    def wants_execution_reports(self) -> bool:
+        return self._source == 0
+
+    def on_execution(self, task: int, tup: StormTuple, duration: float) -> list:
+        return self._coordinator._on_execution(task, tup, duration)
+
+    def on_control(self, message) -> None:
+        self._coordinator.on_control(message)
+
+    def on_instance_crash(self, task: int) -> None:
+        if self._source == 0:
+            self._coordinator._on_instance_crash(task)
+
+    @property
+    def source_id(self) -> int:
+        """This shard's scheduler id."""
+        return self._source

@@ -60,6 +60,43 @@ class TestReactiveGrouping:
         assert policy.route(5).instance == 1
         assert policy.route(5).instance == 0
 
+    def test_bootstrap_does_not_herd_after_first_report(self):
+        """Regression: one early report must not end the bootstrap.
+
+        The first report used to flip the scheduler to argmin over
+        *all* instances, where the unreported ones projected as
+        ``0 + in_flight * mean_cost``; with a zero measured mean every
+        projection froze at zero and argmin pinned the whole stream to
+        one instance.  Instances that have not reported yet must keep
+        receiving round-robin shares until they produce a report."""
+        policy = ReactiveGrouping(report_interval=8)
+        policy.setup(3)
+        policy.on_control(
+            LoadReport(instance=0, cumulated_time=0.0, tuples_executed=8)
+        )
+        picks = [policy.route(0).instance for _ in range(8)]
+        assert picks == [1, 2, 1, 2, 1, 2, 1, 2]
+
+    def test_mean_cost_is_per_instance_not_last_writer_wins(self):
+        """Regression: a 4x-slower instance's report used to overwrite
+        the single global mean cost, so every other instance's in-flight
+        tuples projected 4x too expensive (and report *order* changed
+        routing).  Each instance extrapolates with its own mean: here
+        instance 0 (mean 1 ms, load 4) absorbs twelve tuples before its
+        projection reaches instance 1's load (mean 4 ms, load 16),
+        whichever report arrived last."""
+        def drive(reports):
+            policy = ReactiveGrouping(report_interval=4)
+            policy.setup(2)
+            for report in reports:
+                policy.on_control(report)
+            return [policy.route(0).instance for _ in range(12)]
+
+        fast = LoadReport(instance=0, cumulated_time=4.0, tuples_executed=4)
+        slow = LoadReport(instance=1, cumulated_time=16.0, tuples_executed=4)
+        assert drive([fast, slow]) == [0] * 12
+        assert drive([slow, fast]) == [0] * 12
+
     def test_rejects_foreign_messages(self):
         policy = ReactiveGrouping()
         policy.setup(2)

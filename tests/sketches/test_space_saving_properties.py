@@ -1,0 +1,129 @@
+"""Property tests for Space-Saving against a brute-force oracle.
+
+Every test here replays an arbitrary update sequence into both the
+summary and an exact ``Counter``, then checks the Metwally guarantees
+hold *simultaneously* for the whole monitored set — unlike the sampled
+spot-checks in ``test_space_saving.py``, hypothesis searches for the
+adversarial sequences (equal-minimum ties, churn at the eviction
+boundary) where they are easiest to break.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.space_saving import SpaceSaving
+
+#: small universe + capacity so eviction (and count ties) happen often
+UNIVERSE = st.integers(min_value=0, max_value=12)
+SEQUENCES = st.lists(UNIVERSE, min_size=1, max_size=400)
+CAPACITY = 4
+
+
+def replay(items, capacity=CAPACITY):
+    ss = SpaceSaving(capacity)
+    truth = Counter()
+    for item in items:
+        ss.update(item)
+        truth[item] += 1
+    return ss, truth
+
+
+class TestOracleInvariants:
+    @given(SEQUENCES)
+    @settings(max_examples=200, deadline=None)
+    def test_monitored_counts_bracket_true_frequency(self, items):
+        """For every monitored item: count - error <= f <= count."""
+        ss, truth = replay(items)
+        for item, count in ss.monitored():
+            freq = truth[item]
+            assert ss.guaranteed_count(item) <= freq + 1e-9
+            assert freq <= count + 1e-9
+
+    @given(SEQUENCES)
+    @settings(max_examples=200, deadline=None)
+    def test_error_bounded_by_total_over_capacity(self, items):
+        """Overestimation never exceeds m / capacity, per item."""
+        ss, truth = replay(items)
+        bound = ss.total / ss.capacity
+        for item, count in ss.monitored():
+            assert count - truth[item] <= bound + 1e-9
+
+    @given(SEQUENCES)
+    @settings(max_examples=200, deadline=None)
+    def test_heavy_items_are_monitored(self, items):
+        """Every item with f > m / capacity survives in the summary."""
+        ss, truth = replay(items)
+        bound = ss.total / ss.capacity
+        for item, freq in truth.items():
+            if freq > bound:
+                assert item in ss
+
+    @given(SEQUENCES, st.floats(min_value=0.3, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_heavy_hitters_complete_for_large_phi(self, items, phi):
+        """No false negatives whenever capacity > 1 / phi."""
+        assert CAPACITY > 1.0 / phi
+        ss, truth = replay(items)
+        reported = {item for item, _ in ss.heavy_hitters(phi)}
+        for item, freq in truth.items():
+            if freq > phi * ss.total:
+                assert item in reported
+
+    @given(SEQUENCES)
+    @settings(max_examples=100, deadline=None)
+    def test_unmonitored_bound_covers_evicted_items(self, items):
+        """No unmonitored item's true frequency exceeds the bound the
+        merge path relies on (min monitored count after any eviction)."""
+        ss, truth = replay(items)
+        bound = ss._unmonitored_bound()
+        for item, freq in truth.items():
+            if item not in ss:
+                assert freq <= bound + 1e-9
+
+
+class TestDeterministicEviction:
+    def test_tie_breaks_on_lowest_item_not_insertion_order(self):
+        """Regression: equal-minimum eviction used to follow dict
+        insertion order, so summary contents depended on arrival order
+        of ties.  The victim must be the tied entry with the lowest
+        item id, regardless of which was inserted first."""
+        ss = SpaceSaving(2)
+        ss.update(5)  # inserted first; old code evicted this one
+        ss.update(3)  # tied at count 1, lower item id -> the victim
+        ss.update(7)
+        assert 5 in ss
+        assert 3 not in ss
+        assert ss.estimate(7) == 2
+        assert ss.guaranteed_count(7) == 1
+
+    @given(st.permutations(list(range(CAPACITY))))
+    @settings(max_examples=30, deadline=None)
+    def test_single_eviction_is_insertion_order_invariant(self, prefix):
+        """A full summary of all-tied entries must yield the identical
+        post-eviction summary no matter the order the ties arrived in."""
+        permuted = SpaceSaving(CAPACITY)
+        for item in prefix:
+            permuted.update(item)
+        permuted.update(99)
+        # victim is always item 0, never "whichever was inserted first"
+        assert 0 not in permuted
+        assert permuted.monitored() == [(99, 2.0), (1, 1.0), (2, 1.0),
+                                        (3, 1.0)]
+
+    def test_merge_truncation_breaks_ties_on_lowest_item(self):
+        """When merge must drop entries tied at the truncation boundary,
+        the survivors are the lowest item ids — pinned so merged-summary
+        contents never depend on set iteration order."""
+        left = SpaceSaving(2)
+        for item in (4, 1):
+            left.update(item)
+            left.update(item)
+        right = SpaceSaving(2)
+        for item in (3, 2):
+            right.update(item)
+            right.update(item)
+        left.merge(right)
+        assert left.monitored() == [(1, 2.0), (2, 2.0)]
+        assert left.total == 8.0

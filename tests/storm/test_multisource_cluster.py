@@ -1,0 +1,204 @@
+"""Multi-source POSG on the Storm layer: s spouts, one worker bolt."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.faults import CrashFault, FaultPlan
+from repro.storm.cluster import ClusterConfig, LocalCluster
+from repro.storm.components import (
+    STREAM_SPOUT_FIELDS,
+    ShardedStreamSpout,
+    StreamSpout,
+    WorkBolt,
+)
+from repro.storm.multisource import MultiSourcePOSGCoordinator
+from repro.storm.posg_grouping import POSGShuffleGrouping
+from repro.storm.topology import TopologyBuilder
+from repro.telemetry.audit import AuditConfig
+from repro.workloads.distributions import ZipfItems
+from repro.workloads.synthetic import StreamSpec, generate_stream
+
+
+def make_stream(m=3000, n=128, k=3, seed=0):
+    spec = StreamSpec(m=m, n=n, k=k)
+    return generate_stream(ZipfItems(n, 1.0), spec, np.random.default_rng(seed))
+
+
+def posg_config(**overrides):
+    defaults = dict(window_size=128, rows=2, cols=16)
+    defaults.update(overrides)
+    return POSGConfig(**defaults)
+
+
+def run_sharded_topology(
+    stream,
+    sources,
+    k=3,
+    config=None,
+    posg_config_=None,
+    seed=1,
+    audit=None,
+    faults=None,
+):
+    coordinator = MultiSourcePOSGCoordinator(
+        sources,
+        item_field="value",
+        config=posg_config_ or posg_config(),
+        rng=np.random.default_rng(seed),
+        audit=audit,
+    )
+    builder = TopologyBuilder()
+    bolt = builder.set_bolt(
+        "worker", lambda: WorkBolt(stream.time_table), parallelism=k
+    )
+    for shard in range(sources):
+        name = f"source{shard}"
+        builder.set_spout(
+            name,
+            (lambda i: lambda: ShardedStreamSpout(stream, i, sources))(shard),
+            output_fields=STREAM_SPOUT_FIELDS,
+        )
+        bolt.custom_grouping(name, coordinator.shard(shard))
+    cluster = LocalCluster(config, faults=faults, fault_bolt="worker")
+    cluster.submit(builder.build())
+    cluster.run()
+    return cluster, coordinator
+
+
+class TestShardedSpout:
+    def test_rejects_bad_shard_arguments(self):
+        stream = make_stream(m=100)
+        with pytest.raises(ValueError, match="sources"):
+            ShardedStreamSpout(stream, 0, 0)
+        with pytest.raises(ValueError, match="shard"):
+            ShardedStreamSpout(stream, 3, 3)
+
+    def test_shards_partition_the_stream(self):
+        stream = make_stream(m=101)
+        sizes = [len(ShardedStreamSpout(stream, i, 3)._indices) for i in range(3)]
+        assert sum(sizes) == 101
+        assert sizes == [34, 34, 33]
+
+
+class TestLifecycle:
+    def test_all_tuples_complete_across_shards(self):
+        stream = make_stream(m=2000)
+        cluster, coordinator = run_sharded_topology(stream, sources=3)
+        assert cluster.metrics.completed == 2000
+        assert cluster.metrics.timed_out == 0
+        assert coordinator.stats()["tuples_scheduled"] == 2000
+
+    def test_each_shard_routes_its_substream(self):
+        stream = make_stream(m=2000)
+        _, coordinator = run_sharded_topology(stream, sources=3)
+        routed = [s.tuples_scheduled for s in coordinator.schedulers]
+        assert routed == [667, 667, 666]
+
+    def test_every_shard_synchronizes(self):
+        stream = make_stream(m=6000)
+        _, coordinator = run_sharded_topology(stream, sources=3)
+        for scheduler in coordinator.schedulers:
+            assert scheduler.sync_rounds_completed >= 1
+
+    def test_shared_trackers_observe_every_execution(self):
+        stream = make_stream(m=2000, k=2)
+        _, coordinator = run_sharded_topology(stream, sources=2, k=2)
+        total = sum(
+            coordinator.policy.tracker(i).tuples_executed for i in range(2)
+        )
+        assert total == 2000
+
+
+class TestSingleSourceEquivalence:
+    def test_s1_matches_posg_shuffle_grouping(self):
+        """One shard must reproduce the single-grouping deployment."""
+        stream = make_stream(m=2000)
+        cfg = ClusterConfig(transfer_latency=0.0, control_latency=1.0)
+
+        grouping = POSGShuffleGrouping(
+            item_field="value",
+            config=posg_config(),
+            rng=np.random.default_rng(7),
+        )
+        builder = TopologyBuilder()
+        builder.set_spout(
+            "source0",
+            lambda: StreamSpout(stream),
+            output_fields=STREAM_SPOUT_FIELDS,
+        )
+        builder.set_bolt(
+            "worker", lambda: WorkBolt(stream.time_table), parallelism=3
+        ).custom_grouping("source0", grouping)
+        single = LocalCluster(cfg)
+        single.submit(builder.build())
+        single.run()
+
+        sharded, coordinator = run_sharded_topology(
+            stream, sources=1, config=cfg, seed=7
+        )
+        np.testing.assert_array_equal(
+            single.metrics.task_execution_counts("worker", 3),
+            sharded.metrics.task_execution_counts("worker", 3),
+        )
+        assert single.metrics.control_messages == sharded.metrics.control_messages
+        assert single.metrics.control_bits == sharded.metrics.control_bits
+        assert grouping.scheduler.stats() == coordinator.scheduler.stats()
+
+
+class TestWiring:
+    def test_shard_claimed_once(self):
+        coordinator = MultiSourcePOSGCoordinator(2, config=posg_config())
+        coordinator.shard(0)
+        with pytest.raises(ValueError, match="already claimed"):
+            coordinator.shard(0)
+
+    def test_shard_out_of_range(self):
+        coordinator = MultiSourcePOSGCoordinator(2, config=posg_config())
+        with pytest.raises(ValueError, match="shard"):
+            coordinator.shard(2)
+
+    def test_rejects_wrong_audit_type(self):
+        with pytest.raises(TypeError, match="audit"):
+            MultiSourcePOSGCoordinator(2, audit="sample everything")
+
+    def test_shards_must_bind_same_tasks(self):
+        coordinator = MultiSourcePOSGCoordinator(2, config=posg_config())
+        first = coordinator.shard(0)
+        second = coordinator.shard(1)
+        first.prepare("source0", [0, 1, 2])
+        with pytest.raises(ValueError, match="same worker bolt"):
+            second.prepare("source1", [0, 1])
+
+    def test_only_shard_zero_reports(self):
+        coordinator = MultiSourcePOSGCoordinator(2, config=posg_config())
+        assert coordinator.shard(0).wants_execution_reports() is True
+        assert coordinator.shard(1).wants_execution_reports() is False
+
+
+class TestAuditHook:
+    def test_audit_samples_execution_reports(self):
+        stream = make_stream(m=2000)
+        _, coordinator = run_sharded_topology(
+            stream, sources=2, audit=AuditConfig(sample_every=16)
+        )
+        audit = coordinator.audit
+        assert audit is not None
+        # one reporting shard folds all 2000 reports: every 16th sampled
+        assert audit.samples == 125
+        assert audit.report()["mean_true_ms"] > 0
+
+
+class TestCrashHandling:
+    def test_crash_restarts_shared_tracker_once(self):
+        """Every shard grouping is notified of the crash, but the shared
+        tracker must restart exactly once (one new generation)."""
+        stream = make_stream(m=2000)
+        plan = FaultPlan(
+            crashes=(CrashFault(instance=1, at_ms=200.0, outage_ms=50.0),),
+            seed=11,
+        )
+        _, coordinator = run_sharded_topology(stream, sources=3, faults=plan)
+        tracker = coordinator.policy.tracker(1)
+        assert tracker.restarts == 1
+        assert tracker.generation == 1
