@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-throughput bench-telemetry bench-audit \
-	bench-history chaos observe multisource figures figures-paper-scale \
-	examples clean
+	bench-history bench-parallel chaos observe multisource figures \
+	figures-paper-scale examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -38,6 +38,13 @@ bench-audit:
 # throughput regressed more than 10% vs the last recorded entry
 bench-history:
 	$(PYTHON) benchmarks/bench_history.py
+
+# multi-process parallel data plane: sequential vs 1/2/4-worker
+# throughput on the s=4 sharded configuration; writes
+# BENCH_parallel.json and fails on any bit-identity mismatch (the 3x
+# speedup target is enforced only on hosts with >= 4 cores)
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py
 
 # fault-injection acceptance scenario: 10% control-plane loss plus one
 # mid-stream crash; writes report.json/metrics.prom/trace.jsonl under

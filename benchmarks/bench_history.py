@@ -1,9 +1,10 @@
 """Append-only performance history with a regression gate.
 
-One invocation measures the four numbers the repository tracks over
+One invocation measures the numbers the repository tracks over
 time — POSG throughput on the Figure 4 configuration, the same
-configuration sharded over four sources, the telemetry overhead
-ratio, and the estimator-audit overhead ratio — and appends
+configuration sharded over four sources (sequential and through the
+4-worker parallel engine), the telemetry overhead ratio, and the
+estimator-audit overhead ratio — and appends
 them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
 stamped with the usual provenance block (commit, dirty flag, python /
 numpy versions, platform).
@@ -42,6 +43,7 @@ import numpy as np
 from repro.core.config import POSGConfig
 from repro.core.grouping import POSGGrouping
 from repro.core.multisource import MultiSourcePOSGGrouping
+from repro.simulator.parallel import simulate_stream_parallel
 from repro.simulator.run import simulate_stream
 from repro.telemetry.audit import AuditConfig
 from repro.telemetry.provenance import provenance
@@ -73,6 +75,22 @@ def _timed_run(m: int, telemetry=None, audit=None, sources=None) -> float:
         chunk_size=2048,
         telemetry=telemetry,
         audit=audit,
+    )
+    return time.perf_counter() - t0
+
+
+def _timed_parallel_run(m: int, workers: int) -> float:
+    """One parallel-engine run (s = 4 shards); elapsed seconds."""
+    stream = default_stream(seed=0, m=m)
+    policy = MultiSourcePOSGGrouping(4, POSGConfig.paper_defaults())
+    t0 = time.perf_counter()
+    simulate_stream_parallel(
+        stream,
+        policy,
+        workers=workers,
+        k=5,
+        rng=np.random.default_rng(1),
+        chunk_size=2048,
     )
     return time.perf_counter() - t0
 
@@ -119,6 +137,13 @@ def main() -> int:
     s4_throughput = m / min(
         _timed_run(m, sources=4) for _ in range(s4_reps)
     )
+    # parallel data plane at 4 workers over the same s=4 configuration
+    # (wall-clock includes worker startup and the deterministic merge;
+    # cpu_count in the provenance block qualifies the number)
+    _timed_parallel_run(m, workers=4)  # warmup
+    parallel_w4_throughput = m / min(
+        _timed_parallel_run(m, workers=4) for _ in range(s4_reps)
+    )
 
     def with_telemetry(m: int) -> float:
         with TelemetryRecorder() as recorder:
@@ -137,6 +162,7 @@ def main() -> int:
         "config": {"m": m, "k": 5, "reps": reps, "scale": scale},
         "posg_tuples_per_sec": throughput,
         "posg_s4_tuples_per_sec": s4_throughput,
+        "posg_parallel_w4_tuples_per_sec": parallel_w4_throughput,
         "telemetry_enabled_vs_plain": telemetry_ratio,
         "audit_sampled_vs_plain": audit_ratio,
     }
@@ -173,6 +199,23 @@ def main() -> int:
                     f"{MAX_THROUGHPUT_REGRESSION:.0%}); not appending"
                 )
                 return 1
+        parallel_baseline = previous.get("posg_parallel_w4_tuples_per_sec")
+        if parallel_baseline is not None:
+            parallel_change = parallel_w4_throughput / parallel_baseline - 1.0
+            print(
+                f"previous parallel w=4 entry: {parallel_baseline:,.0f} t/s; "
+                f"this run: {parallel_w4_throughput:,.0f} t/s "
+                f"({parallel_change:+.1%})"
+            )
+            if scale >= 1.0 and parallel_w4_throughput < parallel_baseline * (
+                1.0 - MAX_THROUGHPUT_REGRESSION
+            ):
+                print(
+                    f"FAIL: parallel w=4 throughput regressed "
+                    f"{-parallel_change:.1%} vs the last recorded run (limit "
+                    f"{MAX_THROUGHPUT_REGRESSION:.0%}); not appending"
+                )
+                return 1
     else:
         print(f"no previous entry for m={m}; recording the first one")
 
@@ -181,6 +224,7 @@ def main() -> int:
     print(f"appended to {HISTORY}")
     print(
         f"posg {throughput:,.0f} t/s | s=4 {s4_throughput:,.0f} t/s | "
+        f"parallel w=4 {parallel_w4_throughput:,.0f} t/s | "
         f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x"
     )
     return 0

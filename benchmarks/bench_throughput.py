@@ -81,31 +81,43 @@ def bench_layers(m: int, reps: int) -> dict:
         pair.estimate_many(items)
         return m / (time.perf_counter() - t0)
 
-    # routing over a warmed scheduler (post-simulation state)
-    policy = POSGGrouping(POSGConfig.paper_defaults())
-    simulate_stream(
-        default_stream(seed=0, m=m), policy, k=5, rng=np.random.default_rng(1)
-    )
-    scheduler = policy.scheduler
+    # routing over a warmed scheduler (post-simulation state), swept
+    # over instance counts: k = 5 exercises the unrolled scan of the
+    # chunked engine, k = 16/64 the vectorized argmin fallback
+    def route_rate_for(k: int):
+        policy = POSGGrouping(POSGConfig.paper_defaults())
+        simulate_stream(
+            default_stream(seed=0, m=m),
+            policy,
+            k=k,
+            rng=np.random.default_rng(1),
+        )
+        scheduler = policy.scheduler
 
-    def route_rate() -> float:
-        block = scheduler.begin_block(items)
-        if block is None:  # scheduler parked in SEND_ALL: count submits
+        def route_rate() -> float:
+            block = scheduler.begin_block(items)
+            if block is None:  # scheduler parked in SEND_ALL: count submits
+                t0 = time.perf_counter()
+                for item in items.tolist():
+                    scheduler.submit(item)
+                return m / (time.perf_counter() - t0)
             t0 = time.perf_counter()
-            for item in items.tolist():
-                scheduler.submit(item)
+            route_next = block.route_next
+            for _ in range(m):
+                route_next()
             return m / (time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        route_next = block.route_next
-        for _ in range(m):
-            route_next()
-        return m / (time.perf_counter() - t0)
 
+        return route_rate
+
+    route_by_k = {
+        k: {"tuples_per_sec": _best_of(reps, route_rate_for(k))}
+        for k in (5, 16, 64)
+    }
     return {
         "hashing": {"items_per_sec": _best_of(reps, hashing_rate)},
         "sketch_update": {"updates_per_sec": _best_of(reps, update_rate)},
         "estimate": {"estimates_per_sec": _best_of(reps, estimate_rate)},
-        "route": {"tuples_per_sec": _best_of(reps, route_rate)},
+        "route": {**route_by_k[5], "by_k": route_by_k},
     }
 
 

@@ -44,6 +44,8 @@ the same order as the single-scheduler path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.config import POSGConfig
@@ -52,6 +54,31 @@ from repro.core.matrices import make_shared_hashes
 from repro.core.messages import ControlMessage, MatricesMessage, SyncReply
 from repro.core.scheduler import POSGScheduler
 from repro.telemetry.recorder import NULL_RECORDER
+
+
+@dataclass(frozen=True)
+class ShardWorkerSpec:
+    """Picklable description of the sharded policy's *static* state.
+
+    The parallel engine (``repro.simulator.parallel``) runs the ``s``
+    shard schedulers' greedy route loops in worker processes.  Workers
+    never hold live scheduler objects: everything immutable travels once
+    in this spec (hash-family coefficients, sketch shape, shard count,
+    estimate pooling), while the mutable per-shard state — ``C_hat``,
+    the stored ``(F, W)`` matrices, FSM mode — lives in a shared-memory
+    arena the parent refreshes between control-quiet segments.  The
+    spec is a frozen dataclass of builtins, so it pickles under both
+    the ``fork`` and ``spawn`` start methods.
+    """
+
+    sources: int
+    k: int
+    rows: int
+    cols: int
+    pooled_estimates: bool
+    #: ``TwoUniversalHashFamily.to_dict()`` payload (shared by the
+    #: scheduler-side and instance-side sketches)
+    hashes: dict
 
 
 class MultiSourcePOSGGrouping(POSGGrouping):
@@ -153,6 +180,36 @@ class MultiSourcePOSGGrouping(POSGGrouping):
             self._schedulers[message.source].on_message(message)
         else:
             raise TypeError(f"unexpected control message: {message!r}")
+
+    # ------------------------------------------------------------------
+    # parallel-engine attachment
+    # ------------------------------------------------------------------
+    def worker_spec(self) -> ShardWorkerSpec:
+        """The picklable static state workers need to route for a shard.
+
+        Only valid after :meth:`setup` (the hash family is drawn there).
+        """
+        if self._hashes is None:
+            raise RuntimeError("worker_spec() requires setup() first")
+        return ShardWorkerSpec(
+            sources=self._sources,
+            k=self._k,
+            rows=self._hashes.rows,
+            cols=self._hashes.cols,
+            pooled_estimates=self._config.pooled_estimates,
+            hashes=self._hashes.to_dict(),
+        )
+
+    def sync_cursor(self, position: int) -> None:
+        """Restore the shard interleave after externally-routed tuples.
+
+        The parallel engine routes whole segments in workers without
+        calling :meth:`route`; before handing a tuple at stream position
+        ``p`` back to the sequential path (SEND_ALL fallback) it must
+        restore the invariant ``cursor == p mod s`` so the tuple reaches
+        the same shard the reference engine would pick.
+        """
+        self._cursor = position % self._sources
 
     # ------------------------------------------------------------------
     # introspection

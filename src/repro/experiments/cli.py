@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="directory to write <figure>.json result files into",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="multisource only: also run each sweep point through the "
+        "multi-process parallel engine with N workers (gated "
+        "bit-identical against the sequential run)",
+    )
     return parser
 
 
@@ -116,7 +122,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.figure == "multisource":
         from repro.experiments.multisource import run as run_multisource
 
-        return run_multisource(scale=args.scale, output=args.output)
+        return run_multisource(
+            scale=args.scale,
+            output=args.output,
+            parallel_workers=args.parallel,
+        )
     if args.reps is not None:
         os.environ["REPRO_REPS"] = str(args.reps)
     if args.scale is not None:

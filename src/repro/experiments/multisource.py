@@ -51,13 +51,24 @@ def run(
     chunk_size: int = 2048,
     seed: int = 0,
     source_counts: Sequence[int] = SOURCE_COUNTS,
+    parallel_workers: int | None = None,
 ) -> int:
-    """Execute the multi-source sweep; returns a process exit code."""
+    """Execute the multi-source sweep; returns a process exit code.
+
+    With ``parallel_workers`` set, every sweep point additionally runs
+    through the multi-process parallel engine with that many workers;
+    the parallel result must be bit-identical to the sequential run
+    (a third gate) and each row gains the measured throughput of both
+    engines.
+    """
+    import time
+
     import numpy as np
 
     from repro.core.config import POSGConfig
     from repro.core.grouping import POSGGrouping
     from repro.core.multisource import MultiSourcePOSGGrouping
+    from repro.simulator.parallel import simulate_stream_parallel
     from repro.simulator.run import simulate_stream
     from repro.telemetry.quality import compute_quality, execution_time_matrix
     from repro.workloads.nonstationary import LoadShiftScenario
@@ -102,9 +113,44 @@ def run(
 
     rows = []
     starved = []
+    parallel_mismatches = []
     for sources in source_counts:
         policy = MultiSourcePOSGGrouping(sources, config)
+        t0 = time.perf_counter()
         result = simulate(policy)
+        sequential_elapsed = time.perf_counter() - t0
+        parallel_row = None
+        if parallel_workers is not None:
+            t0 = time.perf_counter()
+            parallel_result = simulate_stream_parallel(
+                stream,
+                MultiSourcePOSGGrouping(sources, config),
+                workers=parallel_workers,
+                k=k,
+                rng=np.random.default_rng(seed + 1),
+                chunk_size=max(1, chunk_size),
+            )
+            parallel_elapsed = time.perf_counter() - t0
+            matches = bool(
+                np.array_equal(
+                    result.stats.assignments,
+                    parallel_result.stats.assignments,
+                )
+                and np.array_equal(
+                    result.stats.completions,
+                    parallel_result.stats.completions,
+                )
+                and result.control_bits == parallel_result.control_bits
+            )
+            if not matches:
+                parallel_mismatches.append(sources)
+            parallel_row = {
+                "workers": parallel_result.parallel["workers"],
+                "tuples_per_sec": m / parallel_elapsed,
+                "sequential_tuples_per_sec": m / sequential_elapsed,
+                "speedup": sequential_elapsed / parallel_elapsed,
+                "identical": matches,
+            }
         rounds = [s.sync_rounds_completed for s in policy.schedulers]
         if min(rounds) < 1:
             starved.append(sources)
@@ -123,6 +169,7 @@ def run(
                 "misroute_fraction": float(
                     quality["regret"]["misroute_fraction"]
                 ),
+                **({"parallel": parallel_row} if parallel_row else {}),
             }
         )
 
@@ -143,6 +190,17 @@ def run(
             f"{row['control_bits'] / 8192:>11.1f}  "
             f"{row['misroute_fraction']:>9.4f}"
         )
+    if parallel_workers is not None:
+        print()
+        print(f"parallel engine (workers={parallel_workers}):")
+        for row in rows:
+            par = row["parallel"]
+            print(
+                f"  s={row['sources']}: {par['tuples_per_sec']:,.0f} t/s "
+                f"({par['speedup']:.2f}x sequential, "
+                + ("bit-identical" if par["identical"] else "MISMATCH")
+                + ")"
+            )
 
     if output is not None:
         directory = pathlib.Path(output)
@@ -173,6 +231,13 @@ def run(
             file=sys.stderr,
         )
         return 1
+    if parallel_mismatches:
+        print(
+            "ERROR: parallel engine diverged from the sequential run "
+            f"for s in {parallel_mismatches}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -197,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sources", type=int, nargs="+", default=list(SOURCE_COUNTS),
         help="shard counts to sweep (default: 1 2 4 8)",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="also run each sweep point through the multi-process "
+        "parallel engine with N workers (gated bit-identical)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="stream seed")
     return parser
 
@@ -209,6 +279,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         chunk_size=args.chunk_size,
         seed=args.seed,
         source_counts=tuple(args.sources),
+        parallel_workers=args.parallel,
     )
 
 

@@ -25,6 +25,7 @@ from repro.simulator.network import (
     UniformLatency,
 )
 from repro.simulator.metrics import CompletionStats
+from repro.simulator.parallel import simulate_stream_parallel
 from repro.simulator.run import SimulationResult, simulate_stream
 from repro.simulator.topology import StageTopology
 
@@ -39,5 +40,6 @@ __all__ = [
     "CompletionStats",
     "SimulationResult",
     "simulate_stream",
+    "simulate_stream_parallel",
     "StageTopology",
 ]

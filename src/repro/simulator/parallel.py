@@ -1,0 +1,1284 @@
+"""Multi-process parallel data plane for the sharded POSG policy.
+
+The chunked engine (:mod:`repro.simulator.run`) peaks near one million
+tuples/second on a single core, and the per-layer benchmarks show the
+sequential route loop — not the hashing or sketch kernels — is the
+wall.  This module parallelizes the route loop across the ``s`` shard
+schedulers of :class:`~repro.core.multisource.MultiSourcePOSGGrouping`:
+tuple ``i`` is routed by shard ``i mod s``, so within a *control-quiet
+segment* (no control-message delivery, no FSM transition) each shard's
+routing decisions depend only on its own frozen ``C_hat`` and stored
+``(F, W)`` matrices and its own cursor-interleaved subsequence of the
+block — ``s`` embarrassingly parallel greedy scans.
+
+Architecture
+------------
+- **Shared-memory arena** (:class:`ShardArena`): one
+  ``multiprocessing.shared_memory`` block with an explicit dtype/stride
+  layout holding the stream items plus, per shard, the mutable routing
+  state (FSM mode, round-robin counter, ``C_hat``, the stored ``F``/``W``
+  matrices with their total weights and ``_pairs`` iteration order) and
+  the per-segment output regions (assigned instance, estimate used, and
+  the shard's post-segment ``C_hat``).
+- **Workers**: long-lived processes, each owning a fixed subset of
+  shards.  A worker never holds live scheduler objects; it rebuilds the
+  (picklable) hash family from
+  :meth:`~repro.core.multisource.MultiSourcePOSGGrouping.worker_spec`
+  once, wraps the shared matrices in view-backed
+  :class:`~repro.core.matrices.FWPair` objects, and replays the chunked
+  engine's estimate gathering (:meth:`FWPair.estimate_many_at` over the
+  family's bucket cache) and first-minimum greedy scan over its slice —
+  the exact float operations of the sequential block router, in the
+  exact per-shard order.
+- **Deterministic merge**: the parent interleaves the per-shard
+  decision streams back into arrival order (positions ``i mod s`` are
+  shard ``i``'s, so the merge is a strided scatter — a deterministic
+  ``k``-way merge on stream position) and then replays everything that
+  depends on the *merged* order sequentially: per-instance busy chains
+  and finish times, instance-side sketch folds and window boundaries,
+  control-message generation/delivery, fault injection, queue samples
+  and audit observations.  Window-boundary messages re-tighten the
+  segment bound exactly as in the sequential engine; routed tuples past
+  the tightened bound are *speculative* and are discarded, with each
+  shard's ``C_hat`` recomputed by replaying the committed prefix's adds
+  in order.
+
+Determinism ("seed discipline")
+-------------------------------
+Workers perform **no** random draws and **no** time reads: the hash
+family is drawn once in the parent (from the caller's ``rng``) and
+shipped by value; bucket caches rebuild deterministically from the
+family parameters; every RNG consumer (latency models, fault injector)
+runs in the parent in per-tuple stream order.  Worker floats are plain
+IEEE-754 double ops on the same values in the same order as the
+sequential engine, so the run is **bit-identical** to
+``simulate_stream`` for fixed seeds — completions, assignments, FSM
+transitions, control traffic, queue samples, fault report and audit
+report — which ``tests/simulator/test_parallel_equivalence.py`` sweeps
+across workers × shards × faults × audit.
+
+When any shard is in SEND_ALL (tuples piggy-back sync requests), the
+engine falls back to the sequential per-tuple reference step for that
+tuple, preserving delivery order and FSM semantics exactly.
+
+Not supported (raises ``ValueError``): recovery defenses (per-tuple
+watchdog ticks), latency hints, non-constant data-latency models, and
+scenarios without bulk ``multiplier_matrix`` evaluation.  All of these
+run through :func:`~repro.simulator.run.simulate_stream`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.matrices import FWPair
+from repro.core.messages import MatricesMessage
+from repro.core.multisource import MultiSourcePOSGGrouping, ShardWorkerSpec
+from repro.core.scheduler import SchedulerState
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.simulator.metrics import CompletionStats
+from repro.simulator.network import ConstantLatency, LatencyModel
+from repro.simulator.run import (
+    _INFINITY,
+    SimulationResult,
+    _as_latency,
+    _as_latency_list,
+    _fire_due_crashes,
+    _prepare_audit,
+    _record_run_telemetry,
+)
+from repro.sketches.bucket_cache import get_bucket_cache
+from repro.sketches.hashing import TwoUniversalHashFamily
+from repro.telemetry.recorder import NULL_RECORDER
+from repro.workloads.synthetic import Stream
+
+#: FSM mode codes in the arena's per-shard control record
+_MODE_ROUND_ROBIN = 0
+_MODE_GREEDY = 1
+
+#: per-shard control record: [mode, rr_counter, pair_count, out_count]
+_CTRL_FIELDS = 4
+
+_F64 = np.dtype(np.float64)
+_I64 = np.dtype(np.int64)
+
+
+class ShardArena:
+    """Explicit-layout shared-memory arena for the parallel data plane.
+
+    One ``SharedMemory`` block, partitioned into 8-byte-aligned
+    C-contiguous regions (all ``float64``/``int64``, so alignment is
+    automatic):
+
+    ========  ==================  =======================================
+    region    dtype / shape       contents
+    ========  ==================  =======================================
+    items     int64[m]            the stream's items (written once)
+    ctrl      int64[s, 4]         per shard: mode, rr_counter,
+                                  pair_count, out_count
+    c_hat     float64[s, k]       per shard: C_hat at segment start
+    order     int64[s, k]         per shard: ``_pairs`` iteration order
+                                  (first ``pair_count`` slots valid)
+    valid     int64[s, k]         per shard: 1 if instance has matrices
+    totals    float64[s, k, 2]    per shard/instance: (freq, work)
+                                  sketch total weights
+    freq      float64[s, k, r, c] per shard/instance: F matrix
+    work      float64[s, k, r, c] per shard/instance: W matrix
+    out_inst  int64[s, cap]       per shard: routed instance per slice
+                                  position (worker output)
+    out_est   float64[s, cap]     per shard: estimate added to C_hat
+                                  per slice position (worker output)
+    c_final   float64[s, k]       per shard: C_hat after the full
+                                  speculative slice (worker output)
+    ========  ==================  =======================================
+
+    ``cap`` bounds a shard's slice of one segment:
+    ``ceil(chunk_size / s)`` (the parent never dispatches more).  The
+    parent creates the block; workers attach by name.  Both sides build
+    numpy views with explicit offset/shape/strides over ``shm.buf``, so
+    layout is an invariant of the six integers ``(s, k, rows, cols, m,
+    cap)`` and never inferred.
+    """
+
+    def __init__(
+        self,
+        sources: int,
+        k: int,
+        rows: int,
+        cols: int,
+        m: int,
+        cap: int,
+        name: str | None = None,
+    ) -> None:
+        self.sources = sources
+        self.k = k
+        self.rows = rows
+        self.cols = cols
+        self.m = m
+        self.cap = cap
+
+        cell = rows * cols
+        offset = 0
+
+        def region(count: int, itemsize: int = 8) -> tuple[int, int]:
+            nonlocal offset
+            start = offset
+            offset += count * itemsize
+            return start, count
+
+        items_at, _ = region(m)
+        ctrl_at, _ = region(sources * _CTRL_FIELDS)
+        c_hat_at, _ = region(sources * k)
+        order_at, _ = region(sources * k)
+        valid_at, _ = region(sources * k)
+        totals_at, _ = region(sources * k * 2)
+        freq_at, _ = region(sources * k * cell)
+        work_at, _ = region(sources * k * cell)
+        out_inst_at, _ = region(sources * cap)
+        out_est_at, _ = region(sources * cap)
+        c_final_at, _ = region(sources * k)
+        self.nbytes = offset
+
+        if name is None:
+            self.shm = shared_memory.SharedMemory(create=True, size=self.nbytes)
+            self.owner = True
+        else:
+            self.shm = shared_memory.SharedMemory(name=name)
+            self.owner = False
+
+        buf = self.shm.buf
+
+        def view(at: int, shape: tuple[int, ...], dtype) -> np.ndarray:
+            return np.ndarray(shape, dtype=dtype, buffer=buf, offset=at)
+
+        self.items = view(items_at, (m,), _I64)
+        self.ctrl = view(ctrl_at, (sources, _CTRL_FIELDS), _I64)
+        self.c_hat = view(c_hat_at, (sources, k), _F64)
+        self.order = view(order_at, (sources, k), _I64)
+        self.valid = view(valid_at, (sources, k), _I64)
+        self.totals = view(totals_at, (sources, k, 2), _F64)
+        self.freq = view(freq_at, (sources, k, rows, cols), _F64)
+        self.work = view(work_at, (sources, k, rows, cols), _F64)
+        self.out_inst = view(out_inst_at, (sources, cap), _I64)
+        self.out_est = view(out_est_at, (sources, cap), _F64)
+        self.c_final = view(c_final_at, (sources, k), _F64)
+
+    def untrack(self) -> None:
+        """Drop this attachment's resource-tracker registration.
+
+        CPython < 3.13 registers shared-memory *attachments* with the
+        resource tracker as if they were creations.  A spawn-started
+        worker runs its own tracker, which would unlink the
+        parent-owned block (and warn) when the worker exits — so spawn
+        workers call this after attaching.  Fork workers share the
+        parent's tracker, where re-registration is a set no-op and the
+        parent's ``unlink`` is the single deregistration — they must
+        NOT call this, or the parent's unlink double-unregisters.
+        """
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(self.shm._name, "shared_memory")
+        except Exception:
+            pass
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def layout(self) -> tuple[int, int, int, int, int, int]:
+        """The six integers a worker needs to attach with identical views."""
+        return (self.sources, self.k, self.rows, self.cols, self.m, self.cap)
+
+    def close(self) -> None:
+        """Drop this process's views and mapping (owner keeps the block)."""
+        # release ndarray references into shm.buf before closing the map
+        for attr in (
+            "items", "ctrl", "c_hat", "order", "valid", "totals",
+            "freq", "work", "out_inst", "out_est", "c_final",
+        ):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Free the underlying block (owner only, after close)."""
+        if self.owner:
+            self.shm.unlink()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _attach_pair_views(family, arena: ShardArena, shard: int) -> list[FWPair]:
+    """View-backed ``FWPair`` per instance over the shard's shared F/W.
+
+    The pairs reuse the production estimate kernel
+    (:meth:`FWPair.estimate_many_at`), so worker estimates are the same
+    code path — hence the same bits — as the sequential scheduler's
+    block gathering.  Total weights are refreshed from the arena before
+    every segment (they drive the never-observed global-mean fallback).
+    """
+    pairs = []
+    for instance in range(arena.k):
+        pair = FWPair(family)
+        pair.freq._matrix = arena.freq[shard][instance]
+        pair.work._matrix = arena.work[shard][instance]
+        pairs.append(pair)
+    return pairs
+
+
+def _route_shard(
+    arena: ShardArena,
+    shard: int,
+    pairs: list[FWPair],
+    cache,
+    pooled: bool,
+    start: int,
+    end: int,
+) -> None:
+    """Route shard ``shard``'s slice of the segment ``[start, end)``.
+
+    Replays the sequential engine exactly: bucket columns once per
+    slice, per-instance estimate columns via the same pooled /
+    per-instance gathering as ``POSGScheduler._gather_columns``, then
+    the first-minimum greedy scan (same tie-breaking as ``np.argmin``)
+    over plain Python floats.
+    """
+    sources = arena.sources
+    k = arena.k
+    ctrl = arena.ctrl[shard]
+    first = start + ((shard - start) % sources)
+    if first >= end:
+        ctrl[3] = 0
+        return
+    n = (end - first + sources - 1) // sources
+
+    if int(ctrl[0]) == _MODE_ROUND_ROBIN:
+        rr = int(ctrl[1])
+        out = arena.out_inst[shard]
+        np.mod(
+            np.arange(rr, rr + n, dtype=np.int64), k, out=out[:n]
+        )
+        ctrl[3] = n
+        return
+
+    sub = arena.items[first:end:sources]
+    buckets = cache.columns_many(np.ascontiguousarray(sub))
+    pair_count = int(ctrl[2])
+    totals = arena.totals[shard]
+    order = arena.order[shard]
+    valid = arena.valid[shard]
+    for instance in range(k):
+        if valid[instance]:
+            pair = pairs[instance]
+            pair.freq._total_weight = float(totals[instance, 0])
+            pair.work._total_weight = float(totals[instance, 1])
+
+    if pooled and pair_count:
+        total = np.zeros(n, dtype=np.float64)
+        for slot in range(pair_count):
+            total = total + pairs[int(order[slot])].estimate_many_at(buckets)
+        pooled_column = (total / pair_count).tolist()
+        columns = [pooled_column] * k
+    else:
+        zeros = None
+        columns = []
+        for instance in range(k):
+            if valid[instance]:
+                columns.append(pairs[instance].estimate_many_at(buckets).tolist())
+            else:
+                if zeros is None:
+                    zeros = [0.0] * n
+                columns.append(zeros)
+
+    c = arena.c_hat[shard].tolist()
+    inst_out: list[int] = []
+    est_out: list[float] = []
+    inst_append = inst_out.append
+    est_append = est_out.append
+    k_range = range(1, k)
+    for pos in range(n):
+        best = c[0]
+        instance = 0
+        for i in k_range:
+            value = c[i]
+            if value < best:
+                best = value
+                instance = i
+        est = columns[instance][pos]
+        c[instance] += est
+        inst_append(instance)
+        est_append(est)
+    arena.out_inst[shard][:n] = inst_out
+    arena.out_est[shard][:n] = est_out
+    arena.c_final[shard][:] = c
+    ctrl[3] = n
+
+
+def _worker_main(
+    spec: ShardWorkerSpec,
+    layout: tuple[int, int, int, int, int, int],
+    shm_name: str,
+    shard_ids: list[int],
+    conn,
+    untrack: bool = False,
+) -> None:
+    """Worker loop: attach the arena, route dispatched segments forever.
+
+    Messages on ``conn``: ``(start, end)`` dispatches one segment (the
+    worker routes every shard it owns and acks), ``None`` shuts down.
+    Any exception is reported back as ``("error", text)``.
+    """
+    arena = None
+    try:
+        arena = ShardArena(*layout, name=shm_name)
+        if untrack:
+            arena.untrack()
+        family = TwoUniversalHashFamily.from_dict(spec.hashes)
+        cache = get_bucket_cache(family)
+        pairs = {
+            shard: _attach_pair_views(family, arena, shard)
+            for shard in shard_ids
+        }
+        pooled = spec.pooled_estimates
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            start, end = task
+            for shard in shard_ids:
+                _route_shard(arena, shard, pairs[shard], cache, pooled, start, end)
+            conn.send(("ok",))
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+    except Exception as error:  # surface worker failures to the parent
+        import traceback
+
+        try:
+            conn.send(("error", f"{error!r}\n{traceback.format_exc()}"))
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+    finally:
+        if arena is not None:
+            # drop matrix views held by the FWPair wrappers first
+            try:
+                del pairs
+            except NameError:
+                pass
+            arena.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def default_worker_count(sources: int) -> int:
+    """Workers to use when the caller does not say: ``min(s, cores)``."""
+    return max(1, min(sources, os.cpu_count() or 1))
+
+
+def simulate_stream_parallel(
+    stream: Stream,
+    policy: MultiSourcePOSGGrouping,
+    workers: int | None = None,
+    k: int = 5,
+    scenario=None,
+    data_latency: "LatencyModel | float | list" = 0.0,
+    control_latency: "LatencyModel | float" = 1.0,
+    rng: np.random.Generator | None = None,
+    sample_queues_every: int | None = None,
+    chunk_size: int = 2048,
+    telemetry=None,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    audit=None,
+    profiler=None,
+    start_method: str | None = None,
+) -> SimulationResult:
+    """Simulate one stream with the shard route loops in worker processes.
+
+    Drop-in for :func:`~repro.simulator.run.simulate_stream` on a
+    :class:`~repro.core.multisource.MultiSourcePOSGGrouping` policy —
+    bit-identical results for fixed seeds (see the module docstring for
+    why), with the greedy scans of control-quiet segments executed by
+    ``workers`` processes over shared memory.
+
+    Extra parameters beyond ``simulate_stream``:
+
+    workers:
+        Worker processes to spawn; clamped to the shard count ``s``
+        (``workers=4`` over ``s=1`` runs one worker).  Defaults to
+        ``min(s, os.cpu_count())``.
+    start_method:
+        Multiprocessing start method (``"fork"``/``"spawn"``/...).
+        Defaults to ``fork`` where available (cheap worker startup),
+        falling back to the platform default; the worker bootstrap is
+        picklable, so any method works.
+    chunk_size:
+        As in ``simulate_stream`` but must be >= 1 (there is no
+        per-tuple parallel engine).
+
+    Raises ``ValueError`` for configurations the parallel engine does
+    not support (recovery defenses, latency hints, non-constant data
+    latencies, scenarios without ``multiplier_matrix``) — run those
+    through ``simulate_stream``.
+    """
+    if not isinstance(policy, MultiSourcePOSGGrouping):
+        raise TypeError(
+            "simulate_stream_parallel needs a MultiSourcePOSGGrouping "
+            f"policy (got {getattr(policy, 'name', policy)!r}); wrap a "
+            "single-scheduler deployment as MultiSourcePOSGGrouping(1, ...)"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if chunk_size < 1:
+        raise ValueError(
+            f"chunk_size must be >= 1 for the parallel engine, got {chunk_size}"
+        )
+    if scenario is None:
+        from repro.workloads.nonstationary import LoadShiftScenario
+
+        scenario = LoadShiftScenario.constant(k)
+    if scenario.k < k:
+        raise ValueError(
+            f"scenario covers {scenario.k} instances but k={k} requested"
+        )
+    if not hasattr(scenario, "multiplier_matrix"):
+        raise ValueError(
+            "the parallel engine needs a scenario with bulk "
+            "multiplier_matrix evaluation"
+        )
+    if sample_queues_every is not None and sample_queues_every < 1:
+        raise ValueError(
+            f"sample_queues_every must be >= 1, got {sample_queues_every}"
+        )
+    if policy.config.recovery is not None:
+        raise ValueError(
+            "recovery defenses tick per routed tuple; the parallel engine "
+            "does not support them — use simulate_stream"
+        )
+    data_lat = _as_latency_list(data_latency, k)
+    if not all(isinstance(model, ConstantLatency) for model in data_lat):
+        raise ValueError(
+            "the parallel engine supports constant data latencies only "
+            "(random models draw per tuple in stream order)"
+        )
+    control_lat = _as_latency(control_latency)
+    recorder = telemetry if telemetry is not None else NULL_RECORDER
+
+    if isinstance(faults, FaultInjector):
+        injector = faults if faults.active else None
+    elif isinstance(faults, FaultPlan):
+        injector = (
+            FaultInjector(faults, k=k, telemetry=recorder)
+            if faults.active
+            else None
+        )
+    elif faults is None:
+        injector = None
+    else:
+        raise TypeError(
+            f"faults must be a FaultPlan or FaultInjector, got {faults!r}"
+        )
+
+    if workers is None:
+        workers = default_worker_count(policy.sources)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    if profiler is not None:
+        profiler.start("simulate")
+    try:
+        result = _simulate_parallel(
+            stream, policy, int(workers), k, scenario, data_lat, control_lat,
+            rng, sample_queues_every, chunk_size, injector, audit, recorder,
+            profiler, start_method,
+        )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    result.faults = injector
+    if recorder.enabled:
+        _record_run_telemetry(recorder, result, k)
+        _record_parallel_telemetry(recorder, result)
+    return result
+
+
+def _record_parallel_telemetry(recorder, result: SimulationResult) -> None:
+    """Fold the engine's own counters into the run's report.
+
+    Additive to :func:`_record_run_telemetry` (which records the same
+    run-level metrics as the sequential engines): per-worker routed
+    tuples plus segment/speculation accounting, so one RunReport carries
+    the whole parallel run.
+    """
+    info = result.parallel or {}
+    registry = recorder.registry
+    registry.counter(
+        "sim_parallel_segments_total",
+        help="Control-quiet segments dispatched to workers",
+    ).inc(info.get("segments", 0))
+    registry.counter(
+        "sim_parallel_fallback_tuples_total",
+        help="Tuples routed through the sequential SEND_ALL fallback",
+    ).inc(info.get("fallback_tuples", 0))
+    registry.counter(
+        "sim_parallel_discarded_tuples_total",
+        help="Speculatively routed tuples discarded at segment re-tightening",
+    ).inc(info.get("discarded_speculative_tuples", 0))
+    for worker, tuples in enumerate(info.get("worker_tuples", ())):
+        registry.counter(
+            "sim_parallel_worker_tuples_total",
+            help="Tuples committed per worker process",
+            labels={"worker": worker},
+        ).inc(int(tuples))
+    recorder.tracer.emit(
+        "parallel_run",
+        workers=info.get("workers"),
+        start_method=info.get("start_method"),
+        segments=info.get("segments"),
+        fallback_tuples=info.get("fallback_tuples"),
+        discarded_speculative_tuples=info.get(
+            "discarded_speculative_tuples"
+        ),
+    )
+
+
+def _recv_ack(conn, process) -> None:
+    """Wait for a worker ack, surfacing worker death instead of hanging."""
+    while not conn.poll(0.2):
+        if not process.is_alive():
+            raise RuntimeError(
+                f"parallel worker {process.name} died "
+                f"(exit code {process.exitcode})"
+            )
+    reply = conn.recv()
+    if reply[0] != "ok":
+        raise RuntimeError(f"parallel worker failed:\n{reply[1]}")
+
+
+def _simulate_parallel(
+    stream: Stream,
+    policy: MultiSourcePOSGGrouping,
+    workers: int,
+    k: int,
+    scenario,
+    data_lat: list[LatencyModel],
+    control_lat: LatencyModel,
+    rng: np.random.Generator | None,
+    sample_queues_every: int | None,
+    chunk_size: int,
+    injector: FaultInjector | None,
+    audit,
+    recorder,
+    profiler,
+    start_method: str | None,
+) -> SimulationResult:
+    m = stream.m
+    items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
+    items = items_array.tolist()
+    arrivals_array = np.ascontiguousarray(stream.arrivals, dtype=np.float64)
+    arrivals = arrivals_array.tolist()
+    base_times = stream.base_times.tolist()
+
+    # Hoisted execution-time columns, identical to the chunked engine:
+    # a unit multiplier column is the base times themselves.
+    multipliers = scenario.multiplier_matrix(m)
+    execution_columns = [
+        base_times
+        if np.all(multipliers[:, instance] == 1.0)
+        else (stream.base_times * multipliers[:, instance]).tolist()
+        for instance in range(k)
+    ]
+    # Per-instance arrival-at-instance columns (constant latencies only;
+    # x + 0.0 == x keeps the zero-latency column the arrival list).
+    latency_values = [model.value for model in data_lat]
+    at_cols = [
+        arrivals
+        if value == 0.0
+        else (arrivals_array + value).tolist()
+        for value in latency_values
+    ]
+
+    policy.setup(k, rng)
+    if policy.scheduler._latency_hints is not None:
+        raise ValueError(
+            "latency hints change the greedy objective per tuple; the "
+            "parallel engine does not support them — use simulate_stream"
+        )
+    auditor = _prepare_audit(audit, policy, recorder)
+    agents = [policy.create_instance_agent(instance) for instance in range(k)]
+    trackers = [agent.tracker for agent in agents]
+    schedulers = list(policy.schedulers)
+    sources = policy.sources
+    spec = policy.worker_spec()
+    window_size = policy.config.window_size
+
+    n_workers = max(1, min(workers, sources))
+    cap = (chunk_size + sources - 1) // sources + 1
+    arena = ShardArena(sources, k, spec.rows, spec.cols, m, cap)
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    ctx = multiprocessing.get_context(start_method)
+
+    processes = []
+    conns = []
+    worker_shards = [
+        [shard for shard in range(sources) if shard % n_workers == w]
+        for w in range(n_workers)
+    ]
+    run_info: dict = {}
+    try:
+        arena.items[:] = items_array
+        layout = arena.layout()
+        for w in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    spec,
+                    layout,
+                    arena.name,
+                    worker_shards[w],
+                    child_conn,
+                    start_method != "fork",
+                ),
+                name=f"posg-shard-worker-{w}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            processes.append(process)
+            conns.append(parent_conn)
+
+        run_info = _parallel_loop(
+            m=m,
+            items=items,
+            arrivals=arrivals,
+            arrivals_array=arrivals_array,
+            execution_columns=execution_columns,
+            at_cols=at_cols,
+            latency_values=latency_values,
+            control_lat=control_lat,
+            policy=policy,
+            schedulers=schedulers,
+            sources=sources,
+            k=k,
+            agents=agents,
+            trackers=trackers,
+            window_size=window_size,
+            chunk_size=chunk_size,
+            arena=arena,
+            conns=conns,
+            processes=processes,
+            injector=injector,
+            auditor=auditor,
+            sample_queues_every=sample_queues_every,
+            profiler=profiler,
+        )
+    finally:
+        for conn, process in zip(conns, processes):
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for conn in conns:
+            conn.close()
+        arena.close()
+        arena.unlink()
+
+    shard_tuples = run_info.pop("shard_tuples")
+    worker_tuples = [
+        sum(shard_tuples[shard] for shard in shards)
+        for shards in worker_shards
+    ]
+    result = SimulationResult(
+        stats=CompletionStats(
+            run_info.pop("completions"),
+            np.asarray(run_info.pop("assignments"), dtype=np.int64),
+        ),
+        policy=policy,
+        state_transitions=run_info.pop("state_transitions"),
+        control_messages=run_info.pop("control_messages"),
+        control_bits=run_info.pop("control_bits"),
+        queue_samples=(
+            np.asarray(run_info.pop("queue_samples"))
+            if sample_queues_every is not None
+            else None
+        ),
+        queue_sample_indices=(
+            np.asarray(run_info.pop("queue_sample_indices"), dtype=np.int64)
+            if sample_queues_every is not None
+            else None
+        ),
+        audit=auditor,
+        parallel={
+            "workers": n_workers,
+            "start_method": start_method,
+            "worker_shards": worker_shards,
+            "worker_tuples": worker_tuples,
+            **run_info,
+        },
+    )
+    return result
+
+
+def _parallel_loop(
+    *,
+    m,
+    items,
+    arrivals,
+    arrivals_array,
+    execution_columns,
+    at_cols,
+    latency_values,
+    control_lat,
+    policy,
+    schedulers,
+    sources,
+    k,
+    agents,
+    trackers,
+    window_size,
+    chunk_size,
+    arena: ShardArena,
+    conns,
+    processes,
+    injector,
+    auditor,
+    sample_queues_every,
+    profiler,
+) -> dict:
+    """The dispatch/merge/commit loop.  Returns the run's bookkeeping."""
+    busy = [0.0] * k
+    finishes: list[float] = []
+    assignments: list[int] = []
+    control_queue: list[tuple[float, int, object]] = []
+    control_seq = 0
+    control_messages = 0
+    control_bits = 0
+    state_transitions: list[tuple[int, SchedulerState]] = []
+    queue_samples: list[list[float]] = []
+    queue_sample_indices: list[int] = []
+    previous_state = policy.state
+
+    every = sample_queues_every
+    next_sample = 0 if every is not None else m
+    audit_every = auditor.sample_every if auditor is not None else 0
+    audit_observe = auditor.observe if auditor is not None else None
+    next_audit = 0 if auditor is not None else m
+
+    faulting = injector is not None
+    crash_ptr = 0
+
+    # Instance-side batching (fault-free fast merge only: crashes force
+    # per-tuple tracker folds, and faulted runs never batch).
+    pending_items: list[list[int]] = [[] for _ in range(k)]
+    pending_times: list[list[float]] = [[] for _ in range(k)]
+    window_left = [tracker.window_remaining for tracker in trackers]
+
+    matrices_dirty = [True] * sources
+    shard_tuples = [0] * sources
+    segments = 0
+    fallback_tuples = 0
+    discarded = 0
+
+    send_all = SchedulerState.SEND_ALL
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    bisect_left = bisect.bisect_left
+    ctrl = arena.ctrl
+    c_hat_region = arena.c_hat
+    out_inst_region = arena.out_inst
+    out_est_region = arena.out_est
+    c_final_region = arena.c_final
+
+    def _window_boundary(
+        instance: int,
+        item: int,
+        execution_time: float,
+        finish: float,
+        lo: int,
+        next_due: float,
+        end: int,
+    ) -> tuple[float, int]:
+        """Fault-free window close: flush the batch, run the boundary
+        tuple through the FSM, enqueue its messages, re-tighten the
+        segment bound.  Mirrors the chunked engine's closure exactly."""
+        nonlocal control_seq, control_messages, control_bits
+        tracker = trackers[instance]
+        batch = pending_items[instance]
+        if profiler is not None:
+            profiler.start("window_close")
+        if batch:
+            if profiler is not None:
+                profiler.start("fold")
+            tracker.execute_batch(batch, pending_times[instance])
+            if profiler is not None:
+                profiler.stop()
+            batch.clear()
+            pending_times[instance].clear()
+        messages = tracker.execute(item, execution_time, None)
+        for message in messages:
+            delivery = finish + control_lat.sample()
+            heappush(control_queue, (delivery, control_seq, message))
+            control_seq += 1
+            control_messages += 1
+            control_bits += message.size_bits()
+        if control_queue and control_queue[0][0] < next_due:
+            next_due = control_queue[0][0]
+            end = bisect_left(arrivals, next_due, lo, end)
+        if profiler is not None:
+            profiler.stop()
+        return next_due, end
+
+    def _sync_shard(shard: int) -> None:
+        """Refresh the shard's arena mirror from its live scheduler."""
+        scheduler = schedulers[shard]
+        record = ctrl[shard]
+        record[0] = (
+            _MODE_ROUND_ROBIN
+            if scheduler.state is SchedulerState.ROUND_ROBIN
+            else _MODE_GREEDY
+        )
+        record[1] = scheduler._rr_counter
+        c_hat_region[shard][:] = scheduler._c_hat
+        if not matrices_dirty[shard]:
+            return
+        matrices = scheduler._matrices
+        record[2] = len(matrices)
+        valid = arena.valid[shard]
+        valid[:] = 0
+        order = arena.order[shard]
+        totals = arena.totals[shard]
+        for slot, (instance, pair) in enumerate(matrices.items()):
+            order[slot] = instance
+            valid[instance] = 1
+            arena.freq[shard][instance][:] = pair.freq._matrix
+            arena.work[shard][instance][:] = pair.work._matrix
+            totals[instance, 0] = pair.freq.total_weight
+            totals[instance, 1] = pair.work.total_weight
+        matrices_dirty[shard] = False
+
+    j = 0
+    while j < m:
+        arrival = arrivals[j]
+
+        if control_queue and control_queue[0][0] <= arrival:
+            if profiler is not None:
+                profiler.start("control")
+            while control_queue and control_queue[0][0] <= arrival:
+                _, _, message = heappop(control_queue)
+                policy.on_control(message)
+                if isinstance(message, MatricesMessage):
+                    for shard in range(sources):
+                        matrices_dirty[shard] = True
+            if profiler is not None:
+                profiler.stop()
+
+        if any(s.state is send_all for s in schedulers):
+            # ------------------------------------------------------
+            # SEND_ALL fallback: sequential reference per-tuple step.
+            # ------------------------------------------------------
+            fallback_tuples += 1
+            if j == next_sample:
+                queue_sample_indices.append(j)
+                queue_samples.append([max(0.0, b - arrival) for b in busy])
+                next_sample += every
+            if faulting:
+                crash_ptr = _fire_due_crashes(
+                    injector, crash_ptr, arrival, agents, busy
+                )
+            if profiler is not None:
+                profiler.start("route")
+            decision = policy.route(items[j])
+            if profiler is not None:
+                profiler.stop()
+            instance = decision.instance
+            shard_tuples[j % sources] += 1
+            at_instance = arrival + latency_values[instance]
+            b = busy[instance]
+            start = at_instance if at_instance > b else b
+            execution_time = execution_columns[instance][j]
+            sync_request = decision.sync_request
+            if faulting:
+                factor = injector.execution_factor(instance, arrival)
+                if factor != 1.0:
+                    execution_time = execution_time * factor
+                if sync_request is not None and injector.drop_request(
+                    sync_request
+                ):
+                    sync_request = None
+            finish = start + execution_time
+            busy[instance] = finish
+            finishes.append(finish)
+            assignments.append(instance)
+            if j == next_audit:
+                audit_observe(j, items[j], instance, execution_time)
+                next_audit += audit_every
+            if profiler is not None:
+                profiler.start("fold")
+            if pending_items[instance]:
+                trackers[instance].execute_batch(
+                    pending_items[instance], pending_times[instance]
+                )
+                pending_items[instance].clear()
+                pending_times[instance].clear()
+            messages = trackers[instance].execute(
+                items[j], execution_time, sync_request
+            )
+            window_left[instance] = trackers[instance].window_remaining
+            if profiler is not None:
+                profiler.stop()
+            for message in messages:
+                delivery = finish + control_lat.sample()
+                control_messages += 1
+                control_bits += message.size_bits()
+                if faulting:
+                    for when in injector.deliver_times(message, delivery):
+                        heappush(control_queue, (when, control_seq, message))
+                        control_seq += 1
+                else:
+                    heappush(control_queue, (delivery, control_seq, message))
+                    control_seq += 1
+            if decision.sync_request is not None:
+                control_messages += 1
+                control_bits += decision.sync_request.size_bits()
+            current_state = policy.state
+            if current_state is not previous_state:
+                state_transitions.append((j, current_state))
+                previous_state = current_state
+            j += 1
+            continue
+
+        # ----------------------------------------------------------
+        # Control-quiet segment: dispatch the shard slices to workers.
+        # ----------------------------------------------------------
+        segments += 1
+        if control_queue:
+            next_due = control_queue[0][0]
+            end = bisect_left(arrivals, next_due, j + 1, min(j + chunk_size, m))
+        else:
+            next_due = _INFINITY
+            end = min(j + chunk_size, m)
+        # Drain-induced transition: recorded at the next routed index,
+        # which this segment routes (same as the chunked engine).
+        current_state = policy.state
+        if current_state is not previous_state:
+            state_transitions.append((j, current_state))
+            previous_state = current_state
+
+        if profiler is not None:
+            profiler.start("route")
+        for shard in range(sources):
+            _sync_shard(shard)
+        for conn in conns:
+            conn.send((j, end))
+        for conn, process in zip(conns, processes):
+            _recv_ack(conn, process)
+        # Deterministic k-way merge of the shard decision streams:
+        # shard sigma produced the decisions for positions
+        # first_sigma, first_sigma + s, ... — a strided interleave.
+        end0 = end
+        seg_len0 = end0 - j
+        seg_asg_np = np.empty(seg_len0, dtype=np.int64)
+        for shard in range(sources):
+            first = j + ((shard - j) % sources)
+            if first >= end0:
+                continue
+            n_shard = (end0 - first + sources - 1) // sources
+            seg_asg_np[first - j :: sources] = out_inst_region[shard][:n_shard]
+        seg_asg = seg_asg_np.tolist()
+        if profiler is not None:
+            profiler.stop()
+
+        if profiler is not None:
+            profiler.start("merge")
+        if faulting:
+            # --------------------------------------------------
+            # Faulted merge: replay the reference per-tuple step
+            # (minus routing) in arrival order — crashes, slowdown
+            # factors and message-fault draws happen at the exact
+            # sequential points.
+            # --------------------------------------------------
+            t = j
+            while t < end:
+                ar_t = arrivals[t]
+                if t == next_sample:
+                    queue_sample_indices.append(t)
+                    queue_samples.append(
+                        [max(0.0, b - ar_t) for b in busy]
+                    )
+                    next_sample += every
+                crash_ptr = _fire_due_crashes(
+                    injector, crash_ptr, ar_t, agents, busy
+                )
+                instance = seg_asg[t - j]
+                at_instance = at_cols[instance][t]
+                b = busy[instance]
+                start = at_instance if at_instance > b else b
+                execution_time = execution_columns[instance][t]
+                factor = injector.execution_factor(instance, ar_t)
+                if factor != 1.0:
+                    execution_time = execution_time * factor
+                finish = start + execution_time
+                busy[instance] = finish
+                finishes.append(finish)
+                assignments.append(instance)
+                if t == next_audit:
+                    audit_observe(t, items[t], instance, execution_time)
+                    next_audit += audit_every
+                messages = trackers[instance].execute(
+                    items[t], execution_time, None
+                )
+                if messages:
+                    for message in messages:
+                        delivery = finish + control_lat.sample()
+                        control_messages += 1
+                        control_bits += message.size_bits()
+                        for when in injector.deliver_times(message, delivery):
+                            heappush(
+                                control_queue, (when, control_seq, message)
+                            )
+                            control_seq += 1
+                    window_left[instance] = trackers[
+                        instance
+                    ].window_remaining
+                    if control_queue and control_queue[0][0] < next_due:
+                        next_due = control_queue[0][0]
+                        end = bisect_left(arrivals, next_due, t + 1, end)
+                t += 1
+        else:
+            # --------------------------------------------------
+            # Fast merge: de-interleaved per-instance busy chains
+            # between window boundaries (the generalization of the
+            # chunked engine's ROUND_ROBIN segment merge to an
+            # arbitrary precomputed assignment).
+            # --------------------------------------------------
+            seg_fin_np = np.empty(seg_len0, dtype=np.float64)
+            occ = [
+                np.nonzero(seg_asg_np == instance)[0] + j
+                for instance in range(k)
+            ]
+            occ_size = [int(arr.size) for arr in occ]
+            ptr = [0] * k
+            cur = j
+            while True:
+                nb = end
+                for i in range(k):
+                    pidx = ptr[i] + window_left[i] - 1
+                    if pidx < occ_size[i]:
+                        cand = occ[i][pidx]
+                        if cand < nb:
+                            nb = int(cand)
+                safe_end = nb
+                if safe_end > cur:
+                    sampling = next_sample < safe_end
+                    start_busy = busy[:] if sampling else None
+                    base_ptr = ptr[:] if sampling else None
+                    chains: list[list[float]] = []
+                    for i in range(k):
+                        arr = occ[i]
+                        p_lo = ptr[i]
+                        p_hi = int(np.searchsorted(arr, safe_end, side="left"))
+                        fl: list[float] = []
+                        n_i = p_hi - p_lo
+                        if n_i:
+                            positions = arr[p_lo:p_hi]
+                            pos_list = positions.tolist()
+                            at_col_i = at_cols[i]
+                            x_col_i = execution_columns[i]
+                            xs = [x_col_i[t] for t in pos_list]
+                            b = busy[i]
+                            fa = fl.append
+                            for t, w in zip(pos_list, xs):
+                                at = at_col_i[t]
+                                if at > b:
+                                    b = at
+                                b += w
+                                fa(b)
+                            busy[i] = b
+                            seg_fin_np[positions - j] = fl
+                            pending_items[i].extend(
+                                items[t] for t in pos_list
+                            )
+                            pending_times[i].extend(xs)
+                            window_left[i] -= n_i
+                            ptr[i] = p_hi
+                        if sampling:
+                            chains.append(fl)
+                    while next_sample < safe_end:
+                        sidx = next_sample
+                        ar_s = arrivals[sidx]
+                        sample = []
+                        for i in range(k):
+                            cnt = (
+                                int(np.searchsorted(occ[i], sidx))
+                                - base_ptr[i]
+                            )
+                            bi = (
+                                start_busy[i]
+                                if cnt <= 0
+                                else chains[i][cnt - 1]
+                            )
+                            sample.append(max(0.0, bi - ar_s))
+                        queue_sample_indices.append(sidx)
+                        queue_samples.append(sample)
+                        next_sample += every
+                    while next_audit < safe_end:
+                        sidx = next_audit
+                        instance = seg_asg[sidx - j]
+                        audit_observe(
+                            sidx,
+                            items[sidx],
+                            instance,
+                            execution_columns[instance][sidx],
+                        )
+                        next_audit += audit_every
+                    cur = safe_end
+                if cur >= end:
+                    break
+                # Window-boundary tuple: reference per-tuple step.
+                t = cur
+                if t == next_sample:
+                    ar_t = arrivals[t]
+                    queue_sample_indices.append(t)
+                    queue_samples.append(
+                        [max(0.0, b - ar_t) for b in busy]
+                    )
+                    next_sample += every
+                instance = seg_asg[t - j]
+                at_instance = at_cols[instance][t]
+                b = busy[instance]
+                if at_instance > b:
+                    b = at_instance
+                execution_time = execution_columns[instance][t]
+                finish = b + execution_time
+                busy[instance] = finish
+                seg_fin_np[t - j] = finish
+                next_due, end = _window_boundary(
+                    instance, items[t], execution_time, finish,
+                    t + 1, next_due, end,
+                )
+                window_left[instance] = window_size
+                ptr[instance] += 1
+                if t == next_audit:
+                    audit_observe(t, items[t], instance, execution_time)
+                    next_audit += audit_every
+                cur = t + 1
+            count = end - j
+            finishes.extend(seg_fin_np[:count].tolist())
+            assignments.extend(seg_asg[:count])
+        if profiler is not None:
+            profiler.stop()
+
+        # ----------------------------------------------------------
+        # Commit: fold each shard's committed prefix back into its
+        # scheduler.  A truncated shard replays its C_hat adds in
+        # order (same IEEE sequence as routing only the prefix).
+        # ----------------------------------------------------------
+        discarded += end0 - end
+        for shard in range(sources):
+            first = j + ((shard - j) % sources)
+            n_committed = (
+                0 if end <= first else (end - first + sources - 1) // sources
+            )
+            n_routed = int(ctrl[shard][3])
+            scheduler = schedulers[shard]
+            scheduler._tuples_scheduled += n_committed
+            shard_tuples[shard] += n_committed
+            if int(ctrl[shard][0]) == _MODE_ROUND_ROBIN:
+                scheduler._rr_counter += n_committed
+            elif n_committed == 0:
+                pass  # shard untouched this segment; c_final is stale
+            elif n_committed == n_routed:
+                scheduler._c_hat[:] = c_final_region[shard]
+            else:
+                c_hat = scheduler._c_hat
+                inst_out = out_inst_region[shard][:n_committed].tolist()
+                est_out = out_est_region[shard][:n_committed].tolist()
+                for instance, estimate in zip(inst_out, est_out):
+                    c_hat[instance] += estimate
+        policy.sync_cursor(end)
+        j = end
+
+    # Fold the tail batches so tracker state ends exactly where the
+    # sequential engines leave it.
+    for instance in range(k):
+        if pending_items[instance]:
+            if profiler is not None:
+                profiler.start("fold")
+            trackers[instance].execute_batch(
+                pending_items[instance], pending_times[instance]
+            )
+            if profiler is not None:
+                profiler.stop()
+
+    completions = np.asarray(finishes, dtype=np.float64) - arrivals_array
+    return {
+        "completions": completions,
+        "assignments": assignments,
+        "state_transitions": state_transitions,
+        "control_messages": control_messages,
+        "control_bits": control_bits,
+        "queue_samples": queue_samples,
+        "queue_sample_indices": queue_sample_indices,
+        "segments": segments,
+        "fallback_tuples": fallback_tuples,
+        "discarded_speculative_tuples": discarded,
+        "shard_tuples": shard_tuples,
+    }

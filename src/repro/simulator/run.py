@@ -88,6 +88,10 @@ class SimulationResult:
     #: the estimator audit that sampled the run (``None`` when disabled);
     #: carries the streaming error quantiles and Theorem 4.3 tallies
     audit: "EstimatorAudit | None" = None
+    #: parallel-engine accounting (``None`` for single-process runs):
+    #: workers, start method, shard/worker tuple counts, segment and
+    #: speculation tallies — see ``repro.simulator.parallel``
+    parallel: "dict | None" = None
 
     @property
     def average_completion_time(self) -> float:
@@ -1346,6 +1350,69 @@ def _run_posg(
                         audit_observe(j, items[j], instance, execution_time)
                         next_audit += audit_every
                     j += 1
+                block._rr = rr
+                block._pos = pos
+                block.commit()
+                if profiler is not None:
+                    profiler.stop()
+                continue
+            if plain:
+                # Greedy routing at instance counts other than the
+                # unrolled k = 5: the first-minimum scan becomes a
+                # numpy argmin over the C_hat vector (``argmin``
+                # returns the *first* minimum, so tie-breaking is
+                # unchanged) and the estimate columns are stacked once
+                # per segment into one 2-D array.  Scalar float64
+                # adds on the array match the plain-float adds of the
+                # scalar scan bit for bit, so k > 5 keeps the fast
+                # path instead of dropping to the per-element list
+                # scan.
+                c_arr = np.asarray(c, dtype=np.float64)
+                est_arr = np.asarray(estimates, dtype=np.float64)
+                at_col = at_column
+                argmin = np.argmin
+                fin_append = finishes.append
+                asg_append = assignments.append
+                if profiler is not None:
+                    profiler.start("route")
+                while j < end:
+                    if j == next_sample:
+                        ar = arrivals[j]
+                        queue_sample_indices.append(j)
+                        queue_samples.append(
+                            [max(0.0, b - ar) for b in busy]
+                        )
+                        next_sample += every
+                    instance = int(argmin(c_arr))
+                    c_arr[instance] += est_arr[instance, pos]
+                    pos += 1
+                    at_instance = at_col[j]
+                    b = busy[instance]
+                    if at_instance > b:
+                        b = at_instance
+                    execution_time = execution_columns[instance][j]
+                    finish = b + execution_time
+                    busy[instance] = finish
+                    fin_append(finish)
+                    asg_append(instance)
+                    if j == next_audit:
+                        audit_observe(j, items[j], instance, execution_time)
+                        next_audit += audit_every
+                    wl = window_left[instance]
+                    if wl == 1:
+                        next_due, end = _window_boundary(
+                            instance, items[j], execution_time, finish,
+                            j + 1, next_due, end,
+                        )
+                        window_left[instance] = window_size
+                    else:
+                        pending_items[instance].append(items[j])
+                        pending_times[instance].append(execution_time)
+                        window_left[instance] = wl - 1
+                    j += 1
+                # ``commit`` copies ``_c`` into the scheduler's C_hat
+                # via slice assignment, which accepts the ndarray.
+                block._c = c_arr
                 block._rr = rr
                 block._pos = pos
                 block.commit()

@@ -9,6 +9,8 @@ and numpy produced them.
 from __future__ import annotations
 
 import datetime
+import multiprocessing
+import os
 import platform
 import subprocess
 import sys
@@ -34,12 +36,27 @@ def git_sha(repo_root: "str | Path | None" = None) -> str | None:
     return result.stdout.strip() or None
 
 
-def provenance(repo_root: "str | Path | None" = None) -> dict:
-    """Environment fingerprint to embed in benchmark JSON payloads."""
-    return {
+def provenance(
+    repo_root: "str | Path | None" = None, workers: int | None = None
+) -> dict:
+    """Environment fingerprint to embed in benchmark JSON payloads.
+
+    ``cpu_count`` and the multiprocessing start method make parallel
+    throughput numbers comparable across hosts — a 4-worker figure from
+    a 1-core container and one from a 16-core workstation are different
+    measurements.  ``workers`` records how many worker processes the
+    benchmark actually ran (``None`` for single-process benchmarks).
+    """
+    info = {
         "git_sha": git_sha(repo_root),
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "mp_start_method": multiprocessing.get_start_method(allow_none=True)
+        or multiprocessing.get_context().get_start_method(),
     }
+    if workers is not None:
+        info["workers"] = int(workers)
+    return info
