@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-throughput bench-telemetry bench-audit \
-	bench-history bench-parallel chaos observe multisource figures \
-	figures-paper-scale examples clean
+	bench-flightrecorder bench-history bench-parallel chaos observe \
+	multisource attribution figures figures-paper-scale examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,13 @@ bench-telemetry:
 # audit more than 10%
 bench-audit:
 	$(PYTHON) benchmarks/bench_audit_overhead.py
+
+# flight-recorder overhead gate: writes
+# BENCH_flightrecorder_overhead.json and fails if a sparse recorder
+# costs more than 3% or the default sampled recorder more than 10%
+# (both vs the uninstrumented sharded run)
+bench-flightrecorder:
+	$(PYTHON) benchmarks/bench_flightrecorder_overhead.py
 
 # append {throughput, telemetry overhead, audit overhead} to
 # BENCH_history.jsonl with provenance; fails (without appending) if
@@ -64,6 +71,14 @@ observe:
 # never completes a sync round
 multisource:
 	$(PYTHON) -m repro.experiments multisource --scale 0.25 --output multisource-out
+
+# flight-recorder attribution sweep: reruns the multisource sweep under
+# the cross-shard flight recorder through all three engines (timelines
+# gated bit-identical) and decomposes each point's excess L into
+# staleness / collision / residual; writes attribution.{json,html}
+# under attribution-out/
+attribution:
+	$(PYTHON) -m repro.experiments attribution --scale 0.25 --output attribution-out
 
 # regenerate every paper figure without pytest
 figures:

@@ -3,8 +3,9 @@
 One invocation measures the numbers the repository tracks over
 time — POSG throughput on the Figure 4 configuration, the same
 configuration sharded over four sources (sequential and through the
-4-worker parallel engine), the telemetry overhead ratio, and the
-estimator-audit overhead ratio — and appends
+4-worker parallel engine), the telemetry overhead ratio, the
+estimator-audit overhead ratio, and the flight-recorder overhead
+ratio on the sharded configuration — and appends
 them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
 stamped with the usual provenance block (commit, dirty flag, python /
 numpy versions, platform).
@@ -46,6 +47,7 @@ from repro.core.multisource import MultiSourcePOSGGrouping
 from repro.simulator.parallel import simulate_stream_parallel
 from repro.simulator.run import simulate_stream
 from repro.telemetry.audit import AuditConfig
+from repro.telemetry.flightrecorder import FlightRecorderConfig
 from repro.telemetry.provenance import provenance
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.synthetic import default_stream
@@ -57,7 +59,7 @@ HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 MAX_THROUGHPUT_REGRESSION = 0.10
 
 
-def _timed_run(m: int, telemetry=None, audit=None, sources=None) -> float:
+def _timed_run(m: int, telemetry=None, audit=None, sources=None, flight=None) -> float:
     """One chunked POSG run; elapsed seconds."""
     stream = default_stream(seed=0, m=m)
     if sources is None:
@@ -75,6 +77,7 @@ def _timed_run(m: int, telemetry=None, audit=None, sources=None) -> float:
         chunk_size=2048,
         telemetry=telemetry,
         audit=audit,
+        flight=flight,
     )
     return time.perf_counter() - t0
 
@@ -155,6 +158,20 @@ def main() -> int:
     telemetry_ratio = _overhead_ratio(m, reps, with_telemetry)
     audit_ratio = _overhead_ratio(m, reps, with_audit)
 
+    # flight recorder vs plain on the *sharded* configuration (both
+    # sides route through the per-tuple generic loop, isolating the
+    # recorder; see bench_flightrecorder_overhead.py for the gate)
+    flight_ratios = []
+    for round_index in range(max(1, reps // 3)):
+        if round_index % 2 == 0:
+            plain = _timed_run(m, sources=4)
+            variant = _timed_run(m, sources=4, flight=FlightRecorderConfig())
+        else:
+            variant = _timed_run(m, sources=4, flight=FlightRecorderConfig())
+            plain = _timed_run(m, sources=4)
+        flight_ratios.append(plain / variant)
+    flight_ratio = statistics.median(flight_ratios)
+
     entry = {
         "schema": "posg-bench-history/v1",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -165,6 +182,7 @@ def main() -> int:
         "posg_parallel_w4_tuples_per_sec": parallel_w4_throughput,
         "telemetry_enabled_vs_plain": telemetry_ratio,
         "audit_sampled_vs_plain": audit_ratio,
+        "flight_sampled_vs_plain_s4": flight_ratio,
     }
 
     previous = _last_comparable(m)
@@ -225,7 +243,8 @@ def main() -> int:
     print(
         f"posg {throughput:,.0f} t/s | s=4 {s4_throughput:,.0f} t/s | "
         f"parallel w=4 {parallel_w4_throughput:,.0f} t/s | "
-        f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x"
+        f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x | "
+        f"flight s=4 {flight_ratio:.3f}x"
     )
     return 0
 

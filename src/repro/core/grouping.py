@@ -272,6 +272,27 @@ class POSGGrouping(GroupingPolicy):
     def on_control(self, message: ControlMessage) -> None:
         self.scheduler.on_message(message)
 
+    # ------------------------------------------------------------------
+    # cross-shard flight recorder attachment
+    # ------------------------------------------------------------------
+    def attach_flight(self, flight) -> None:
+        """Bind a :class:`~repro.telemetry.flightrecorder.FlightRecorder`.
+
+        Must be called after :meth:`setup`.  The single-scheduler
+        deployment records as shard 0.
+        """
+        flight.bind(1)
+        self.scheduler.attach_flight(flight)
+
+    def record_flight_route(self, flight, index: int, instance: int) -> None:
+        """Record a sampled routing decision at global stream ``index``.
+
+        Called by the engines right after routing the sampled tuple, so
+        the believed loads include this tuple's estimate — the same
+        float values the engine-side block routers commit.
+        """
+        flight.record_route(0, index, instance, self.scheduler._c_hat.tolist())
+
     def create_instance_agent(self, instance_id: int) -> InstanceAgent:
         if self._hashes is None:
             raise RuntimeError("policy not set up; call setup(k) first")

@@ -182,6 +182,22 @@ class MultiSourcePOSGGrouping(POSGGrouping):
             raise TypeError(f"unexpected control message: {message!r}")
 
     # ------------------------------------------------------------------
+    # cross-shard flight recorder attachment
+    # ------------------------------------------------------------------
+    def attach_flight(self, flight) -> None:
+        """Bind a flight recorder across every shard's scheduler."""
+        flight.bind(self._sources)
+        for scheduler in self._schedulers:
+            scheduler.attach_flight(flight)
+
+    def record_flight_route(self, flight, index: int, instance: int) -> None:
+        """Record a sampled decision for the shard owning ``index``."""
+        shard = index % self._sources
+        flight.record_route(
+            shard, index, instance, self._schedulers[shard]._c_hat.tolist()
+        )
+
+    # ------------------------------------------------------------------
     # parallel-engine attachment
     # ------------------------------------------------------------------
     def worker_spec(self) -> ShardWorkerSpec:
@@ -247,6 +263,8 @@ class MultiSourcePOSGGrouping(POSGGrouping):
             "sync_rounds_abandoned",
             "watchdog_fallbacks",
             "restarts_detected",
+            "deltas_folded",
+            "sync_latency_total",
         ):
             merged[key] = sum(stats[key] for stats in per_source)
         return merged

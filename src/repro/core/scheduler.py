@@ -117,6 +117,12 @@ class POSGScheduler:
             () if source is None else (("scheduler", str(source)),)
         )
         self._source_trace: dict = {} if source is None else {"scheduler": source}
+        # Flight-recorder labels follow the cross-shard convention
+        # (``shard``) rather than the scheduler label so the attribution
+        # tooling can join metrics across layers by one key.
+        self._shard_labels: tuple = (
+            () if source is None else (("shard", str(source)),)
+        )
         self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self._config = config if config is not None else POSGConfig()
         if latency_hints is None:
@@ -170,9 +176,28 @@ class POSGScheduler:
         self._sync_rounds_abandoned = 0
         self._watchdog_fallbacks = 0
         self._restarts_detected = 0
+        # per-shard sync-round accounting (clocked in tuples scheduled)
+        self._sync_started_at = 0
+        self._last_sync_latency = 0
+        self._sync_latency_total = 0
+        self._deltas_folded = 0
+        # optional cross-shard flight recorder (attach_flight)
+        self._flight = None
         # Zero-hot-path-cost export: the registry reads these plain ints
         # through a collector only when someone asks for a snapshot.
         self._telemetry.registry.register_collector(self._collect_samples)
+
+    def attach_flight(self, flight) -> None:
+        """Route this scheduler's control events into a flight recorder.
+
+        The recorder must already be bound (:meth:`FlightRecorder.bind`)
+        to the deployment's shard count; this scheduler reports as shard
+        ``source`` (0 when ``source=None``).  Every record point is
+        keyed on ``tuples_scheduled``, which both simulator engines keep
+        identical at control-delivery points, so the recorded timeline
+        is engine-invariant.
+        """
+        self._flight = flight
 
     # ------------------------------------------------------------------
     # data path (SUBMIT + UPDATEC, Listing III.2)
@@ -214,6 +239,10 @@ class POSGScheduler:
                     bits=request.size_bits(),
                     at=self._tuples_scheduled,
                     **self._source_trace,
+                )
+            if self._flight is not None:
+                self._flight.record_sync_request(
+                    self._source_id, self._tuples_scheduled, instance, self._epoch
                 )
             if done:
                 self._enter_wait_all()
@@ -529,6 +558,10 @@ class POSGScheduler:
                 at=self._tuples_scheduled,
                 **self._source_trace,
             )
+        if self._flight is not None:
+            self._flight.record_matrices(
+                self._source_id, self._tuples_scheduled, message.instance
+            )
         if self._state is SchedulerState.ROUND_ROBIN:
             if len(self._matrices) == self._k:
                 self._begin_sync_round()  # Figure 3.B
@@ -539,6 +572,7 @@ class POSGScheduler:
         """Enter SEND_ALL with a fresh epoch."""
         self._epoch += 1
         self._sendall_counter = 0
+        self._sync_started_at = self._tuples_scheduled
         self._pending_replies = set(range(self._k))
         self._pending_deltas = {}
         if self._recovery is not None:
@@ -575,6 +609,14 @@ class POSGScheduler:
                     at=self._tuples_scheduled,
                     **self._source_trace,
                 )
+            if self._flight is not None:
+                self._flight.record_sync_reply(
+                    self._source_id,
+                    self._tuples_scheduled,
+                    reply.instance,
+                    reply.epoch,
+                    True,
+                )
             return
         self._control_bits_received += reply.size_bits()
         if self._telemetry.enabled:
@@ -587,6 +629,14 @@ class POSGScheduler:
                 stale=False,
                 at=self._tuples_scheduled,
                 **self._source_trace,
+            )
+        if self._flight is not None:
+            self._flight.record_sync_reply(
+                self._source_id,
+                self._tuples_scheduled,
+                reply.instance,
+                reply.epoch,
+                False,
             )
         delta = reply.delta
         offset = self._c_offsets[reply.instance]
@@ -601,10 +651,19 @@ class POSGScheduler:
 
     def _resynchronize(self) -> None:
         """Fold every ``Delta_op`` into ``C_hat`` and enter RUN."""
+        folded = len(self._pending_deltas)
         for instance, delta in self._pending_deltas.items():
             self._c_hat[instance] += delta
         self._pending_deltas = {}
         self._sync_rounds_completed += 1
+        self._deltas_folded += folded
+        latency = self._tuples_scheduled - self._sync_started_at
+        self._last_sync_latency = latency
+        self._sync_latency_total += latency
+        if self._flight is not None:
+            self._flight.record_fold(
+                self._source_id, self._tuples_scheduled, self._epoch, folded
+            )
         if self._telemetry.enabled:
             self._telemetry.tracer.emit(
                 "sync_round_complete",
@@ -640,6 +699,9 @@ class POSGScheduler:
             "sync_rounds_abandoned": self._sync_rounds_abandoned,
             "watchdog_fallbacks": self._watchdog_fallbacks,
             "restarts_detected": self._restarts_detected,
+            "deltas_folded": self._deltas_folded,
+            "sync_latency_tuples": self._last_sync_latency,
+            "sync_latency_total": self._sync_latency_total,
         }
 
     def _collect_samples(self) -> list[Sample]:
@@ -736,6 +798,27 @@ class POSGScheduler:
                 extra,
                 help="Instance crash-restarts detected via generation tags",
             ),
+            Sample(
+                "posg_scheduler_deltas_folded_total",
+                self._deltas_folded,
+                "counter",
+                self._shard_labels,
+                help="Delta_op folds applied to C_hat (per shard)",
+            ),
+            Sample(
+                "posg_scheduler_sync_latency_tuples",
+                self._last_sync_latency,
+                "gauge",
+                self._shard_labels,
+                help="Last sync round's SEND_ALL->fold latency in tuples",
+            ),
+            Sample(
+                "posg_scheduler_sync_latency_tuples_total",
+                self._sync_latency_total,
+                "counter",
+                self._shard_labels,
+                help="Cumulated sync-round latency in tuples (per shard)",
+            ),
         ]
         samples.extend(
             Sample(
@@ -830,6 +913,16 @@ class POSGScheduler:
     def restarts_detected(self) -> int:
         """Instance crash-restarts detected via generation tags."""
         return self._restarts_detected
+
+    @property
+    def deltas_folded(self) -> int:
+        """Total ``Delta_op`` values folded into ``C_hat``."""
+        return self._deltas_folded
+
+    @property
+    def last_sync_latency(self) -> int:
+        """Tuples scheduled between the last SEND_ALL and its fold."""
+        return self._last_sync_latency
 
     @property
     def control_bits(self) -> int:

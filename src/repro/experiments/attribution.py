@@ -1,0 +1,306 @@
+"""The ``attribution`` CLI subcommand: *why* sharding degrades L(s).
+
+Usage::
+
+    python -m repro.experiments attribution
+    python -m repro.experiments attribution --scale 0.25 --output out/
+
+The ``multisource`` experiment measures the degradation curve
+``L(s)/L(1)`` but cannot explain it.  This experiment reruns the same
+sweep under the cross-shard flight recorder and decomposes each sweep
+point's excess completion time into the three mechanisms the recorder
+can distinguish (see "Flight recorder" in DESIGN.md):
+
+- **staleness regret** — decisions made on a ``C_hat`` snapshot older
+  than one sync round (the shard was flying blind);
+- **collision loss** — windows where >= 2 shards concurrently
+  argmin-picked the same instance (the thundering-herd effect sharding
+  introduces);
+- **residual** — estimator error, ties, and everything else (this
+  bucket is what a single-scheduler run would also pay).
+
+Each sweep point runs through *all three* engines — per-tuple reference
+(``chunk_size=0``), chunked, and multi-process parallel — with the same
+:class:`~repro.telemetry.flightrecorder.FlightRecorderConfig`, and the
+run self-gates on the recorded timelines being bit-identical across
+them (the flight recorder's determinism contract).  A mismatch, a
+shard that never folded, or diverging assignments exits non-zero.
+
+With ``--output DIR`` it writes ``attribution.json`` (the decomposed
+curve) and ``attribution.html`` (the largest sweep point's full run
+report with the shard-lane timelines), both uploaded by the CI
+``attribution-smoke`` job.
+
+The module is imported lazily by ``repro.experiments.cli`` and pulls
+the core/simulator stack in only inside :func:`run`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from collections.abc import Sequence
+
+#: shard counts the attribution sweep decomposes
+SOURCE_COUNTS = (1, 2, 4, 8)
+
+
+def _regret_shares(attribution: dict) -> dict:
+    """Fractional split of the replay regret into the three buckets."""
+    regret = attribution["regret"]
+    total = regret["total_ms"]
+    if total <= 0.0:
+        return {"stale": 0.0, "collision": 0.0, "residual": 0.0}
+    return {
+        "stale": regret["stale_ms"] / total,
+        "collision": regret["collision_ms"] / total,
+        "residual": regret["residual_ms"] / total,
+    }
+
+
+def run(
+    scale: float | None = None,
+    output: str | None = None,
+    chunk_size: int = 2048,
+    seed: int = 0,
+    source_counts: Sequence[int] = SOURCE_COUNTS,
+    workers: int = 2,
+    sample_every: int = 64,
+) -> int:
+    """Execute the attribution sweep; returns a process exit code.
+
+    Every sweep point runs three times — reference (``chunk_size=0``),
+    chunked and parallel — under the same flight-recorder config; the
+    recorded timelines must be bit-identical across all three (and the
+    assignments too), otherwise the run exits non-zero.
+    """
+    import numpy as np
+
+    from repro.core.config import POSGConfig
+    from repro.core.multisource import MultiSourcePOSGGrouping
+    from repro.simulator.parallel import simulate_stream_parallel
+    from repro.simulator.run import simulate_stream
+    from repro.telemetry.dashboard import render_shard_lanes, write_html_report
+    from repro.telemetry.flightrecorder import (
+        FlightRecorderConfig,
+        derive_attribution,
+    )
+    from repro.telemetry.quality import execution_time_matrix
+    from repro.telemetry.report import RunReport
+    from repro.workloads.nonstationary import LoadShiftScenario
+    from repro.workloads.synthetic import default_stream
+
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    # same sizing as the multisource sweep so the curves are comparable
+    m = max(8_192, int(32_768 * scale))
+    k = 5
+    window = min(256, max(64, m // 128))
+    config = POSGConfig(window_size=window, rows=2, cols=16)
+    # collision windows aligned with the scheduling window make the
+    # "concurrent pick" metric mean "within one estimation window"
+    flight_config = FlightRecorderConfig(
+        sample_every=sample_every, window=window
+    )
+    stream = default_stream(seed=seed, m=m, n=128)
+    times = execution_time_matrix(stream, LoadShiftScenario.constant(k), k)
+
+    def simulate(sources: int, engine: str):
+        policy = MultiSourcePOSGGrouping(sources, config)
+        rng = np.random.default_rng(seed + 1)
+        if engine == "reference":
+            return simulate_stream(
+                stream, policy, k=k, rng=rng, chunk_size=0,
+                flight=flight_config,
+            )
+        if engine == "chunked":
+            return simulate_stream(
+                stream, policy, k=k, rng=rng, chunk_size=chunk_size,
+                flight=flight_config,
+            )
+        return simulate_stream_parallel(
+            stream, policy, workers=workers, k=k, rng=rng,
+            chunk_size=max(1, chunk_size), flight=flight_config,
+        )
+
+    print(
+        f"== attribution: why L(s) degrades "
+        f"(m={m}, k={k}, window={window}, sample_every={sample_every}) =="
+    )
+
+    rows = []
+    mismatches = []
+    starved = []
+    last_result = None
+    for sources in source_counts:
+        reference = simulate(sources, "reference")
+        chunked = simulate(sources, "chunked")
+        parallel = simulate(sources, "parallel")
+        identical = bool(
+            reference.flight.timelines() == chunked.flight.timelines()
+            and reference.flight.timelines() == parallel.flight.timelines()
+            and np.array_equal(
+                reference.stats.assignments, chunked.stats.assignments
+            )
+            and np.array_equal(
+                reference.stats.assignments, parallel.stats.assignments
+            )
+        )
+        if not identical:
+            mismatches.append(sources)
+        report = reference.flight.report()
+        if any(s["folds"] < 1 for s in report["per_shard"]):
+            starved.append(sources)
+        attribution = derive_attribution(
+            reference.flight, reference.stats.assignments, times
+        )
+        rows.append(
+            {
+                "sources": sources,
+                "avg_completion_ms": float(
+                    reference.stats.average_completion_time
+                ),
+                "timelines_identical": identical,
+                "attribution": attribution,
+                "flight": report,
+            }
+        )
+        last_result = reference
+
+    base = rows[0]["avg_completion_ms"]
+    for row in rows:
+        degradation = row["avg_completion_ms"] / base
+        excess = row["avg_completion_ms"] - base
+        shares = _regret_shares(row["attribution"])
+        row["degradation"] = degradation
+        # the excess over L(1) split in proportion to the replay regret
+        # attribution (the regret replay classifies *mechanisms*; the
+        # excess is what those mechanisms cost in the L metric)
+        row["excess_ms"] = excess
+        row["excess_split_ms"] = {
+            name: excess * share for name, share in shares.items()
+        }
+        row["regret_shares"] = shares
+
+    print()
+    print(
+        f"{'s':>3}  {'L(s) ms':>10}  {'L/L(1)':>7}  {'excess ms':>10}  "
+        f"{'stale%':>7}  {'collide%':>8}  {'resid%':>7}  "
+        f"{'blind%':>7}  {'coll.rate':>9}"
+    )
+    for row in rows:
+        att = row["attribution"]
+        shares = row["regret_shares"]
+        print(
+            f"{row['sources']:>3}  {row['avg_completion_ms']:>10.3f}  "
+            f"{row['degradation']:>7.3f}  {row['excess_ms']:>10.3f}  "
+            f"{100 * shares['stale']:>6.1f}%  "
+            f"{100 * shares['collision']:>7.1f}%  "
+            f"{100 * shares['residual']:>6.1f}%  "
+            f"{100 * att['staleness']['blind_fraction']:>6.1f}%  "
+            f"{att['collision']['rate']:>9.3f}"
+        )
+    print()
+    for row in rows:
+        status = "bit-identical" if row["timelines_identical"] else "MISMATCH"
+        print(
+            f"s={row['sources']}: timelines {status} across "
+            f"reference/chunked/parallel "
+            f"({row['flight']['events_total']} events, "
+            f"{row['flight']['dropped_events']} dropped)"
+        )
+
+    print()
+    print(render_shard_lanes(rows[-1]["flight"], width=72))
+
+    if output is not None:
+        directory = pathlib.Path(output)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "m": m,
+            "k": k,
+            "window_size": window,
+            "seed": seed,
+            "chunk_size": chunk_size,
+            "workers": workers,
+            "sample_every": sample_every,
+            "curve": rows,
+        }
+        path = directory / "attribution.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+        report = RunReport.from_simulation(last_result, k=k)
+        html_path = write_html_report(
+            directory / "attribution.html", report.to_dict()
+        )
+        print(f"wrote {html_path}")
+
+    if mismatches:
+        print(
+            "ERROR: flight timelines diverged across engines "
+            f"for s in {mismatches}",
+            file=sys.stderr,
+        )
+        return 1
+    if starved:
+        print(
+            f"ERROR: some shard never folded for s in {starved} "
+            "(window too small for this stream)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.attribution",
+        description="Decompose the sharded-POSG degradation curve into "
+        "staleness regret, collision loss and residual.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="stream-length scale factor (1.0 = paper sizes)",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="directory for attribution.json and attribution.html",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=2048,
+        help="chunk size for the chunked/parallel engines",
+    )
+    parser.add_argument(
+        "--sources", type=int, nargs="+", default=list(SOURCE_COUNTS),
+        help="shard counts to sweep (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for the parallel-engine leg",
+    )
+    parser.add_argument(
+        "--sample-every", type=int, default=64,
+        help="flight-recorder route-sampling stride",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(
+        scale=args.scale,
+        output=args.output,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+        source_counts=tuple(args.sources),
+        workers=args.workers,
+        sample_every=args.sample_every,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

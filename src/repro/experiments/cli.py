@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments chaos --scale 0.1 --output out/
     python -m repro.experiments observe --scale 0.1 --output out/
     python -m repro.experiments multisource --scale 0.25 --output out/
+    python -m repro.experiments attribution --scale 0.25 --output out/
 
 Each figure command prints the same series the paper plots (see
 EXPERIMENTS.md for the interpretation).  The ``telemetry`` subcommand
@@ -24,7 +25,10 @@ decision-quality metrics, phase profiler and the live dashboard (see
 "The quality observatory" in EXPERIMENTS.md).  The ``multisource``
 subcommand sweeps the sharded deployment over s ∈ {1, 2, 4, 8} and
 reports the L(s)/L(1) degradation curve (see "Multi-source scheduling"
-in EXPERIMENTS.md).
+in EXPERIMENTS.md).  The ``attribution`` subcommand reruns that sweep
+under the cross-shard flight recorder and decomposes each point's
+excess into staleness regret, collision loss and residual (see
+"Attribution" in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -60,12 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         choices=sorted(FIGURES)
-        + ["all", "list", "telemetry", "chaos", "observe", "multisource"],
+        + ["all", "list", "telemetry", "chaos", "observe", "multisource",
+           "attribution"],
         help="which figure to regenerate ('all' runs everything, "
         "'list' shows what is available, 'telemetry' runs one "
         "instrumented demo run, 'chaos' one fault-injected run, "
         "'observe' one run under the quality observatory, "
-        "'multisource' the sharded-scheduling degradation sweep)",
+        "'multisource' the sharded-scheduling degradation sweep, "
+        "'attribution' the flight-recorder regret decomposition)",
     )
     parser.add_argument(
         "--reps", type=int, default=None,
@@ -105,6 +111,8 @@ def main(argv: Sequence[str] | None = None) -> int:
               "quality, profile, dashboard.")
         print("multisource  Sharded-scheduling sweep: L(s)/L(1) for "
               "s in {1, 2, 4, 8}.")
+        print("attribution  Flight-recorder sweep: L(s)/L(1) decomposed "
+              "into staleness / collision / residual.")
         return 0
     if args.figure == "telemetry":
         # lazy import keeps the figure path free of telemetry CLI costs
@@ -127,6 +135,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             output=args.output,
             parallel_workers=args.parallel,
         )
+    if args.figure == "attribution":
+        from repro.experiments.attribution import run as run_attribution
+
+        return run_attribution(scale=args.scale, output=args.output)
     if args.reps is not None:
         os.environ["REPRO_REPS"] = str(args.reps)
     if args.scale is not None:

@@ -74,6 +74,7 @@ import heapq
 import multiprocessing
 import os
 from multiprocessing import shared_memory
+from time import perf_counter
 
 import numpy as np
 
@@ -92,6 +93,7 @@ from repro.simulator.run import (
     _as_latency_list,
     _fire_due_crashes,
     _prepare_audit,
+    _prepare_flight,
     _record_run_telemetry,
 )
 from repro.sketches.bucket_cache import get_bucket_cache
@@ -103,8 +105,9 @@ from repro.workloads.synthetic import Stream
 _MODE_ROUND_ROBIN = 0
 _MODE_GREEDY = 1
 
-#: per-shard control record: [mode, rr_counter, pair_count, out_count]
-_CTRL_FIELDS = 4
+#: per-shard control record:
+#: [mode, rr_counter, pair_count, out_count, flight_count]
+_CTRL_FIELDS = 5
 
 _F64 = np.dtype(np.float64)
 _I64 = np.dtype(np.int64)
@@ -121,8 +124,8 @@ class ShardArena:
     region    dtype / shape       contents
     ========  ==================  =======================================
     items     int64[m]            the stream's items (written once)
-    ctrl      int64[s, 4]         per shard: mode, rr_counter,
-                                  pair_count, out_count
+    ctrl      int64[s, 5]         per shard: mode, rr_counter,
+                                  pair_count, out_count, flight_count
     c_hat     float64[s, k]       per shard: C_hat at segment start
     order     int64[s, k]         per shard: ``_pairs`` iteration order
                                   (first ``pair_count`` slots valid)
@@ -137,14 +140,24 @@ class ShardArena:
                                   per slice position (worker output)
     c_final   float64[s, k]       per shard: C_hat after the full
                                   speculative slice (worker output)
+    fl_idx    int64[s, fcap]      per shard: global stream index of each
+                                  flight route sample (worker output)
+    fl_bel    float64[s, fcap, k] per shard: believed per-instance loads
+                                  at each flight sample (worker output)
+    wk_busy   float64[s]          per shard: cumulative routing seconds
+                                  (wall-clock telemetry, never read by
+                                  any deterministic path)
     ========  ==================  =======================================
 
     ``cap`` bounds a shard's slice of one segment:
-    ``ceil(chunk_size / s)`` (the parent never dispatches more).  The
-    parent creates the block; workers attach by name.  Both sides build
-    numpy views with explicit offset/shape/strides over ``shm.buf``, so
-    layout is an invariant of the six integers ``(s, k, rows, cols, m,
-    cap)`` and never inferred.
+    ``ceil(chunk_size / s)`` (the parent never dispatches more).
+    ``fcap`` bounds the flight-recorder ring: the samples one shard
+    slice can emit at the effective sampling stride (1 when flight
+    recording is off, keeping the region negligible).  The parent
+    creates the block; workers attach by name.  Both sides build numpy
+    views with explicit offset/shape/strides over ``shm.buf``, so
+    layout is an invariant of the seven integers ``(s, k, rows, cols,
+    m, cap, fcap)`` and never inferred.
     """
 
     def __init__(
@@ -155,6 +168,7 @@ class ShardArena:
         cols: int,
         m: int,
         cap: int,
+        fcap: int = 1,
         name: str | None = None,
     ) -> None:
         self.sources = sources
@@ -163,6 +177,7 @@ class ShardArena:
         self.cols = cols
         self.m = m
         self.cap = cap
+        self.fcap = fcap
 
         cell = rows * cols
         offset = 0
@@ -184,6 +199,9 @@ class ShardArena:
         out_inst_at, _ = region(sources * cap)
         out_est_at, _ = region(sources * cap)
         c_final_at, _ = region(sources * k)
+        fl_idx_at, _ = region(sources * fcap)
+        fl_bel_at, _ = region(sources * fcap * k)
+        wk_busy_at, _ = region(sources)
         self.nbytes = offset
 
         if name is None:
@@ -209,6 +227,9 @@ class ShardArena:
         self.out_inst = view(out_inst_at, (sources, cap), _I64)
         self.out_est = view(out_est_at, (sources, cap), _F64)
         self.c_final = view(c_final_at, (sources, k), _F64)
+        self.fl_idx = view(fl_idx_at, (sources, fcap), _I64)
+        self.fl_bel = view(fl_bel_at, (sources, fcap, k), _F64)
+        self.wk_busy = view(wk_busy_at, (sources,), _F64)
 
     def untrack(self) -> None:
         """Drop this attachment's resource-tracker registration.
@@ -233,9 +254,12 @@ class ShardArena:
     def name(self) -> str:
         return self.shm.name
 
-    def layout(self) -> tuple[int, int, int, int, int, int]:
-        """The six integers a worker needs to attach with identical views."""
-        return (self.sources, self.k, self.rows, self.cols, self.m, self.cap)
+    def layout(self) -> tuple[int, int, int, int, int, int, int]:
+        """The seven integers a worker needs to attach with identical views."""
+        return (
+            self.sources, self.k, self.rows, self.cols,
+            self.m, self.cap, self.fcap,
+        )
 
     def close(self) -> None:
         """Drop this process's views and mapping (owner keeps the block)."""
@@ -243,6 +267,7 @@ class ShardArena:
         for attr in (
             "items", "ctrl", "c_hat", "order", "valid", "totals",
             "freq", "work", "out_inst", "out_est", "c_final",
+            "fl_idx", "fl_bel", "wk_busy",
         ):
             if hasattr(self, attr):
                 delattr(self, attr)
@@ -275,6 +300,19 @@ def _attach_pair_views(family, arena: ShardArena, shard: int) -> list[FWPair]:
     return pairs
 
 
+def _flight_first_pos(first: int, sources: int, every: int) -> int:
+    """Smallest slice position ``pos`` with ``(first + pos*s) % every == 0``.
+
+    The shard's slice covers global positions ``first + pos*s``; flight
+    samples fire at global multiples of ``every``.  Because the
+    recorder's effective stride is coprime with ``s`` (see
+    ``FlightRecorder.bind``), the congruence always has a solution in
+    ``[0, every)`` and subsequent samples are exactly ``every`` slice
+    positions apart.
+    """
+    return (-first * pow(sources, -1, every)) % every
+
+
 def _route_shard(
     arena: ShardArena,
     shard: int,
@@ -283,6 +321,7 @@ def _route_shard(
     pooled: bool,
     start: int,
     end: int,
+    flight_every: int = 0,
 ) -> None:
     """Route shard ``shard``'s slice of the segment ``[start, end)``.
 
@@ -291,6 +330,13 @@ def _route_shard(
     per-instance gathering as ``POSGScheduler._gather_columns``, then
     the first-minimum greedy scan (same tie-breaking as ``np.argmin``)
     over plain Python floats.
+
+    With ``flight_every > 0`` the worker additionally emits flight
+    route samples into the shard's ``fl_idx``/``fl_bel`` ring: the
+    global index of every sampled position and the shard's believed
+    per-instance loads right after the pick (the post-add ``c`` — the
+    same bits the sequential engines record from
+    ``scheduler._c_hat.tolist()``).
     """
     sources = arena.sources
     k = arena.k
@@ -298,6 +344,7 @@ def _route_shard(
     first = start + ((shard - start) % sources)
     if first >= end:
         ctrl[3] = 0
+        ctrl[4] = 0
         return
     n = (end - first + sources - 1) // sources
 
@@ -308,6 +355,17 @@ def _route_shard(
             np.arange(rr, rr + n, dtype=np.int64), k, out=out[:n]
         )
         ctrl[3] = n
+        nf = 0
+        if flight_every:
+            # ROUND_ROBIN never touches C_hat, so every sample in the
+            # slice believes the frozen segment-start snapshot.
+            pos0 = _flight_first_pos(first, sources, flight_every)
+            if pos0 < n:
+                nf = (n - pos0 + flight_every - 1) // flight_every
+                sampled = np.arange(pos0, n, flight_every, dtype=np.int64)
+                arena.fl_idx[shard][:nf] = first + sampled * sources
+                arena.fl_bel[shard][:nf] = arena.c_hat[shard]
+        ctrl[4] = nf
         return
 
     sub = arena.items[first:end:sources]
@@ -345,6 +403,13 @@ def _route_shard(
     inst_append = inst_out.append
     est_append = est_out.append
     k_range = range(1, k)
+    if flight_every:
+        next_fs = _flight_first_pos(first, sources, flight_every)
+    else:
+        next_fs = n  # sentinel: one always-false int compare per tuple
+    nf = 0
+    fl_idx_row = arena.fl_idx[shard]
+    fl_bel_row = arena.fl_bel[shard]
     for pos in range(n):
         best = c[0]
         instance = 0
@@ -357,25 +422,38 @@ def _route_shard(
         c[instance] += est
         inst_append(instance)
         est_append(est)
+        if pos == next_fs:
+            fl_idx_row[nf] = first + pos * sources
+            fl_bel_row[nf] = c
+            nf += 1
+            next_fs += flight_every
     arena.out_inst[shard][:n] = inst_out
     arena.out_est[shard][:n] = est_out
     arena.c_final[shard][:] = c
     ctrl[3] = n
+    ctrl[4] = nf
 
 
 def _worker_main(
     spec: ShardWorkerSpec,
-    layout: tuple[int, int, int, int, int, int],
+    layout: tuple[int, int, int, int, int, int, int],
     shm_name: str,
     shard_ids: list[int],
     conn,
     untrack: bool = False,
+    flight_every: int = 0,
 ) -> None:
     """Worker loop: attach the arena, route dispatched segments forever.
 
     Messages on ``conn``: ``(start, end)`` dispatches one segment (the
     worker routes every shard it owns and acks), ``None`` shuts down.
     Any exception is reported back as ``("error", text)``.
+
+    Each shard's routing wall-clock accumulates into the arena's
+    ``wk_busy`` region — pure telemetry (the parent folds it into the
+    run report's per-worker phase spans) that no deterministic path
+    ever reads, so the "workers perform no time reads" seed discipline
+    holds for every value that can influence a result.
     """
     arena = None
     try:
@@ -395,7 +473,12 @@ def _worker_main(
                 break
             start, end = task
             for shard in shard_ids:
-                _route_shard(arena, shard, pairs[shard], cache, pooled, start, end)
+                t0 = perf_counter()
+                _route_shard(
+                    arena, shard, pairs[shard], cache, pooled,
+                    start, end, flight_every,
+                )
+                arena.wk_busy[shard] += perf_counter() - t0
             conn.send(("ok",))
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
@@ -439,6 +522,7 @@ def simulate_stream_parallel(
     telemetry=None,
     faults: "FaultPlan | FaultInjector | None" = None,
     audit=None,
+    flight=None,
     profiler=None,
     start_method: str | None = None,
 ) -> SimulationResult:
@@ -461,6 +545,12 @@ def simulate_stream_parallel(
         Defaults to ``fork`` where available (cheap worker startup),
         falling back to the platform default; the worker bootstrap is
         picklable, so any method works.
+    flight:
+        As in ``simulate_stream``: a ``FlightRecorderConfig`` or
+        pre-built ``FlightRecorder``.  Workers emit route samples into
+        per-shard shared-memory rings; the parent merges them back in
+        reference event order at segment commit, so the recorded
+        timelines are bit-identical to both sequential engines.
     chunk_size:
         As in ``simulate_stream`` but must be >= 1 (there is no
         per-tuple parallel engine).
@@ -538,8 +628,8 @@ def simulate_stream_parallel(
     try:
         result = _simulate_parallel(
             stream, policy, int(workers), k, scenario, data_lat, control_lat,
-            rng, sample_queues_every, chunk_size, injector, audit, recorder,
-            profiler, start_method,
+            rng, sample_queues_every, chunk_size, injector, audit, flight,
+            recorder, profiler, start_method,
         )
     finally:
         if profiler is not None:
@@ -579,6 +669,16 @@ def _record_parallel_telemetry(recorder, result: SimulationResult) -> None:
             help="Tuples committed per worker process",
             labels={"worker": worker},
         ).inc(int(tuples))
+    for worker, seconds in enumerate(info.get("worker_busy_seconds", ())):
+        registry.gauge(
+            "sim_parallel_worker_busy_seconds",
+            help="Wall-clock seconds each worker spent routing shard slices",
+            labels={"worker": worker},
+        ).set(float(seconds))
+    registry.gauge(
+        "sim_parallel_merge_stall_seconds",
+        help="Wall-clock seconds the parent spent waiting on worker acks",
+    ).set(float(info.get("merge_stall_seconds", 0.0)))
     recorder.tracer.emit(
         "parallel_run",
         workers=info.get("workers"),
@@ -617,6 +717,7 @@ def _simulate_parallel(
     chunk_size: int,
     injector: FaultInjector | None,
     audit,
+    flight,
     recorder,
     profiler,
     start_method: str | None,
@@ -654,6 +755,10 @@ def _simulate_parallel(
             "parallel engine does not support them — use simulate_stream"
         )
     auditor = _prepare_audit(audit, policy, recorder)
+    recorder_flight = _prepare_flight(flight, policy, recorder)
+    flight_every = (
+        recorder_flight.sample_every if recorder_flight is not None else 0
+    )
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     trackers = [agent.tracker for agent in agents]
     schedulers = list(policy.schedulers)
@@ -663,7 +768,8 @@ def _simulate_parallel(
 
     n_workers = max(1, min(workers, sources))
     cap = (chunk_size + sources - 1) // sources + 1
-    arena = ShardArena(sources, k, spec.rows, spec.cols, m, cap)
+    fcap = (cap // flight_every + 2) if flight_every else 1
+    arena = ShardArena(sources, k, spec.rows, spec.cols, m, cap, fcap)
 
     if start_method is None:
         methods = multiprocessing.get_all_start_methods()
@@ -691,6 +797,7 @@ def _simulate_parallel(
                     worker_shards[w],
                     child_conn,
                     start_method != "fork",
+                    flight_every,
                 ),
                 name=f"posg-shard-worker-{w}",
                 daemon=True,
@@ -722,9 +829,12 @@ def _simulate_parallel(
             processes=processes,
             injector=injector,
             auditor=auditor,
+            flight=recorder_flight,
+            flight_every=flight_every,
             sample_queues_every=sample_queues_every,
             profiler=profiler,
         )
+        run_info["shard_busy_seconds"] = arena.wk_busy.tolist()
     finally:
         for conn, process in zip(conns, processes):
             try:
@@ -744,6 +854,11 @@ def _simulate_parallel(
     shard_tuples = run_info.pop("shard_tuples")
     worker_tuples = [
         sum(shard_tuples[shard] for shard in shards)
+        for shards in worker_shards
+    ]
+    shard_busy = run_info.pop("shard_busy_seconds", [0.0] * sources)
+    worker_busy = [
+        sum(shard_busy[shard] for shard in shards)
         for shards in worker_shards
     ]
     result = SimulationResult(
@@ -766,11 +881,14 @@ def _simulate_parallel(
             else None
         ),
         audit=auditor,
+        flight=recorder_flight,
         parallel={
             "workers": n_workers,
             "start_method": start_method,
             "worker_shards": worker_shards,
             "worker_tuples": worker_tuples,
+            "worker_busy_seconds": worker_busy,
+            "shard_busy_seconds": shard_busy,
             **run_info,
         },
     )
@@ -800,6 +918,8 @@ def _parallel_loop(
     processes,
     injector,
     auditor,
+    flight,
+    flight_every,
     sample_queues_every,
     profiler,
 ) -> dict:
@@ -836,6 +956,7 @@ def _parallel_loop(
     segments = 0
     fallback_tuples = 0
     discarded = 0
+    merge_stall = 0.0
 
     send_all = SchedulerState.SEND_ALL
     heappush = heapq.heappush
@@ -846,6 +967,8 @@ def _parallel_loop(
     out_inst_region = arena.out_inst
     out_est_region = arena.out_est
     c_final_region = arena.c_final
+    fl_idx_region = arena.fl_idx
+    fl_bel_region = arena.fl_bel
 
     def _window_boundary(
         instance: int,
@@ -970,6 +1093,8 @@ def _parallel_loop(
             if j == next_audit:
                 audit_observe(j, items[j], instance, execution_time)
                 next_audit += audit_every
+            if flight is not None and j % flight_every == 0:
+                policy.record_flight_route(flight, j, instance)
             if profiler is not None:
                 profiler.start("fold")
             if pending_items[instance]:
@@ -1028,8 +1153,10 @@ def _parallel_loop(
             _sync_shard(shard)
         for conn in conns:
             conn.send((j, end))
+        stall0 = perf_counter()
         for conn, process in zip(conns, processes):
             _recv_ack(conn, process)
+        merge_stall += perf_counter() - stall0
         # Deterministic k-way merge of the shard decision streams:
         # shard sigma produced the decisions for positions
         # first_sigma, first_sigma + s, ... — a strided interleave.
@@ -1253,6 +1380,26 @@ def _parallel_loop(
                 est_out = out_est_region[shard][:n_committed].tolist()
                 for instance, estimate in zip(inst_out, est_out):
                     c_hat[instance] += estimate
+            if flight is not None:
+                # Merge the shard's flight ring in reference event
+                # order: samples are stored by ascending stream index,
+                # and route events for this segment sit between the
+                # control events drained at the segment's boundaries —
+                # exactly where the sequential engines record them.
+                # Samples past the (possibly re-tightened) commit bound
+                # are speculative; the next segment re-routes and
+                # re-samples them.
+                nf = int(ctrl[shard][4])
+                if nf:
+                    fl_idx_row = fl_idx_region[shard]
+                    fl_bel_row = fl_bel_region[shard]
+                    for r in range(nf):
+                        p = int(fl_idx_row[r])
+                        if p >= end:
+                            break
+                        flight.record_route(
+                            shard, p, seg_asg[p - j], fl_bel_row[r].tolist()
+                        )
         policy.sync_cursor(end)
         j = end
 
@@ -1280,5 +1427,6 @@ def _parallel_loop(
         "segments": segments,
         "fallback_tuples": fallback_tuples,
         "discarded_speculative_tuples": discarded,
+        "merge_stall_seconds": merge_stall,
         "shard_tuples": shard_tuples,
     }

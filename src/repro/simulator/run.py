@@ -56,6 +56,7 @@ from repro.faults.plan import FaultPlan
 from repro.simulator.metrics import CompletionStats
 from repro.simulator.network import ConstantLatency, LatencyModel
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.flightrecorder import FlightRecorder, FlightRecorderConfig
 from repro.telemetry.recorder import NULL_RECORDER
 from repro.workloads.nonstationary import LoadShiftScenario
 from repro.workloads.synthetic import Stream
@@ -88,6 +89,9 @@ class SimulationResult:
     #: the estimator audit that sampled the run (``None`` when disabled);
     #: carries the streaming error quantiles and Theorem 4.3 tallies
     audit: "EstimatorAudit | None" = None
+    #: the cross-shard flight recorder (``None`` when disabled); holds
+    #: the per-shard causal timelines and sampled routing decisions
+    flight: "FlightRecorder | None" = None
     #: parallel-engine accounting (``None`` for single-process runs):
     #: workers, start method, shard/worker tuple counts, segment and
     #: speculation tallies — see ``repro.simulator.parallel``
@@ -144,6 +148,7 @@ def simulate_stream(
     telemetry=None,
     faults: "FaultPlan | FaultInjector | None" = None,
     audit: "AuditConfig | EstimatorAudit | None" = None,
+    flight: "FlightRecorderConfig | FlightRecorder | None" = None,
     profiler=None,
 ) -> SimulationResult:
     """Simulate one stream through one grouping policy.
@@ -205,6 +210,20 @@ def simulate_stream(
         are frozen between control deliveries — the sampled observations
         are bit-identical across engines.  The auditor lands in
         ``SimulationResult.audit``.
+    flight:
+        Optional
+        :class:`~repro.telemetry.flightrecorder.FlightRecorderConfig`
+        (or a pre-built
+        :class:`~repro.telemetry.flightrecorder.FlightRecorder`)
+        capturing causal per-shard timelines — sync requests/replies,
+        delta folds, matrices broadcasts — plus every
+        ``sample_every``-th routing decision with the owning shard's
+        believed loads.  Requires a POSG-family policy.  The recorder
+        only *reads* state at deterministic points, so results are
+        bit-identical with it on or off, and the recorded timelines are
+        bit-identical across all engines (the chunked engine routes
+        flight-enabled runs through its per-tuple generic loop).  Lands
+        in ``SimulationResult.flight``.
     profiler:
         Optional :class:`~repro.telemetry.profiler.PhaseProfiler`;
         engine phases (control/route/window_close/fold, plus
@@ -246,12 +265,13 @@ def simulate_stream(
             result = _simulate_reference(
                 stream, policy, k, scenario, data_lat, control_lat, rng,
                 sample_queues_every, injector, audit, recorder, profiler,
+                flight,
             )
         else:
             result = _simulate_chunked(
                 stream, policy, k, scenario, data_lat, control_lat, rng,
                 sample_queues_every, chunk_size, injector, audit, recorder,
-                profiler,
+                profiler, flight,
             )
     finally:
         if profiler is not None:
@@ -333,6 +353,33 @@ def _prepare_audit(audit, policy, recorder) -> "EstimatorAudit | None":
     )
 
 
+def _prepare_flight(flight, policy, recorder) -> "FlightRecorder | None":
+    """Resolve the ``flight=`` argument once the policy exists.
+
+    Called by the engines *after* factory resolution and ``setup`` so
+    the recorder can bind to the policy's shard layout
+    (``policy.attach_flight``).  A pre-built :class:`FlightRecorder`
+    is bound here too; callers wire its telemetry themselves.
+    """
+    if flight is None:
+        return None
+    if isinstance(flight, FlightRecorder):
+        recorder_flight = flight
+    elif isinstance(flight, FlightRecorderConfig):
+        recorder_flight = FlightRecorder(flight, telemetry=recorder)
+    else:
+        raise TypeError(
+            f"flight must be a FlightRecorderConfig or FlightRecorder, got {flight!r}"
+        )
+    if not hasattr(policy, "attach_flight"):
+        raise ValueError(
+            "flight recording needs a POSG-family policy exposing "
+            f"attach_flight; policy {getattr(policy, 'name', policy)!r} has none"
+        )
+    policy.attach_flight(recorder_flight)
+    return recorder_flight
+
+
 def _fire_due_crashes(
     injector: FaultInjector,
     crash_ptr: int,
@@ -381,6 +428,7 @@ def _simulate_reference(
     audit=None,
     recorder=NULL_RECORDER,
     profiler=None,
+    flight=None,
 ) -> SimulationResult:
     # Oracle closure for Full Knowledge: reads the loop's current index.
     position = [0]
@@ -392,6 +440,7 @@ def _simulate_reference(
         policy = policy(oracle)
     policy.setup(k, rng)
     auditor = _prepare_audit(audit, policy, recorder)
+    recorder_flight = _prepare_flight(flight, policy, recorder)
 
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     has_agents = any(agent is not None for agent in agents)
@@ -419,6 +468,8 @@ def _simulate_reference(
     # sentinel: never fires when disabled (next_audit == m).
     audit_every = auditor.sample_every if auditor is not None else 0
     next_audit = 0 if auditor is not None else m
+    flight_every = recorder_flight.sample_every if recorder_flight is not None else 0
+    next_flight = 0 if recorder_flight is not None else m
 
     for j in range(m):
         arrival = arrivals[j]
@@ -471,6 +522,9 @@ def _simulate_reference(
         if j == next_audit:
             auditor.observe(j, int(items[j]), instance, execution_time)
             next_audit += audit_every
+        if j == next_flight:
+            policy.record_flight_route(recorder_flight, j, instance)
+            next_flight += flight_every
 
         if has_agents and agents[instance] is not None:
             if profiler is not None:
@@ -518,6 +572,7 @@ def _simulate_reference(
             else None
         ),
         audit=auditor,
+        flight=recorder_flight,
     )
 
 
@@ -538,6 +593,7 @@ def _simulate_chunked(
     audit=None,
     recorder=NULL_RECORDER,
     profiler=None,
+    flight=None,
 ) -> SimulationResult:
     m = stream.m
     items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
@@ -579,6 +635,7 @@ def _simulate_chunked(
         policy = policy(oracle)
     policy.setup(k, rng)
     auditor = _prepare_audit(audit, policy, recorder)
+    recorder_flight = _prepare_flight(flight, policy, recorder)
 
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     has_agents = any(agent is not None for agent in agents)
@@ -616,12 +673,16 @@ def _simulate_chunked(
     block_safe = injector is None
     plain_run = auditor is None and profiler is None
     if type(policy) is POSGGrouping:
-        if block_safe and policy.scheduler.recovery is None:
+        # Flight recording routes through the per-tuple generic loop
+        # (like fault injection): the recorder's believed-load samples
+        # read scheduler C_hat right after each sampled submit, which
+        # the segmented fast path only materializes at commit time.
+        if block_safe and policy.scheduler.recovery is None and recorder_flight is None:
             _run_posg(state, policy, agents, chunk_size, auditor, profiler)
         else:
             _run_generic(
                 state, policy, agents, has_agents, True, injector,
-                auditor, profiler,
+                auditor, profiler, recorder_flight,
             )
     elif (
         type(policy) is RoundRobinGrouping
@@ -636,7 +697,7 @@ def _simulate_chunked(
     else:
         _run_generic(
             state, policy, agents, has_agents, track_states, injector,
-            auditor, profiler,
+            auditor, profiler, recorder_flight,
         )
 
     return SimulationResult(
@@ -659,6 +720,7 @@ def _simulate_chunked(
             else None
         ),
         audit=auditor,
+        flight=recorder_flight,
     )
 
 
@@ -800,6 +862,7 @@ def _run_generic(
     injector: FaultInjector | None = None,
     auditor=None,
     profiler=None,
+    flight=None,
 ) -> None:
     """Hoisted per-tuple loop for arbitrary policies (and POSG subclasses).
 
@@ -819,6 +882,8 @@ def _run_generic(
     faulting = injector is not None
     audit_every = auditor.sample_every if auditor is not None else 0
     next_audit = 0 if auditor is not None else m
+    flight_every = flight.sample_every if flight is not None else 0
+    next_flight = 0 if flight is not None else m
     for j in range(m):
         arrival = arrivals[j]
         position[0] = j
@@ -868,6 +933,9 @@ def _run_generic(
         if j == next_audit:
             auditor.observe(j, items[j], instance, execution_time)
             next_audit += audit_every
+        if j == next_flight:
+            policy.record_flight_route(flight, j, instance)
+            next_flight += flight_every
 
         if has_agents and agents[instance] is not None:
             if profiler is not None:

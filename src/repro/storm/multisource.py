@@ -34,6 +34,7 @@ from repro.core.scheduler import POSGScheduler
 from repro.storm.grouping import CustomStreamGrouping
 from repro.storm.tuples import StormTuple
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.flightrecorder import FlightRecorder, FlightRecorderConfig
 from repro.telemetry.recorder import NULL_RECORDER
 
 
@@ -56,6 +57,15 @@ class MultiSourcePOSGCoordinator:
         pre-built auditor).  Binds to shard 0's scheduler — the
         matrices broadcast keeps every shard's stored estimates
         numerically identical, so shard 0 speaks for all of them.
+    flight:
+        Optional :class:`~repro.telemetry.flightrecorder.FlightRecorderConfig`
+        (or pre-built recorder): captures every shard scheduler's
+        causal event timeline and samples routing decisions across the
+        coordinator's combined routed-tuple count.  Unlike the
+        simulator (where tuple ``i`` belongs to shard ``i mod s``), the
+        physical shards route whatever their spouts emit, so samples
+        are recorded under the *actual* routing shard and the sample
+        index counts tuples in coordinator routing order.
     """
 
     def __init__(
@@ -66,6 +76,7 @@ class MultiSourcePOSGCoordinator:
         rng: np.random.Generator | None = None,
         telemetry=None,
         audit: "AuditConfig | EstimatorAudit | None" = None,
+        flight: "FlightRecorderConfig | FlightRecorder | None" = None,
     ) -> None:
         self._core = MultiSourcePOSGGrouping(
             sources, config, telemetry=telemetry
@@ -81,6 +92,17 @@ class MultiSourcePOSGCoordinator:
             )
         self._audit_spec = audit
         self._auditor: EstimatorAudit | None = None
+        if flight is not None and not isinstance(
+            flight, (FlightRecorderConfig, FlightRecorder)
+        ):
+            raise TypeError(
+                "flight must be a FlightRecorderConfig or FlightRecorder, "
+                f"got {flight!r}"
+            )
+        self._flight_spec = flight
+        self._flight: FlightRecorder | None = None
+        self._flight_every = 0
+        self._routed = 0
         self._agents: dict[int, object] = {}
         self._executed = 0
         self._shards: dict[int, _ShardGrouping] = {}
@@ -118,6 +140,15 @@ class MultiSourcePOSGCoordinator:
                     self._audit_spec,
                     telemetry=self._telemetry,
                 )
+            if isinstance(self._flight_spec, FlightRecorder):
+                self._flight = self._flight_spec
+            elif self._flight_spec is not None:
+                self._flight = FlightRecorder(
+                    self._flight_spec, telemetry=self._telemetry
+                )
+            if self._flight is not None:
+                self._core.attach_flight(self._flight)
+                self._flight_every = self._flight.sample_every
         elif list(target_tasks) != self._bound_tasks:
             raise ValueError(
                 f"shard {source} prepared against tasks {target_tasks}, "
@@ -129,7 +160,18 @@ class MultiSourcePOSGCoordinator:
     # shared hooks (called by the shard groupings)
     # ------------------------------------------------------------------
     def _route(self, source: int, item: int):
-        return self._core.schedulers[source].submit(item)
+        decision = self._core.schedulers[source].submit(item)
+        if self._flight is not None:
+            index = self._routed
+            if index % self._flight_every == 0:
+                self._flight.record_route(
+                    source,
+                    index,
+                    decision.instance,
+                    self._core.schedulers[source]._c_hat.tolist(),
+                )
+            self._routed = index + 1
+        return decision
 
     def _on_execution(
         self, task: int, tup: StormTuple, duration: float
@@ -185,6 +227,11 @@ class MultiSourcePOSGCoordinator:
     def audit(self) -> EstimatorAudit | None:
         """The estimator audit, once the first shard has prepared."""
         return self._auditor
+
+    @property
+    def flight(self) -> FlightRecorder | None:
+        """The flight recorder, once the first shard has prepared."""
+        return self._flight
 
     def stats(self) -> dict:
         """Merged per-shard control-plane accounting (see the core)."""

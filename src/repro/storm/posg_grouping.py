@@ -21,6 +21,7 @@ from repro.core.scheduler import POSGScheduler, SchedulerState
 from repro.storm.grouping import CustomStreamGrouping
 from repro.storm.tuples import StormTuple
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
+from repro.telemetry.flightrecorder import FlightRecorder, FlightRecorderConfig
 from repro.telemetry.recorder import NULL_RECORDER
 
 
@@ -50,6 +51,13 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         completion order, so the sample index counts executions.  The
         auditor binds to the scheduler in :meth:`prepare` and is
         exposed as :attr:`audit`.
+    flight:
+        Optional :class:`~repro.telemetry.flightrecorder.FlightRecorderConfig`
+        (or pre-built recorder): captures the scheduler's causal event
+        timeline and samples every N-th routed tuple's decision with its
+        believed loads.  Binds in :meth:`prepare`, exposed as
+        :attr:`flight`; the route-sample index counts tuples routed by
+        this grouping.
     """
 
     def __init__(
@@ -59,6 +67,7 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         rng: np.random.Generator | None = None,
         telemetry=None,
         audit: "AuditConfig | EstimatorAudit | None" = None,
+        flight: "FlightRecorderConfig | FlightRecorder | None" = None,
     ) -> None:
         self._item_field = item_field
         self._policy = POSGGrouping(config, telemetry=telemetry)
@@ -74,6 +83,17 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         self._audit_spec = audit
         self._auditor: EstimatorAudit | None = None
         self._executed = 0
+        if flight is not None and not isinstance(
+            flight, (FlightRecorderConfig, FlightRecorder)
+        ):
+            raise TypeError(
+                "flight must be a FlightRecorderConfig or FlightRecorder, "
+                f"got {flight!r}"
+            )
+        self._flight_spec = flight
+        self._flight: FlightRecorder | None = None
+        self._flight_every = 0
+        self._routed = 0
 
     def prepare(self, source: str, target_tasks: list[int]) -> None:
         super().prepare(source, target_tasks)
@@ -90,11 +110,27 @@ class POSGShuffleGrouping(CustomStreamGrouping):
                 self._audit_spec,
                 telemetry=self._telemetry,
             )
+        if isinstance(self._flight_spec, FlightRecorder):
+            self._flight = self._flight_spec
+        elif self._flight_spec is not None:
+            self._flight = FlightRecorder(
+                self._flight_spec, telemetry=self._telemetry
+            )
+        if self._flight is not None:
+            self._policy.attach_flight(self._flight)
+            self._flight_every = self._flight.sample_every
 
     def choose_tasks(self, tup: StormTuple) -> list[int]:
         item = int(tup.value(self._item_field))
         decision = self._policy.route(item)
         tup.sync_request = decision.sync_request
+        if self._flight is not None:
+            index = self._routed
+            if index % self._flight_every == 0:
+                self._policy.record_flight_route(
+                    self._flight, index, decision.instance
+                )
+            self._routed = index + 1
         return [self._target_tasks[decision.instance]]
 
     # ------------------------------------------------------------------
@@ -148,3 +184,8 @@ class POSGShuffleGrouping(CustomStreamGrouping):
     def audit(self) -> EstimatorAudit | None:
         """The estimator audit, once :meth:`prepare` has bound it."""
         return self._auditor
+
+    @property
+    def flight(self) -> FlightRecorder | None:
+        """The flight recorder, once :meth:`prepare` has bound it."""
+        return self._flight

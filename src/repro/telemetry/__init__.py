@@ -32,7 +32,14 @@ The quality-observability layer builds on those hooks:
 - :func:`render_frame` / :class:`LiveDashboard` /
   :func:`write_html_report` — the live ANSI view and the static HTML
   quality report (:mod:`repro.telemetry.dashboard`), driven by
-  ``python -m repro.experiments observe``.
+  ``python -m repro.experiments observe``;
+- :class:`FlightRecorder` — the cross-shard flight recorder: causal
+  per-shard event timelines (sync rounds, folds, matrices, sampled
+  routing decisions with believed loads), bit-identical across engines,
+  with :func:`derive_attribution` splitting the sharded misroute regret
+  into staleness / collision / residual and :func:`render_shard_lanes`
+  drawing the timelines (:mod:`repro.telemetry.flightrecorder`), driven
+  by ``python -m repro.experiments attribution``.
 
 Usage::
 
@@ -50,7 +57,17 @@ telemetry``) wires all of this together for the Figure 4 configuration.
 """
 
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
-from repro.telemetry.dashboard import LiveDashboard, render_frame, write_html_report
+from repro.telemetry.dashboard import (
+    LiveDashboard,
+    render_frame,
+    render_shard_lanes,
+    write_html_report,
+)
+from repro.telemetry.flightrecorder import (
+    FlightRecorder,
+    FlightRecorderConfig,
+    derive_attribution,
+)
 from repro.telemetry.profiler import PhaseProfiler
 from repro.telemetry.provenance import git_sha, provenance
 from repro.telemetry.quality import (
@@ -74,6 +91,8 @@ __all__ = [
     "AuditConfig",
     "Counter",
     "EstimatorAudit",
+    "FlightRecorder",
+    "FlightRecorderConfig",
     "Gauge",
     "Histogram",
     "LiveDashboard",
@@ -87,10 +106,12 @@ __all__ = [
     "TelemetryRecorder",
     "Tracer",
     "compute_quality",
+    "derive_attribution",
     "execution_time_matrix",
     "git_sha",
     "provenance",
     "record_quality",
     "render_frame",
+    "render_shard_lanes",
     "write_html_report",
 ]

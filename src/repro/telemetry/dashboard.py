@@ -26,7 +26,12 @@ import sys
 import threading
 from pathlib import Path
 
-__all__ = ["render_frame", "LiveDashboard", "write_html_report"]
+__all__ = [
+    "render_frame",
+    "render_shard_lanes",
+    "LiveDashboard",
+    "write_html_report",
+]
 
 #: characters used for the horizontal gauge bars
 _BAR_FULL = "#"
@@ -139,6 +144,23 @@ def render_frame(
             f"cost={snapshot.get('posg_quality_regret_ms', 0.0):,.1f} ms"
         )
 
+    flight_events = _labeled(snapshot, "posg_flight_events_total", "shard")
+    if flight_events:
+        routes = _labeled(snapshot, "posg_flight_routes_sampled_total", "shard")
+        folds = _labeled(snapshot, "posg_flight_folds_total", "shard")
+        stale = _labeled(snapshot, "posg_flight_staleness_tuples_mean", "shard")
+        dropped = _labeled(snapshot, "posg_flight_dropped_events_total", "shard")
+        lines.append(rule)
+        lines.append(f"{dim}flight recorder (per shard){reset}")
+        for shard in sorted(flight_events, key=int):
+            lines.append(
+                f"  shard {shard}  events={int(flight_events[shard]):>6,}  "
+                f"routes={int(routes.get(shard, 0)):>5,}  "
+                f"folds={int(folds.get(shard, 0)):>4}  "
+                f"staleness={stale.get(shard, 0.0):>9,.1f}  "
+                f"dropped={int(dropped.get(shard, 0))}"
+            )
+
     completed = snapshot.get("sim_tuples_total")
     if completed is not None:
         lines.append(rule)
@@ -146,6 +168,77 @@ def render_frame(
             f"run        simulated={int(completed):>8,}  "
             f"L={snapshot.get('sim_avg_completion_ms', 0.0):.3f} ms  "
             f"control={int(snapshot.get('sim_control_messages_total', 0)):,} msgs"
+        )
+    return "\n".join(lines)
+
+
+#: shard-lane glyphs, highest priority last (later wins a shared column)
+_LANE_GLYPHS = {
+    "route": ".",
+    "matrices": "m",
+    "sync_request": "s",
+    "sync_reply": "r",
+    "fold": "F",
+}
+_LANE_PRIORITY = {
+    "route": 0,
+    "matrices": 1,
+    "sync_reply": 2,
+    "sync_request": 3,
+    "fold": 4,
+}
+
+
+def render_shard_lanes(
+    flight_report: dict,
+    width: int = 72,
+    ansi: bool = False,
+) -> str:
+    """Render a flight-recorder report's per-shard timelines as lanes.
+
+    One fixed-width lane per shard over the global stream axis; each
+    event of the (already downsampled) report lane lands in the column
+    proportional to its global stream index.  Glyphs: ``F`` fold
+    (``C_hat`` re-baseline), ``s``/``r`` sync request/reply, ``m``
+    matrices broadcast, ``.`` sampled routing decision; when several
+    events share a column the control-plane event wins over route
+    samples.  Pure text in, text out — usable from the CLI, tests and
+    the HTML report alike.
+    """
+    bold = _BOLD if ansi else ""
+    dim = _DIM if ansi else ""
+    reset = _RESET if ansi else ""
+    per_shard = flight_report.get("per_shard", [])
+    lane_width = max(8, width - 12)
+    span = 1
+    for shard in per_shard:
+        for _, g in shard.get("lane", []):
+            if g is not None and g > span:
+                span = g
+    lines = [
+        f"{bold}shard lanes{reset} "
+        f"{dim}(F fold, s sync_request, r sync_reply, m matrices, "
+        f". route sample){reset}"
+    ]
+    for shard in per_shard:
+        cells = [" "] * lane_width
+        ranks = [-1] * lane_width
+        for kind, g in shard.get("lane", []):
+            if g is None or g < 0:
+                continue
+            col = min(lane_width - 1, g * lane_width // (span + 1))
+            rank = _LANE_PRIORITY.get(kind, 0)
+            if rank >= ranks[col]:
+                ranks[col] = rank
+                cells[col] = _LANE_GLYPHS.get(kind, "?")
+        lines.append(f"  s{shard.get('shard', '?')} |{''.join(cells)}|")
+        lines.append(
+            f"     {dim}folds={shard.get('folds', 0)}  "
+            f"routes={shard.get('route_samples', 0)}  "
+            f"stale_replies={shard.get('stale_replies', 0)}  "
+            f"staleness mean/max={shard.get('staleness_mean', 0.0):,.0f}/"
+            f"{shard.get('staleness_max', 0):,} tuples  "
+            f"dropped={shard.get('dropped_events', 0)}{reset}"
         )
     return "\n".join(lines)
 
@@ -337,6 +430,54 @@ def write_html_report(path: "str | Path", report: dict) -> Path:
                      "(E/a)^r", "holds"),
                 )
             )
+
+    flight = report.get("flightrecorder")
+    if flight:
+        shard_rows = [
+            (
+                shard.get("shard"),
+                shard.get("events"),
+                shard.get("sync_requests"),
+                shard.get("sync_replies"),
+                shard.get("stale_replies"),
+                shard.get("folds"),
+                shard.get("route_samples"),
+                _fmt(shard.get("staleness_mean"), 1),
+                shard.get("staleness_max"),
+                shard.get("dropped_events"),
+            )
+            for shard in flight.get("per_shard", [])
+        ]
+        sections.append(
+            "<h2>Flight recorder</h2>"
+            + _html_table(
+                [
+                    ("scheduler shards", flight.get("sources")),
+                    ("events captured", flight.get("events_total")),
+                    ("events dropped (capacity)", flight.get("dropped_events")),
+                    ("route sample stride", flight.get("sample_every")),
+                    ("collision window (tuples)", flight.get("window")),
+                ],
+                ("metric", "value"),
+            )
+            + _html_table(
+                shard_rows,
+                ("shard", "events", "sync req", "sync rep", "stale",
+                 "folds", "routes", "staleness mean", "staleness max",
+                 "dropped"),
+            )
+            + "<h3>Shard lanes</h3><pre>"
+            + html.escape(render_shard_lanes(flight, width=100))
+            + "</pre>"
+        )
+
+    tracer = report.get("tracer")
+    if tracer and tracer.get("dropped", 0):
+        sections.append(
+            "<p class='meta'>tracer ring buffer dropped "
+            f"{tracer['dropped']} of {tracer['emitted']} events — "
+            "the FSM timeline below is truncated.</p>"
+        )
 
     payload = json.dumps(report, indent=2, default=str)
     document = (

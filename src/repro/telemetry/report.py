@@ -23,7 +23,7 @@ import numpy as np
 #: tracer event kinds that make up the FSM timeline section
 FSM_EVENT_KINDS = ("scheduler_state", "instance_window")
 
-SCHEMA = "posg-run-report/v3"
+SCHEMA = "posg-run-report/v4"
 
 
 @dataclass
@@ -64,6 +64,11 @@ class RunReport:
     audit: dict | None = None
     #: ``compute_quality(...)`` decision-quality metrics (v3)
     quality: dict | None = None
+    #: ``FlightRecorder.report()`` when a flight recorder flew (v4)
+    flightrecorder: dict | None = None
+    #: tracer ring-buffer accounting (emitted vs dropped, v4) — nonzero
+    #: ``dropped`` means the embedded ``fsm_timeline`` is truncated
+    tracer: dict | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -140,10 +145,15 @@ class RunReport:
 
         timeline: list = []
         metrics: dict = {}
+        tracer_stats = None
         if telemetry is not None and telemetry.enabled:
             events = telemetry.tracer.events()
             timeline = [e for e in events if e["kind"] in FSM_EVENT_KINDS]
             metrics = telemetry.registry.snapshot()
+            tracer_stats = {
+                "emitted": int(telemetry.tracer.emitted),
+                "dropped": int(telemetry.tracer.dropped),
+            }
 
         faults = None
         injector = getattr(result, "faults", None)
@@ -154,6 +164,11 @@ class RunReport:
         auditor = getattr(result, "audit", None)
         if auditor is not None and hasattr(auditor, "report"):
             audit = auditor.report()
+
+        flightrecorder = None
+        flight = getattr(result, "flight", None)
+        if flight is not None and hasattr(flight, "report"):
+            flightrecorder = flight.report()
 
         return cls(
             schema=SCHEMA,
@@ -177,6 +192,8 @@ class RunReport:
             faults=faults,
             audit=audit,
             quality=quality,
+            flightrecorder=flightrecorder,
+            tracer=tracer_stats,
         )
 
     # ------------------------------------------------------------------
@@ -240,6 +257,22 @@ class RunReport:
                 f"{makespan['oracle_gos_ratio']:.4f} "
                 f"(bound {makespan['graham_bound']:.2f}), misrouted = "
                 f"{self.quality['regret']['misroute_fraction']:.4f}"
+            )
+        if self.flightrecorder is not None:
+            per_shard = self.flightrecorder.get("per_shard", [])
+            folds = sum(s.get("folds", 0) for s in per_shard)
+            routes = sum(s.get("route_samples", 0) for s in per_shard)
+            lines.append(
+                f"flight recorder: {self.flightrecorder.get('sources', 0)} "
+                f"shards, {self.flightrecorder.get('events_total', 0)} events "
+                f"({folds} folds, {routes} route samples, "
+                f"{self.flightrecorder.get('dropped_events', 0)} dropped)"
+            )
+        if self.tracer is not None and self.tracer.get("dropped", 0):
+            lines.append(
+                f"tracer: {self.tracer['dropped']} of "
+                f"{self.tracer['emitted']} events dropped by the ring "
+                "buffer — fsm_timeline is truncated"
             )
         return "\n".join(lines)
 

@@ -40,11 +40,31 @@ class Tracer:
     Parameters
     ----------
     capacity:
-        Ring-buffer size (oldest events are dropped once full).  ``None``
-        keeps every event in memory — fine for tests and short runs.
+        Ring-buffer size.  ``None`` keeps every event in memory — fine
+        for tests and short runs.
     sink:
         A path or open text file to stream events to as JSON lines.  The
         tracer owns (and closes) the file only when given a path.
+
+    Overflow semantics
+    ------------------
+    Once the ring is full, every further :meth:`emit` evicts the
+    *oldest* buffered event (the ring is a sliding window over the
+    tail of the stream) and increments :attr:`dropped`.  Evicted events
+    are gone from memory but remain in the JSONL sink when one is
+    attached, and ``seq`` numbering is never affected — so
+    ``emitted == len(events()) + dropped`` always holds, and a reader
+    can detect a truncated trace by checking ``dropped > 0`` (surfaced
+    as ``tracer.dropped`` in RunReport v4).  This sliding-window policy
+    intentionally differs from the flight recorder's prefix-keep
+    policy: an FSM trace is most useful near the end of a run, while
+    flight timelines must stay bit-comparable across engines.
+
+    One process, one ring: ``Tracer`` is not safe to share across
+    processes.  Multi-process engines (``repro.simulator.parallel``)
+    keep all tracer emission in the parent — workers communicate
+    through the shared-memory arena and never hold a recorder — so
+    capacity accounting stays exact with any worker count.
     """
 
     def __init__(

@@ -1,0 +1,51 @@
+"""Smoke tests for the attribution experiment (flight-recorder sweep)."""
+
+import json
+
+from repro.experiments.attribution import run
+from repro.experiments.cli import main
+
+
+class TestAttributionExperiment:
+    def test_runs_and_writes_artifacts(self, tmp_path, capsys):
+        # two sweep points keep the three-engine matrix fast; --scale
+        # below the floor clamps to the minimum stream length
+        code = run(
+            scale=0.01,
+            output=str(tmp_path),
+            source_counts=(1, 2),
+            workers=2,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timelines bit-identical across reference/chunked/parallel" in out
+        assert "shard lanes" in out  # the ANSI timeline rendering
+
+        payload = json.loads((tmp_path / "attribution.json").read_text())
+        assert [row["sources"] for row in payload["curve"]] == [1, 2]
+        for row in payload["curve"]:
+            assert row["timelines_identical"] is True
+            regret = row["attribution"]["regret"]
+            # the buckets partition the replayed regret (up to float
+            # accumulation order)
+            bucket_sum = (
+                regret["collision_ms"]
+                + regret["stale_ms"]
+                + regret["residual_ms"]
+            )
+            assert abs(regret["total_ms"] - bucket_sum) <= 1e-6 * max(
+                1.0, regret["total_ms"]
+            )
+            # ...and the excess split mirrors the bucket shares
+            split = row["excess_split_ms"]
+            assert abs(
+                sum(split.values()) - row["excess_ms"]
+            ) <= 1e-6 * max(1.0, abs(row["excess_ms"]))
+        assert payload["curve"][0]["degradation"] == 1.0
+
+        html = (tmp_path / "attribution.html").read_text()
+        assert "Flight recorder" in html
+
+    def test_listed_in_cli(self, capsys):
+        assert main(["list"]) == 0
+        assert "attribution" in capsys.readouterr().out

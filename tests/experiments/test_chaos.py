@@ -16,7 +16,7 @@ class TestChaosExperiment:
         assert "recovered=True" in out
 
         report = json.loads((tmp_path / "report.json").read_text())
-        assert report["schema"] == "posg-run-report/v3"
+        assert report["schema"] == "posg-run-report/v4"
         assert report["faults"] is not None
         assert report["faults"]["injected"]["crashes"] == 1
         assert sum(report["faults"]["injected"]["dropped"].values()) > 0

@@ -80,6 +80,41 @@ class TestRunReport:
         assert "policy=posg" in text
         assert "L (avg completion)" in text
 
+    def test_flightrecorder_and_tracer_blocks(self):
+        from repro.telemetry.flightrecorder import FlightRecorderConfig
+
+        with TelemetryRecorder() as recorder:
+            stream = default_stream(seed=0, m=M)
+            policy = POSGGrouping(
+                POSGConfig(window_size=256), telemetry=recorder
+            )
+            result = simulate_stream(
+                stream,
+                policy,
+                k=K,
+                rng=np.random.default_rng(1),
+                chunk_size=1024,
+                telemetry=recorder,
+                flight=FlightRecorderConfig(sample_every=97),
+            )
+            report = RunReport.from_simulation(result, K, telemetry=recorder)
+        flight = report.flightrecorder
+        assert flight["schema"] == "posg-flight/v1"
+        assert flight["sources"] == 1
+        assert flight["per_shard"][0]["route_samples"] > 0
+        assert report.tracer["emitted"] >= len(report.fsm_timeline)
+        assert report.tracer["dropped"] == 0
+        assert "flight recorder: 1 shards" in report.summary()
+
+    def test_truncated_tracer_flagged_in_summary(self):
+        from repro.telemetry.tracer import Tracer
+
+        with TelemetryRecorder(tracer=Tracer(capacity=8)) as recorder:
+            result = _posg_run(recorder)
+            report = RunReport.from_simulation(result, K, telemetry=recorder)
+        assert report.tracer["dropped"] > 0
+        assert "fsm_timeline is truncated" in report.summary()
+
     def test_round_robin_report_has_no_scheduler_section(self):
         result = simulate_stream(
             default_stream(seed=0, m=2048), RoundRobinGrouping(), k=K,

@@ -43,6 +43,19 @@ class TestRing:
         with pytest.raises(ValueError):
             Tracer(capacity=0)
 
+    def test_overflow_accounting_invariant(self):
+        # the documented contract: emitted == len(events()) + dropped,
+        # at every point in the stream, and seq is never affected by
+        # eviction (a truncated trace is detectable via dropped > 0)
+        tracer = Tracer(capacity=4)
+        for index in range(11):
+            tracer.emit("tick", index=index)
+            assert tracer.emitted == len(tracer.events()) + tracer.dropped
+        assert tracer.emitted == 11
+        assert tracer.dropped == 7
+        # seq numbering reflects emission order, not ring residency
+        assert [e["seq"] for e in tracer.events()] == [7, 8, 9, 10]
+
 
 class TestSink:
     def test_jsonl_lines_are_strict_json(self, tmp_path):
