@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-throughput bench-telemetry bench-audit \
-	bench-flightrecorder bench-history bench-parallel chaos observe \
-	multisource attribution figures figures-paper-scale examples clean
+	bench-flightrecorder bench-history bench-parallel bench-supervision \
+	chaos chaos-parallel observe multisource attribution figures \
+	figures-paper-scale examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -53,11 +54,26 @@ bench-history:
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py
 
+# fault-free supervision overhead gate: writes BENCH_supervision.json
+# and fails if armed worker supervision costs more than 3% vs the
+# strict (detect-only) parallel baseline
+bench-supervision:
+	$(PYTHON) benchmarks/bench_supervision.py
+
 # fault-injection acceptance scenario: 10% control-plane loss plus one
 # mid-stream crash; writes report.json/metrics.prom/trace.jsonl under
 # chaos-out/ and exits non-zero unless the scheduler recovers to RUN
 chaos:
 	$(PYTHON) -m repro.experiments chaos --scale 0.25 --output chaos-out
+
+# process-level chaos against the parallel engine: a worker crash and a
+# worker hang injected mid-run under message loss; writes
+# recovery_report.json (plus report.json/trace.jsonl) under
+# chaos-parallel-out/ and exits non-zero unless the disturbed run is
+# bit-identical to the sequential engine AND fully healed by
+# respawn-replay
+chaos-parallel:
+	$(PYTHON) -m repro.experiments chaos --parallel 2 --scale 0.25 --output chaos-parallel-out
 
 # scheduling-quality observatory: estimator audit, decision-quality
 # metrics, phase profile and dashboard; writes quality_report.{json,html},

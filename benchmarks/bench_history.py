@@ -4,8 +4,9 @@ One invocation measures the numbers the repository tracks over
 time — POSG throughput on the Figure 4 configuration, the same
 configuration sharded over four sources (sequential and through the
 4-worker parallel engine), the telemetry overhead ratio, the
-estimator-audit overhead ratio, and the flight-recorder overhead
-ratio on the sharded configuration — and appends
+estimator-audit overhead ratio, the flight-recorder overhead
+ratio on the sharded configuration, and the fault-free overhead of
+armed worker supervision on the parallel engine — and appends
 them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
 stamped with the usual provenance block (commit, dirty flag, python /
 numpy versions, platform).
@@ -46,6 +47,7 @@ from repro.core.grouping import POSGGrouping
 from repro.core.multisource import MultiSourcePOSGGrouping
 from repro.simulator.parallel import simulate_stream_parallel
 from repro.simulator.run import simulate_stream
+from repro.simulator.supervisor import SupervisionConfig
 from repro.telemetry.audit import AuditConfig
 from repro.telemetry.flightrecorder import FlightRecorderConfig
 from repro.telemetry.provenance import provenance
@@ -82,7 +84,7 @@ def _timed_run(m: int, telemetry=None, audit=None, sources=None, flight=None) ->
     return time.perf_counter() - t0
 
 
-def _timed_parallel_run(m: int, workers: int) -> float:
+def _timed_parallel_run(m: int, workers: int, supervision=None) -> float:
     """One parallel-engine run (s = 4 shards); elapsed seconds."""
     stream = default_stream(seed=0, m=m)
     policy = MultiSourcePOSGGrouping(4, POSGConfig.paper_defaults())
@@ -94,6 +96,7 @@ def _timed_parallel_run(m: int, workers: int) -> float:
         k=5,
         rng=np.random.default_rng(1),
         chunk_size=2048,
+        supervision=supervision,
     )
     return time.perf_counter() - t0
 
@@ -172,6 +175,24 @@ def main() -> int:
         flight_ratios.append(plain / variant)
     flight_ratio = statistics.median(flight_ratios)
 
+    # armed supervision vs the strict default on the parallel engine
+    # (fault-free, so the ratio isolates the supervisor's bookkeeping;
+    # see bench_supervision.py for the gate)
+    supervision_ratios = []
+    for round_index in range(max(1, reps // 3)):
+        if round_index % 2 == 0:
+            plain = _timed_parallel_run(m, workers=4)
+            variant = _timed_parallel_run(
+                m, workers=4, supervision=SupervisionConfig()
+            )
+        else:
+            variant = _timed_parallel_run(
+                m, workers=4, supervision=SupervisionConfig()
+            )
+            plain = _timed_parallel_run(m, workers=4)
+        supervision_ratios.append(plain / variant)
+    supervision_ratio = statistics.median(supervision_ratios)
+
     entry = {
         "schema": "posg-bench-history/v1",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -183,6 +204,7 @@ def main() -> int:
         "telemetry_enabled_vs_plain": telemetry_ratio,
         "audit_sampled_vs_plain": audit_ratio,
         "flight_sampled_vs_plain_s4": flight_ratio,
+        "supervision_armed_vs_strict_w4": supervision_ratio,
     }
 
     previous = _last_comparable(m)
@@ -244,7 +266,8 @@ def main() -> int:
         f"posg {throughput:,.0f} t/s | s=4 {s4_throughput:,.0f} t/s | "
         f"parallel w=4 {parallel_w4_throughput:,.0f} t/s | "
         f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x | "
-        f"flight s=4 {flight_ratio:.3f}x"
+        f"flight s=4 {flight_ratio:.3f}x | "
+        f"supervision w=4 {supervision_ratio:.3f}x"
     )
     return 0
 

@@ -1,0 +1,145 @@
+"""Supervision overhead gate: self-healing must be ~free when healthy.
+
+Times the multisource s = 4 POSG simulation (m = 32,768 scaled, k = 5)
+through the multi-process parallel engine two ways:
+
+- ``strict``     — ``supervision=None``: the implicit detect-only
+  policy (generous ack deadline, zero respawns) every parallel run
+  carries — this is the engine's baseline path;
+- ``supervised`` — ``SupervisionConfig()``: healing armed (tight-ish
+  ack deadline, respawn budget, inline degraded fallback).
+
+No faults are injected, so both variants route the identical segments
+and the ratio isolates the supervisor's bookkeeping: the per-segment
+fault-arming lookup, the deadline stamps, and the multiplexed ack
+wait.  Shared machines make absolute rates too noisy for a small
+margin, so each round times both variants back to back, the order
+alternates round to round, and the reported overhead is the **median**
+of the per-round time ratios (see ``bench_flightrecorder_overhead``).
+
+Writes ``BENCH_supervision.json`` at the repo root and exits non-zero
+when armed supervision costs more than 3% versus the strict baseline.
+Scaled-down runs (``REPRO_SCALE`` < 1.0, e.g. the CI smoke) record the
+ratio but never fail the gate.
+
+Usage::
+
+    python benchmarks/bench_supervision.py
+    REPRO_REPS=1 REPRO_SCALE=0.05 python benchmarks/bench_supervision.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.multisource import MultiSourcePOSGGrouping
+from repro.simulator.parallel import simulate_stream_parallel
+from repro.simulator.supervisor import SupervisionConfig
+from repro.telemetry.provenance import provenance
+from repro.workloads.synthetic import default_stream
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_supervision.json"
+
+#: maximum tolerated fault-free slowdown of armed supervision vs strict
+MAX_SUPERVISED_OVERHEAD = 0.03
+
+#: shard count and worker count under test
+SOURCES = 4
+WORKERS = 2
+
+VARIANTS = {
+    "strict": None,
+    "supervised": SupervisionConfig(),
+}
+
+
+def _run_variant(name: str, m: int) -> float:
+    """One parallel POSG run under the named supervision variant; seconds."""
+    stream = default_stream(seed=0, m=m)
+    policy = MultiSourcePOSGGrouping(SOURCES, POSGConfig.paper_defaults())
+    t0 = time.perf_counter()
+    simulate_stream_parallel(
+        stream,
+        policy,
+        workers=WORKERS,
+        k=5,
+        rng=np.random.default_rng(1),
+        chunk_size=2048,
+        supervision=VARIANTS[name],
+    )
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    reps = max(1, int(os.environ.get("REPRO_REPS", "40")))
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    m = max(1024, int(32_768 * scale))
+
+    # one untimed warmup (process spawn + import costs)
+    _run_variant("strict", m)
+
+    times: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    ratios: list[float] = []
+    for round_index in range(reps):
+        order = (
+            ("strict", "supervised")
+            if round_index % 2 == 0
+            else ("supervised", "strict")
+        )
+        round_times = {name: _run_variant(name, m) for name in order}
+        for name, elapsed in round_times.items():
+            times[name].append(elapsed)
+        ratios.append(round_times["strict"] / round_times["supervised"])
+
+    best = {name: m / min(series) for name, series in times.items()}
+    supervised_vs_strict = statistics.median(ratios)
+
+    payload = {
+        "schema": "posg-bench-supervision/v1",
+        "provenance": provenance(REPO_ROOT),
+        "config": {
+            "m": m,
+            "k": 5,
+            "sources": SOURCES,
+            "workers": WORKERS,
+            "reps": reps,
+            "scale": scale,
+            "supervised": VARIANTS["supervised"].summary(),
+        },
+        "tuples_per_sec": best,
+        "supervised_vs_strict": supervised_vs_strict,
+        "estimator": "median of per-round paired time ratios",
+        "max_supervised_overhead": MAX_SUPERVISED_OVERHEAD,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(
+        f"best rates: strict {best['strict']:,.0f} t/s | supervised "
+        f"{best['supervised']:,.0f} t/s"
+    )
+    print(f"paired median vs strict: {supervised_vs_strict:.3f}x")
+
+    if scale < 1.0:
+        print(f"gate skipped at scale {scale} (enforced at scale 1.0)")
+        return 0
+    if supervised_vs_strict < 1.0 - MAX_SUPERVISED_OVERHEAD:
+        print(
+            f"FAIL: armed supervision is {1 - supervised_vs_strict:.1%} "
+            f"slower than the strict baseline "
+            f"(limit {MAX_SUPERVISED_OVERHEAD:.0%})"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

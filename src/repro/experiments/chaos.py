@@ -5,9 +5,22 @@ Usage::
     python -m repro.experiments chaos
     python -m repro.experiments chaos --scale 0.1 --output out/
 
-Runs a Figure 4-sized stream (m = 32,768 scaled, k = 5) twice with the
-self-healing control plane enabled (see "Failure model and recovery"
-in DESIGN.md):
+With ``--parallel N`` the subcommand instead runs **process-level
+chaos** against the multi-process parallel engine
+(:func:`run_parallel`): scripted :class:`~repro.faults.plan.WorkerFault`
+events crash one shard worker and hang another mid-run while control
+messages are being dropped, the
+:class:`~repro.simulator.supervisor.WorkerSupervisor` kills and
+respawns them with the failed segments replayed, and the run
+self-gates on (1) output bit-identity to the sequential engine and
+(2) full recovery (every failure healed, no degraded workers) —
+exiting non-zero on any violation.  ``--output DIR`` additionally
+writes ``recovery_report.json`` with the supervision block, the gate
+verdicts and the measured recovery overhead.
+
+Without ``--parallel``, runs a Figure 4-sized stream (m = 32,768
+scaled, k = 5) twice with the self-healing control plane enabled (see
+"Failure model and recovery" in DESIGN.md):
 
 - a **fault-free** run — defenses armed but nothing to defend against;
 - a **chaos** run on the same stream and seeds — 10% of every
@@ -241,6 +254,231 @@ def run(
     return 0
 
 
+def run_parallel(
+    workers: int = 2,
+    scale: float | None = None,
+    output: str | None = None,
+    chunk_size: int = 2048,
+    seed: int = 0,
+) -> int:
+    """Process-level chaos against the self-healing parallel engine.
+
+    Crashes one shard worker and hangs another mid-run (scripted
+    ``WorkerFault`` events) while 10% of every control-message class is
+    dropped, lets the ``WorkerSupervisor`` respawn-and-replay, and
+    gates on:
+
+    1. **bit-identity** — the disturbed parallel run must match the
+       sequential engine exactly (completions, assignments, FSM
+       transitions, control traffic);
+    2. **full recovery** — every injected failure detected and healed
+       by respawn, no degraded workers.
+
+    Returns non-zero if either gate fails.  The measured recovery
+    overhead (faulted vs fault-free parallel wall-clock) is printed and
+    written to ``recovery_report.json`` under ``--output``.
+    """
+    import json
+    import time as time_module
+
+    import numpy as np
+
+    from repro.core.config import POSGConfig
+    from repro.core.multisource import MultiSourcePOSGGrouping
+    from repro.faults import FaultPlan, MessageFaults, WorkerFault
+    from repro.simulator.parallel import simulate_stream_parallel
+    from repro.simulator.run import simulate_stream
+    from repro.simulator.supervisor import SupervisionConfig
+    from repro.telemetry.recorder import TelemetryRecorder
+    from repro.telemetry.report import RunReport
+    from repro.telemetry.tracer import Tracer
+    from repro.workloads.synthetic import default_stream
+
+    if workers < 2:
+        raise ValueError(
+            f"parallel chaos needs >= 2 workers to disturb, got {workers}"
+        )
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    m = max(8_192, int(32_768 * scale))
+    k = 5
+    sources = 4
+    window = min(256, max(64, m // 128))
+    config = POSGConfig(window_size=window, rows=2, cols=16)
+    stream = default_stream(seed=seed, m=m, n=128)
+
+    directory: pathlib.Path | None = None
+    if output is not None:
+        directory = pathlib.Path(output)
+        directory.mkdir(parents=True, exist_ok=True)
+
+    loss = MessageFaults(drop=DROP_RATE)
+    worker_faults = (
+        WorkerFault(worker=1, segment=1, kind="crash"),
+        WorkerFault(worker=0, segment=2, kind="hang", hang_ms=600.0),
+    )
+    plan = FaultPlan(
+        matrices=loss,
+        sync_requests=loss,
+        sync_replies=loss,
+        worker_faults=worker_faults,
+        seed=seed,
+    )
+    supervision = SupervisionConfig(
+        ack_deadline_s=0.25, max_respawns=2, degraded_policy="inline"
+    )
+
+    print(
+        f"== chaos --parallel: worker supervision under process faults "
+        f"(m={m}, k={k}, s={sources}, workers={workers}) =="
+    )
+    print(
+        f"plan: {DROP_RATE:.0%} drop on every control channel; "
+        "crash worker 1 at segment 1; hang worker 0 for 600 ms at "
+        f"segment 2 (ack deadline {supervision.ack_deadline_s * 1000:.0f} ms, "
+        f"max {supervision.max_respawns} respawns)"
+    )
+
+    def policy():
+        return MultiSourcePOSGGrouping(sources, config)
+
+    rng = lambda: np.random.default_rng(seed + 1)  # noqa: E731
+
+    t0 = time_module.perf_counter()
+    reference = simulate_stream(
+        stream, policy(), k=k, rng=rng(), chunk_size=chunk_size, faults=plan
+    )
+    t_reference = time_module.perf_counter() - t0
+
+    # fault-free parallel baseline for the recovery-overhead measurement
+    # (message faults only, no process faults)
+    clean_plan = FaultPlan(
+        matrices=loss, sync_requests=loss, sync_replies=loss, seed=seed
+    )
+    t0 = time_module.perf_counter()
+    simulate_stream_parallel(
+        stream, policy(), workers=workers, k=k, rng=rng(),
+        chunk_size=chunk_size, faults=clean_plan, supervision=supervision,
+    )
+    t_clean = time_module.perf_counter() - t0
+
+    tracer = (
+        Tracer(sink=str(directory / "trace.jsonl"))
+        if directory is not None
+        else Tracer()
+    )
+    with TelemetryRecorder(tracer=tracer) as recorder:
+        t0 = time_module.perf_counter()
+        disturbed = simulate_stream_parallel(
+            stream,
+            MultiSourcePOSGGrouping(sources, config, telemetry=recorder),
+            workers=workers, k=k, rng=rng(), chunk_size=chunk_size,
+            telemetry=recorder, faults=plan, supervision=supervision,
+        )
+        t_disturbed = time_module.perf_counter() - t0
+        report = RunReport.from_simulation(
+            disturbed, k, baseline=reference, telemetry=recorder
+        )
+
+    sup = disturbed.parallel["supervision"]
+    failures = (
+        sup["crashes_detected"] + sup["hangs_detected"] + sup["worker_errors"]
+    )
+    identical = (
+        bool(
+            np.array_equal(
+                reference.stats.completions, disturbed.stats.completions
+            )
+        )
+        and bool(
+            np.array_equal(
+                reference.stats.assignments, disturbed.stats.assignments
+            )
+        )
+        and reference.state_transitions == disturbed.state_transitions
+        and reference.control_messages == disturbed.control_messages
+        and reference.control_bits == disturbed.control_bits
+    )
+    recovered = (
+        bool(sup["recovered"])
+        and failures >= len(worker_faults)
+        and sup["respawns_total"] >= len(worker_faults)
+    )
+    overhead = t_disturbed / t_clean - 1.0 if t_clean > 0 else 0.0
+
+    print()
+    print("worker lifecycle:")
+    for event in sup["lifecycle"]:
+        detail = ", ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("event", "worker", "segment")
+        )
+        print(
+            f"  segment {event['segment']:>3}  worker {event['worker']}  "
+            f"{event['event']}" + (f"  ({detail})" if detail else "")
+        )
+    print()
+    print(
+        f"supervision: {failures} failures detected "
+        f"({sup['crashes_detected']} crashes, {sup['hangs_detected']} hangs), "
+        f"{sup['respawns_total']} respawns, "
+        f"{sup['replayed_segments']} segments replayed, "
+        f"degraded workers = {sup['degraded_workers']}"
+    )
+    print(
+        f"timing: sequential {t_reference:.2f} s, parallel fault-free "
+        f"{t_clean:.2f} s, parallel disturbed {t_disturbed:.2f} s "
+        f"(recovery overhead {overhead:+.1%})"
+    )
+    print(f"gate: bit-identical to sequential engine = {identical}")
+    print(f"gate: fully recovered via respawn-replay = {recovered}")
+
+    if directory is not None:
+        recovery = {
+            "schema": "posg-recovery-report/v1",
+            "m": m,
+            "k": k,
+            "sources": sources,
+            "workers": workers,
+            "chunk_size": chunk_size,
+            "seed": seed,
+            "plan": plan.summary(),
+            "supervision_config": supervision.summary(),
+            "supervision": sup,
+            "gates": {"bit_identical": identical, "recovered": recovered},
+            "timing_seconds": {
+                "sequential": t_reference,
+                "parallel_fault_free": t_clean,
+                "parallel_disturbed": t_disturbed,
+                "recovery_overhead": overhead,
+            },
+        }
+        recovery_path = directory / "recovery_report.json"
+        recovery_path.write_text(json.dumps(recovery, indent=2) + "\n")
+        report_path = report.save(directory / "report.json")
+        print(f"wrote {recovery_path}")
+        print(f"wrote {report_path}")
+        print(f"wrote {directory / 'trace.jsonl'}")
+
+    if not identical:
+        print(
+            "ERROR: disturbed parallel run diverged from the sequential "
+            "engine",
+            file=sys.stderr,
+        )
+        return 1
+    if not recovered:
+        print(
+            "ERROR: supervisor did not fully recover "
+            f"(failures={failures}, respawns={sup['respawns_total']}, "
+            f"degraded={sup['degraded_workers']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.chaos",
@@ -259,11 +497,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator chunk size (0 = per-tuple reference engine)",
     )
     parser.add_argument("--seed", type=int, default=0, help="stream/fault seed")
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="run process-level chaos against the parallel engine with N "
+        "workers (crash/hang injected mid-run; gated on bit-identity "
+        "and full supervisor recovery)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.parallel is not None:
+        return run_parallel(
+            workers=args.parallel,
+            scale=args.scale,
+            output=args.output,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+        )
     return run(
         scale=args.scale,
         output=args.output,

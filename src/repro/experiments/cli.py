@@ -91,9 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--parallel", type=int, default=None, metavar="N",
-        help="multisource only: also run each sweep point through the "
+        help="multisource: also run each sweep point through the "
         "multi-process parallel engine with N workers (gated "
-        "bit-identical against the sequential run)",
+        "bit-identical against the sequential run); chaos: run "
+        "process-level chaos against the parallel engine with N workers "
+        "(worker crash/hang injected mid-run, gated on bit-identity and "
+        "full supervisor recovery)",
     )
     return parser
 
@@ -121,7 +124,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_telemetry(scale=args.scale, output=args.output)
     if args.figure == "chaos":
         from repro.experiments.chaos import run as run_chaos
+        from repro.experiments.chaos import run_parallel as run_chaos_parallel
 
+        if args.parallel is not None:
+            return run_chaos_parallel(
+                workers=args.parallel, scale=args.scale, output=args.output
+            )
         return run_chaos(scale=args.scale, output=args.output)
     if args.figure == "observe":
         from repro.experiments.observe import run as run_observe

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     MessageFaults,
     NO_FAULTS,
     SlowdownFault,
+    WorkerFault,
 )
 from repro.faults.injector import FaultInjector
 
@@ -36,4 +37,5 @@ __all__ = [
     "MessageFaults",
     "NO_FAULTS",
     "SlowdownFault",
+    "WorkerFault",
 ]

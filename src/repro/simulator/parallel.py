@@ -74,7 +74,7 @@ import heapq
 import multiprocessing
 import os
 from multiprocessing import shared_memory
-from time import perf_counter
+from time import perf_counter, sleep
 
 import numpy as np
 
@@ -96,6 +96,7 @@ from repro.simulator.run import (
     _prepare_flight,
     _record_run_telemetry,
 )
+from repro.simulator.supervisor import SupervisionConfig, WorkerSupervisor
 from repro.sketches.bucket_cache import get_bucket_cache
 from repro.sketches.hashing import TwoUniversalHashFamily
 from repro.telemetry.recorder import NULL_RECORDER
@@ -105,12 +106,44 @@ from repro.workloads.synthetic import Stream
 _MODE_ROUND_ROBIN = 0
 _MODE_GREEDY = 1
 
+#: exit code of a worker taken down by an injected crash fault
+_WORKER_CRASH_EXIT = 70
+
 #: per-shard control record:
 #: [mode, rr_counter, pair_count, out_count, flight_count]
 _CTRL_FIELDS = 5
 
 _F64 = np.dtype(np.float64)
 _I64 = np.dtype(np.int64)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing block without telling the resource tracker.
+
+    CPython < 3.13 registers shared-memory *attachments* with the
+    resource tracker as if they were creations, and every worker — fork
+    or spawn — shares the parent's tracker process (spawn ships the
+    tracker fd in its preparation data).  The tracker's cache is a
+    *set*, so concurrent register/unregister pairs from several workers
+    collapse and the excess unregisters surface as ``KeyError`` noise
+    on stderr.  Suppressing the registration at attach time keeps the
+    parent — which created the block and will unlink it — the only
+    process the tracker ever hears about, which is also exactly the
+    process whose abnormal death should trigger the tracker's cleanup.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(rname, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
 
 
 class ShardArena:
@@ -208,7 +241,7 @@ class ShardArena:
             self.shm = shared_memory.SharedMemory(create=True, size=self.nbytes)
             self.owner = True
         else:
-            self.shm = shared_memory.SharedMemory(name=name)
+            self.shm = _attach_untracked(name)
             self.owner = False
 
         buf = self.shm.buf
@@ -230,25 +263,6 @@ class ShardArena:
         self.fl_idx = view(fl_idx_at, (sources, fcap), _I64)
         self.fl_bel = view(fl_bel_at, (sources, fcap, k), _F64)
         self.wk_busy = view(wk_busy_at, (sources,), _F64)
-
-    def untrack(self) -> None:
-        """Drop this attachment's resource-tracker registration.
-
-        CPython < 3.13 registers shared-memory *attachments* with the
-        resource tracker as if they were creations.  A spawn-started
-        worker runs its own tracker, which would unlink the
-        parent-owned block (and warn) when the worker exits — so spawn
-        workers call this after attaching.  Fork workers share the
-        parent's tracker, where re-registration is a set no-op and the
-        parent's ``unlink`` is the single deregistration — they must
-        NOT call this, or the parent's unlink double-unregisters.
-        """
-        try:
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(self.shm._name, "shared_memory")
-        except Exception:
-            pass
 
     @property
     def name(self) -> str:
@@ -274,9 +288,16 @@ class ShardArena:
         self.shm.close()
 
     def unlink(self) -> None:
-        """Free the underlying block (owner only, after close)."""
+        """Free the underlying block (owner only, after close).
+
+        Idempotent: a block already gone (double unlink, or an external
+        cleanup racing an aborted run's teardown) is not an error.
+        """
         if self.owner:
-            self.shm.unlink()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -440,14 +461,25 @@ def _worker_main(
     shm_name: str,
     shard_ids: list[int],
     conn,
-    untrack: bool = False,
     flight_every: int = 0,
+    worker_faults: tuple = (),
 ) -> None:
     """Worker loop: attach the arena, route dispatched segments forever.
 
-    Messages on ``conn``: ``(start, end)`` dispatches one segment (the
-    worker routes every shard it owns and acks), ``None`` shuts down.
-    Any exception is reported back as ``("error", text)``.
+    Messages on ``conn``: ``(start, end, seg)`` dispatches one segment
+    (the worker routes every shard it owns and acks ``("ok", seg)``),
+    ``None`` shuts down.  Any exception is reported back as
+    ``("error", text)``.
+
+    ``worker_faults`` are scripted
+    :class:`~repro.faults.plan.WorkerFault` events for chaos testing,
+    keyed by the *global* segment index the parent stamps on every
+    dispatch: ``crash`` hard-exits the process (``os._exit``, like a
+    SIGKILL — no cleanup, no ack), ``hang`` sleeps ``hang_ms`` before
+    routing (tripping the supervisor's ack deadline when long enough),
+    and ``stall`` persistently inflates every later segment's wall
+    clock by ``stall_factor``.  All three disturb only *when* the
+    worker acks, never *what* it writes — routed bytes stay identical.
 
     Each shard's routing wall-clock accumulates into the arena's
     ``wk_busy`` region — pure telemetry (the parent folds it into the
@@ -458,8 +490,6 @@ def _worker_main(
     arena = None
     try:
         arena = ShardArena(*layout, name=shm_name)
-        if untrack:
-            arena.untrack()
         family = TwoUniversalHashFamily.from_dict(spec.hashes)
         cache = get_bucket_cache(family)
         pairs = {
@@ -467,11 +497,22 @@ def _worker_main(
             for shard in shard_ids
         }
         pooled = spec.pooled_estimates
+        faults_by_segment = {fault.segment: fault for fault in worker_faults}
+        stall_factor = 1.0
         while True:
             task = conn.recv()
             if task is None:
                 break
-            start, end = task
+            start, end, seg = task
+            fault = faults_by_segment.pop(seg, None)
+            if fault is not None:
+                if fault.kind == "crash":
+                    os._exit(_WORKER_CRASH_EXIT)
+                if fault.kind == "hang":
+                    sleep(fault.hang_ms / 1000.0)
+                elif fault.kind == "stall":
+                    stall_factor = fault.stall_factor
+            t_seg = perf_counter()
             for shard in shard_ids:
                 t0 = perf_counter()
                 _route_shard(
@@ -479,7 +520,9 @@ def _worker_main(
                     start, end, flight_every,
                 )
                 arena.wk_busy[shard] += perf_counter() - t0
-            conn.send(("ok",))
+            if stall_factor > 1.0:
+                sleep((stall_factor - 1.0) * (perf_counter() - t_seg))
+            conn.send(("ok", seg))
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
     except Exception as error:  # surface worker failures to the parent
@@ -525,6 +568,7 @@ def simulate_stream_parallel(
     flight=None,
     profiler=None,
     start_method: str | None = None,
+    supervision: "SupervisionConfig | None" = None,
 ) -> SimulationResult:
     """Simulate one stream with the shard route loops in worker processes.
 
@@ -554,6 +598,17 @@ def simulate_stream_parallel(
     chunk_size:
         As in ``simulate_stream`` but must be >= 1 (there is no
         per-tuple parallel engine).
+    supervision:
+        A :class:`~repro.simulator.supervisor.SupervisionConfig`
+        enabling self-healing: crashed or deadline-missing workers are
+        killed and respawned from the frozen worker spec with the
+        failed segment replayed (bit-identical — see the supervisor
+        module docstring), degrading to in-parent routing after the
+        respawn budget.  ``None`` (default) runs the strict policy:
+        failures still *detected* (including hangs, via a generous ack
+        deadline) but never healed — the run raises, as before.
+        Scripted :class:`~repro.faults.plan.WorkerFault` events in the
+        fault plan are shipped into the workers either way.
 
     Raises ``ValueError`` for configurations the parallel engine does
     not support (recovery defenses, latency hints, non-constant data
@@ -629,7 +684,7 @@ def simulate_stream_parallel(
         result = _simulate_parallel(
             stream, policy, int(workers), k, scenario, data_lat, control_lat,
             rng, sample_queues_every, chunk_size, injector, audit, flight,
-            recorder, profiler, start_method,
+            recorder, profiler, start_method, supervision,
         )
     finally:
         if profiler is not None:
@@ -679,6 +734,35 @@ def _record_parallel_telemetry(recorder, result: SimulationResult) -> None:
         "sim_parallel_merge_stall_seconds",
         help="Wall-clock seconds the parent spent waiting on worker acks",
     ).set(float(info.get("merge_stall_seconds", 0.0)))
+    sup = info.get("supervision") or {}
+    registry.counter(
+        "posg_supervisor_crashes_detected_total",
+        help="Worker process deaths detected by the supervisor",
+    ).inc(sup.get("crashes_detected", 0))
+    registry.counter(
+        "posg_supervisor_hangs_detected_total",
+        help="Worker ack-deadline misses detected by the supervisor",
+    ).inc(sup.get("hangs_detected", 0))
+    registry.counter(
+        "posg_supervisor_worker_errors_total",
+        help="In-worker exceptions surfaced to the supervisor",
+    ).inc(sup.get("worker_errors", 0))
+    registry.counter(
+        "posg_supervisor_respawns_total",
+        help="Workers killed and respawned by the supervisor",
+    ).inc(sup.get("respawns_total", 0))
+    registry.counter(
+        "posg_supervisor_replayed_segments_total",
+        help="Failed segments replayed on a respawned worker",
+    ).inc(sup.get("replayed_segments", 0))
+    registry.counter(
+        "posg_supervisor_inline_segments_total",
+        help="Segments routed in-parent for degraded workers",
+    ).inc(sup.get("inline_segments", 0))
+    registry.gauge(
+        "posg_supervisor_degraded_workers",
+        help="Workers retired to in-parent routing by run end",
+    ).set(len(sup.get("degraded_workers", ())))
     recorder.tracer.emit(
         "parallel_run",
         workers=info.get("workers"),
@@ -689,19 +773,6 @@ def _record_parallel_telemetry(recorder, result: SimulationResult) -> None:
             "discarded_speculative_tuples"
         ),
     )
-
-
-def _recv_ack(conn, process) -> None:
-    """Wait for a worker ack, surfacing worker death instead of hanging."""
-    while not conn.poll(0.2):
-        if not process.is_alive():
-            raise RuntimeError(
-                f"parallel worker {process.name} died "
-                f"(exit code {process.exitcode})"
-            )
-    reply = conn.recv()
-    if reply[0] != "ok":
-        raise RuntimeError(f"parallel worker failed:\n{reply[1]}")
 
 
 def _simulate_parallel(
@@ -721,6 +792,7 @@ def _simulate_parallel(
     recorder,
     profiler,
     start_method: str | None,
+    supervision: "SupervisionConfig | None" = None,
 ) -> SimulationResult:
     m = stream.m
     items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
@@ -767,6 +839,13 @@ def _simulate_parallel(
     window_size = policy.config.window_size
 
     n_workers = max(1, min(workers, sources))
+    worker_faults = injector.worker_faults if injector is not None else ()
+    for fault in worker_faults:
+        if fault.worker >= n_workers:
+            raise ValueError(
+                f"scripted worker fault targets worker {fault.worker} "
+                f"but only {n_workers} worker processes will run"
+            )
     cap = (chunk_size + sources - 1) // sources + 1
     fcap = (cap // flight_every + 2) if flight_every else 1
     arena = ShardArena(sources, k, spec.rows, spec.cols, m, cap, fcap)
@@ -776,36 +855,53 @@ def _simulate_parallel(
         start_method = "fork" if "fork" in methods else methods[0]
     ctx = multiprocessing.get_context(start_method)
 
-    processes = []
-    conns = []
     worker_shards = [
         [shard for shard in range(sources) if shard % n_workers == w]
         for w in range(n_workers)
     ]
+
+    # Degraded-mode fallback: the parent routes a retired worker's
+    # shards through the identical worker code path (same pair views,
+    # same bucket cache, same `_route_shard`), so degraded segments are
+    # bit-identical to worker-routed ones.  Views are built lazily (the
+    # healthy path never pays for them) and must be dropped before the
+    # arena unmaps.
+    inline_state: dict = {}
+
+    def _inline_route(shard: int, start: int, end: int) -> None:
+        if "cache" not in inline_state:
+            family = TwoUniversalHashFamily.from_dict(spec.hashes)
+            inline_state["family"] = family
+            inline_state["cache"] = get_bucket_cache(family)
+            inline_state["pairs"] = {}
+        pairs = inline_state["pairs"].get(shard)
+        if pairs is None:
+            pairs = _attach_pair_views(inline_state["family"], arena, shard)
+            inline_state["pairs"][shard] = pairs
+        _route_shard(
+            arena, shard, pairs, inline_state["cache"],
+            spec.pooled_estimates, start, end, flight_every,
+        )
+
+    supervisor = WorkerSupervisor(
+        ctx=ctx,
+        target=_worker_main,
+        spec=spec,
+        layout=arena.layout(),
+        shm_name=arena.name,
+        worker_shards=worker_shards,
+        flight_every=flight_every,
+        config=supervision,
+        worker_faults=worker_faults,
+        inline_router=_inline_route,
+        injector=injector,
+        recorder=recorder,
+        flight=recorder_flight,
+    )
     run_info: dict = {}
     try:
         arena.items[:] = items_array
-        layout = arena.layout()
-        for w in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(
-                    spec,
-                    layout,
-                    arena.name,
-                    worker_shards[w],
-                    child_conn,
-                    start_method != "fork",
-                    flight_every,
-                ),
-                name=f"posg-shard-worker-{w}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            processes.append(process)
-            conns.append(parent_conn)
+        supervisor.start()
 
         run_info = _parallel_loop(
             m=m,
@@ -825,8 +921,7 @@ def _simulate_parallel(
             window_size=window_size,
             chunk_size=chunk_size,
             arena=arena,
-            conns=conns,
-            processes=processes,
+            supervisor=supervisor,
             injector=injector,
             auditor=auditor,
             flight=recorder_flight,
@@ -836,18 +931,9 @@ def _simulate_parallel(
         )
         run_info["shard_busy_seconds"] = arena.wk_busy.tolist()
     finally:
-        for conn, process in zip(conns, processes):
-            try:
-                conn.send(None)
-            except (OSError, BrokenPipeError):
-                pass
-        for process in processes:
-            process.join(timeout=5)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
-        for conn in conns:
-            conn.close()
+        supervisor.shutdown()
+        # drop the inline fallback's matrix views before unmapping
+        inline_state.clear()
         arena.close()
         arena.unlink()
 
@@ -889,6 +975,7 @@ def _simulate_parallel(
             "worker_tuples": worker_tuples,
             "worker_busy_seconds": worker_busy,
             "shard_busy_seconds": shard_busy,
+            "supervision": supervisor.report(),
             **run_info,
         },
     )
@@ -914,8 +1001,7 @@ def _parallel_loop(
     window_size,
     chunk_size,
     arena: ShardArena,
-    conns,
-    processes,
+    supervisor: WorkerSupervisor,
     injector,
     auditor,
     flight,
@@ -942,7 +1028,13 @@ def _parallel_loop(
     audit_observe = auditor.observe if auditor is not None else None
     next_audit = 0 if auditor is not None else m
 
-    faulting = injector is not None
+    # Only *control-plane* faults (message channels, instance crashes,
+    # slow-node windows) force the per-tuple faulted merge; a plan
+    # scripting nothing but process-level worker faults keeps the fast
+    # merge — inactive channels draw no RNG in either engine, and
+    # worker faults never change what workers write, so the fast path
+    # stays bit-identical.
+    faulting = injector is not None and injector.plan.control_active
     crash_ptr = 0
 
     # Instance-side batching (fault-free fast merge only: crashes force
@@ -1151,12 +1243,7 @@ def _parallel_loop(
             profiler.start("route")
         for shard in range(sources):
             _sync_shard(shard)
-        for conn in conns:
-            conn.send((j, end))
-        stall0 = perf_counter()
-        for conn, process in zip(conns, processes):
-            _recv_ack(conn, process)
-        merge_stall += perf_counter() - stall0
+        merge_stall += supervisor.route_segment(j, end)
         # Deterministic k-way merge of the shard decision streams:
         # shard sigma produced the decisions for positions
         # first_sigma, first_sigma + s, ... — a strided interleave.

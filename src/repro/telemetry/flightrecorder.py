@@ -125,6 +125,10 @@ class FlightRecorder:
         self._last_fold_g: list[int] = []
         self._stale_sum: list[int] = []
         self._stale_max: list[int] = []
+        #: worker-lifecycle side channel (parallel engine supervision);
+        #: wall-clock-driven, so deliberately OUTSIDE timelines() and
+        #: the bit-identity contract
+        self._worker_events: list[tuple] = []
         self._telemetry.registry.register_collector(self._collect_samples)
 
     # ------------------------------------------------------------------
@@ -155,6 +159,7 @@ class FlightRecorder:
         self._last_fold_g = [-1] * sources
         self._stale_sum = [0] * sources
         self._stale_max = [0] * sources
+        self._worker_events = []
 
     @property
     def config(self) -> FlightRecorderConfig:
@@ -234,6 +239,22 @@ class FlightRecorder:
             self._stale_sum[shard] += age
             if age > self._stale_max[shard]:
                 self._stale_max[shard] = age
+
+    def record_worker_event(self, worker: int, kind: str, segment: int) -> None:
+        """Worker-process lifecycle event from the parallel supervisor.
+
+        These events (crash/hang detections, respawns, degradations)
+        are driven by wall-clock deadlines, so they land in a side
+        channel that :meth:`timelines` never exposes — the per-shard
+        timelines stay bit-identical across engines while the report
+        still carries the full supervision story.
+        """
+        self._worker_events.append((kind, int(worker), int(segment)))
+
+    @property
+    def worker_events(self) -> tuple[tuple, ...]:
+        """Lifecycle side channel (insertion-ordered, non-deterministic)."""
+        return tuple(self._worker_events)
 
     # ------------------------------------------------------------------
     # reading
@@ -318,6 +339,7 @@ class FlightRecorder:
             "events_total": sum(len(t) for t in self._timelines),
             "dropped_events": sum(self._dropped),
             "per_shard": per_shard,
+            "worker_events": [list(event) for event in self._worker_events],
         }
 
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ import numpy as np
 #: tracer event kinds that make up the FSM timeline section
 FSM_EVENT_KINDS = ("scheduler_state", "instance_window")
 
-SCHEMA = "posg-run-report/v4"
+SCHEMA = "posg-run-report/v5"
 
 
 @dataclass
@@ -69,6 +69,9 @@ class RunReport:
     #: tracer ring-buffer accounting (emitted vs dropped, v4) — nonzero
     #: ``dropped`` means the embedded ``fsm_timeline`` is truncated
     tracer: dict | None = None
+    #: ``WorkerSupervisor.report()`` for parallel-engine runs (v5) —
+    #: detected worker failures, respawns, and degraded workers
+    supervision: dict | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -170,6 +173,11 @@ class RunReport:
         if flight is not None and hasattr(flight, "report"):
             flightrecorder = flight.report()
 
+        supervision = None
+        parallel_info = getattr(result, "parallel", None)
+        if parallel_info:
+            supervision = parallel_info.get("supervision")
+
         return cls(
             schema=SCHEMA,
             policy=name,
@@ -194,6 +202,7 @@ class RunReport:
             quality=quality,
             flightrecorder=flightrecorder,
             tracer=tracer_stats,
+            supervision=supervision,
         )
 
     # ------------------------------------------------------------------
@@ -268,6 +277,25 @@ class RunReport:
                 f"({folds} folds, {routes} route samples, "
                 f"{self.flightrecorder.get('dropped_events', 0)} dropped)"
             )
+        if self.supervision is not None:
+            failures = (
+                self.supervision.get("crashes_detected", 0)
+                + self.supervision.get("hangs_detected", 0)
+                + self.supervision.get("worker_errors", 0)
+            )
+            degraded = self.supervision.get("degraded_workers", [])
+            if failures or degraded:
+                lines.append(
+                    f"supervision: {failures} worker failures detected, "
+                    f"{self.supervision.get('respawns_total', 0)} respawns, "
+                    f"{self.supervision.get('replayed_segments', 0)} segments "
+                    "replayed"
+                    + (
+                        f" — DEGRADED workers {degraded} routed in-parent"
+                        if degraded
+                        else " — fully recovered"
+                    )
+                )
         if self.tracer is not None and self.tracer.get("dropped", 0):
             lines.append(
                 f"tracer: {self.tracer['dropped']} of "

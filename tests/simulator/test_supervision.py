@@ -1,0 +1,274 @@
+"""Self-healing parallel data plane: supervision, failover, degradation.
+
+The acceptance contract of :mod:`repro.simulator.supervisor`: a run
+that loses workers mid-flight — injected crashes, hangs, stalls — and
+heals them by respawn-replay produces output **bit-identical** to the
+sequential engine, across start methods and the fault/audit feature
+matrix.  Degraded mode (inline routing after the respawn budget) must
+preserve the same bits; strict mode (no ``SupervisionConfig``) must
+keep the old raise-on-crash behaviour plus a finite hang deadline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POSGConfig
+from repro.core.multisource import MultiSourcePOSGGrouping
+from repro.faults import FaultPlan, MessageFaults, WorkerFault
+from repro.simulator import supervisor as supervisor_module
+from repro.simulator.parallel import simulate_stream_parallel
+from repro.simulator.run import simulate_stream
+from repro.simulator.supervisor import SupervisionConfig
+from repro.telemetry.audit import AuditConfig
+from repro.telemetry.flightrecorder import FlightRecorderConfig
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.report import RunReport
+from repro.workloads.synthetic import default_stream
+
+M = 8_000
+K = 5
+
+#: heals fast in tests: short deadline, quick backoff
+HEALING = SupervisionConfig(
+    ack_deadline_s=0.2,
+    max_respawns=2,
+    backoff_base_s=0.01,
+    backoff_max_s=0.05,
+)
+
+
+def config():
+    return POSGConfig(window_size=128)
+
+
+def message_faults():
+    return MessageFaults(drop=0.08, delay=0.2, delay_ms=4.0)
+
+
+def plan(worker_faults=(), messages=False):
+    loss = message_faults() if messages else MessageFaults()
+    return FaultPlan(
+        matrices=loss,
+        sync_requests=loss,
+        sync_replies=loss,
+        worker_faults=tuple(worker_faults),
+        seed=7,
+    )
+
+
+CRASH = WorkerFault(worker=1, segment=1, kind="crash")
+HANG = WorkerFault(worker=0, segment=2, kind="hang", hang_ms=500.0)
+
+
+def run_reference(faults=None, audit=False):
+    return simulate_stream(
+        default_stream(seed=0, m=M),
+        MultiSourcePOSGGrouping(4, config()),
+        k=K,
+        rng=np.random.default_rng(1),
+        chunk_size=2048,
+        faults=faults,
+        audit=AuditConfig(sample_every=64) if audit else None,
+    )
+
+
+def run_parallel(faults=None, audit=False, supervision=HEALING, **kwargs):
+    return simulate_stream_parallel(
+        default_stream(seed=0, m=M),
+        MultiSourcePOSGGrouping(4, config()),
+        workers=2,
+        k=K,
+        rng=np.random.default_rng(1),
+        chunk_size=2048,
+        faults=faults,
+        audit=AuditConfig(sample_every=64) if audit else None,
+        supervision=supervision,
+        **kwargs,
+    )
+
+
+def assert_run_identical(a, b):
+    np.testing.assert_array_equal(a.stats.completions, b.stats.completions)
+    np.testing.assert_array_equal(a.stats.assignments, b.stats.assignments)
+    assert a.state_transitions == b.state_transitions
+    assert a.control_messages == b.control_messages
+    assert a.control_bits == b.control_bits
+
+
+class TestRespawnReplay:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_crash_and_hang_recovery_is_bit_identical(self, start_method):
+        reference = run_reference(faults=plan([CRASH, HANG]))
+        parallel = run_parallel(
+            faults=plan([CRASH, HANG]), start_method=start_method
+        )
+        assert_run_identical(reference, parallel)
+        sup = parallel.parallel["supervision"]
+        assert sup["crashes_detected"] == 1
+        assert sup["hangs_detected"] == 1
+        assert sup["respawns_total"] == 2
+        assert sup["replayed_segments"] == 2
+        assert sup["degraded_workers"] == []
+        assert sup["recovered"] is True
+
+    def test_recovery_with_message_faults_and_audit(self):
+        reference = run_reference(faults=plan([CRASH], messages=True), audit=True)
+        parallel = run_parallel(faults=plan([CRASH], messages=True), audit=True)
+        assert_run_identical(reference, parallel)
+        assert reference.audit.report() == parallel.audit.report()
+        # message-fault draws are unaffected by the process-level chaos
+        ref_injected = reference.faults.report()["injected"]
+        par_injected = parallel.faults.report()["injected"]
+        assert ref_injected["dropped"] == par_injected["dropped"]
+        assert ref_injected["delayed"] == par_injected["delayed"]
+
+    def test_stall_fault_is_absorbed_without_detection(self):
+        stall = WorkerFault(worker=0, segment=1, kind="stall", stall_factor=1.5)
+        reference = run_reference(faults=plan([stall]))
+        parallel = run_parallel(faults=plan([stall]))
+        assert_run_identical(reference, parallel)
+        sup = parallel.parallel["supervision"]
+        assert sup["crashes_detected"] == 0 and sup["hangs_detected"] == 0
+        assert sup["injected_worker_faults"]["stall"] == 1
+        assert parallel.faults.report()["injected"]["worker_faults"]["stall"] == 1
+
+    def test_flight_timelines_survive_respawn(self):
+        flight_a = FlightRecorderConfig(sample_every=97)
+        flight_b = FlightRecorderConfig(sample_every=97)
+        reference = simulate_stream(
+            default_stream(seed=0, m=M),
+            MultiSourcePOSGGrouping(4, config()),
+            k=K,
+            rng=np.random.default_rng(1),
+            chunk_size=2048,
+            faults=plan([CRASH]),
+            flight=flight_a,
+        )
+        parallel = run_parallel(faults=plan([CRASH]), flight=flight_b)
+        assert_run_identical(reference, parallel)
+        assert reference.flight.timelines() == parallel.flight.timelines()
+        # the lifecycle side channel carries the supervision story and
+        # stays out of the deterministic timelines
+        assert reference.flight.worker_events == ()
+        kinds = [event[0] for event in parallel.flight.worker_events]
+        assert "worker_crash_detected" in kinds
+        assert "worker_respawned" in kinds
+
+
+class TestDegradedMode:
+    def test_inline_fallback_is_bit_identical(self):
+        crashes = [
+            WorkerFault(worker=1, segment=1, kind="crash"),
+            WorkerFault(worker=1, segment=2, kind="crash"),
+        ]
+        reference = run_reference(faults=plan(crashes))
+        parallel = run_parallel(
+            faults=plan(crashes),
+            supervision=SupervisionConfig(
+                ack_deadline_s=5.0,
+                max_respawns=1,
+                backoff_base_s=0.01,
+                backoff_max_s=0.05,
+                degraded_policy="inline",
+            ),
+        )
+        assert_run_identical(reference, parallel)
+        sup = parallel.parallel["supervision"]
+        assert sup["degraded_workers"] == [1]
+        assert sup["inline_segments"] > 0
+        assert sup["recovered"] is False
+
+    def test_raise_policy_escalates_after_budget(self):
+        crashes = [
+            WorkerFault(worker=1, segment=1, kind="crash"),
+            WorkerFault(worker=1, segment=2, kind="crash"),
+        ]
+        with pytest.raises(RuntimeError, match="respawns used"):
+            run_parallel(
+                faults=plan(crashes),
+                supervision=SupervisionConfig(
+                    ack_deadline_s=5.0,
+                    max_respawns=1,
+                    backoff_base_s=0.01,
+                    backoff_max_s=0.05,
+                    degraded_policy="raise",
+                ),
+            )
+
+
+class TestStrictDefault:
+    def test_crash_without_supervision_raises(self):
+        with pytest.raises(RuntimeError, match="crash"):
+            run_parallel(faults=plan([CRASH]), supervision=None)
+
+    def test_hang_without_supervision_trips_deadline(self, monkeypatch):
+        # the strict policy reads the module default at call time, so a
+        # test can shrink the deadline without arming supervision
+        monkeypatch.setattr(supervisor_module, "DEFAULT_ACK_DEADLINE_S", 0.2)
+        hang = WorkerFault(worker=0, segment=1, kind="hang", hang_ms=2_000.0)
+        with pytest.raises(RuntimeError, match="hang"):
+            run_parallel(faults=plan([hang]), supervision=None)
+
+    def test_fault_free_run_reports_strict_supervision(self):
+        parallel = run_parallel(supervision=None)
+        sup = parallel.parallel["supervision"]
+        assert sup["enabled"] is False
+        assert sup["config"]["max_respawns"] == 0
+        assert sup["config"]["degraded_policy"] == "raise"
+        assert sup["crashes_detected"] == 0
+        assert sup["recovered"] is True
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ack_deadline_s": 0.0},
+            {"max_respawns": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_base_s": 1.0, "backoff_max_s": 0.5},
+            {"degraded_policy": "shrug"},
+            {"spawn_grace_s": -1.0},
+        ],
+    )
+    def test_config_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionConfig(**kwargs)
+
+    def test_fault_targeting_missing_worker_is_rejected(self):
+        ghost = WorkerFault(worker=7, segment=0, kind="crash")
+        with pytest.raises(ValueError, match="worker 7"):
+            run_parallel(faults=plan([ghost]))
+
+
+class TestReporting:
+    def test_run_report_carries_supervision_block(self):
+        with TelemetryRecorder() as recorder:
+            parallel = simulate_stream_parallel(
+                default_stream(seed=0, m=M),
+                MultiSourcePOSGGrouping(4, config(), telemetry=recorder),
+                workers=2,
+                k=K,
+                rng=np.random.default_rng(1),
+                chunk_size=2048,
+                telemetry=recorder,
+                faults=plan([CRASH]),
+                supervision=HEALING,
+            )
+            report = RunReport.from_simulation(parallel, K, telemetry=recorder)
+        assert report.schema == "posg-run-report/v5"
+        assert report.supervision is not None
+        assert report.supervision["crashes_detected"] == 1
+        assert report.supervision["recovered"] is True
+        assert "supervision" in report.summary()
+        prom = recorder.registry.to_prometheus()
+        assert "posg_supervisor_crashes_detected_total 1" in prom
+        assert "posg_supervisor_respawns_total 1" in prom
+        assert 'posg_fault_worker_total{kind="crash"} 1' in prom
+        assert "posg_fault_worker_respawns_total 1" in prom
+
+    def test_sequential_run_report_has_no_supervision(self):
+        reference = run_reference()
+        report = RunReport.from_simulation(reference, K)
+        assert report.supervision is None

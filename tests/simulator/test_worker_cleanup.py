@@ -1,0 +1,159 @@
+"""Crash-mid-run hygiene: an externally SIGKILLed worker must not leak.
+
+Satellite of the supervision PR: whatever kills a worker — not just
+the injected faults the supervisor knows about, but a raw ``SIGKILL``
+from outside (the OOM killer's signature move) — the parent must end
+the run cleanly: a crisp error in strict mode, a healed run under
+supervision, and in both cases no orphaned ``/dev/shm`` segment and no
+``resource_tracker`` complaints on stderr.
+
+Each case runs in a subprocess harness: the simulation runs in a
+thread while the main thread finds the ``posg-shard-worker-0`` child
+(parked there by an injected hang fault, which opens a wide kill
+window) and SIGKILLs it mid-run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+HARNESS = """
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.multisource import MultiSourcePOSGGrouping
+from repro.faults import FaultPlan, WorkerFault
+from repro.simulator.parallel import simulate_stream_parallel
+from repro.simulator.supervisor import SupervisionConfig
+from repro.workloads.synthetic import default_stream
+
+start_method = sys.argv[1]
+supervised = sys.argv[2] == "supervised"
+
+shm_before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+# the hang parks worker 0 inside segment 1 for 20s — a wide, reliable
+# window for the external SIGKILL (far beyond any test's real runtime:
+# the kill always lands first and the supervisor's deadline never
+# expires on its own)
+plan = FaultPlan(
+    worker_faults=(
+        WorkerFault(worker=0, segment=1, kind="hang", hang_ms=20_000.0),
+    ),
+)
+supervision = (
+    SupervisionConfig(
+        ack_deadline_s=60.0,
+        max_respawns=2,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+    )
+    if supervised
+    else None
+)
+
+outcome = {}
+
+
+def run():
+    try:
+        result = simulate_stream_parallel(
+            default_stream(seed=0, m=8_000),
+            MultiSourcePOSGGrouping(4, POSGConfig(window_size=128)),
+            workers=2,
+            k=5,
+            rng=np.random.default_rng(1),
+            chunk_size=2048,
+            faults=plan,
+            supervision=supervision,
+            start_method=start_method,
+        )
+        outcome["status"] = "completed"
+        outcome["supervision"] = {
+            key: result.parallel["supervision"][key]
+            for key in ("crashes_detected", "respawns_total", "recovered")
+        }
+        outcome["tuples"] = int(result.stats.completions.sum())
+    except RuntimeError as error:
+        outcome["status"] = "error"
+        outcome["message"] = str(error)
+
+
+thread = threading.Thread(target=run)
+thread.start()
+
+victim = None
+deadline = time.monotonic() + 30.0
+while victim is None and time.monotonic() < deadline:
+    for child in multiprocessing.active_children():
+        if child.name == "posg-shard-worker-0":
+            victim = child
+            break
+    time.sleep(0.02)
+assert victim is not None, "worker 0 never appeared"
+
+# let the run reach the hung segment (spawn startup can take a good
+# second), then strike from outside
+time.sleep(2.0)
+os.kill(victim.pid, signal.SIGKILL)
+
+thread.join(timeout=120)
+assert not thread.is_alive(), "simulation never returned after the kill"
+
+shm_after = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+outcome["leaked_shm"] = sorted(shm_after - shm_before)
+print(json.dumps(outcome))
+"""
+
+
+def run_harness(start_method, mode):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", HARNESS, start_method, mode],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"harness failed (rc={proc.returncode})\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    outcome = json.loads(proc.stdout.strip().splitlines()[-1])
+    return outcome, proc.stderr
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_sigkill_with_supervision_recovers_cleanly(start_method):
+    outcome, stderr = run_harness(start_method, "supervised")
+    assert outcome["status"] == "completed"
+    assert outcome["supervision"]["crashes_detected"] >= 1
+    assert outcome["supervision"]["respawns_total"] >= 1
+    assert outcome["supervision"]["recovered"] is True
+    # bit-identity to the sequential engine is gated in
+    # test_supervision.py; here it is enough that the run completed
+    assert outcome["tuples"] > 0
+    assert outcome["leaked_shm"] == []
+    assert "resource_tracker" not in stderr
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_sigkill_without_supervision_fails_cleanly(start_method):
+    outcome, stderr = run_harness(start_method, "strict")
+    assert outcome["status"] == "error"
+    assert "crash" in outcome["message"]
+    assert outcome["leaked_shm"] == []
+    assert "resource_tracker" not in stderr
