@@ -5,9 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-throughput bench-telemetry bench-audit \
-	bench-flightrecorder bench-history bench-parallel bench-supervision \
-	chaos chaos-parallel observe multisource attribution figures \
-	figures-paper-scale examples clean
+	bench-flightrecorder bench-lineage bench-history bench-parallel \
+	bench-supervision chaos chaos-parallel observe multisource \
+	attribution latency figures figures-paper-scale examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,6 +40,12 @@ bench-audit:
 # (both vs the uninstrumented sharded run)
 bench-flightrecorder:
 	$(PYTHON) benchmarks/bench_flightrecorder_overhead.py
+
+# lineage-tracer overhead gate: writes BENCH_lineage_overhead.json and
+# fails if a sparse tracer costs more than 3% or the default sampled
+# tracer more than 10% (both vs the uninstrumented sharded run)
+bench-lineage:
+	$(PYTHON) benchmarks/bench_lineage_overhead.py
 
 # append {throughput, telemetry overhead, audit overhead} to
 # BENCH_history.jsonl with provenance; fails (without appending) if
@@ -95,6 +101,13 @@ multisource:
 # under attribution-out/
 attribution:
 	$(PYTHON) -m repro.experiments attribution --scale 0.25 --output attribution-out
+
+# per-tuple latency decomposition sweep: runs the lineage tracer over
+# round-robin and POSG at s in {1,2,4} through all three engines
+# (timelines gated bit-identical, partition gated exact) and writes
+# latency_report.{json,html} + metrics.prom under latency-out/
+latency:
+	$(PYTHON) -m repro.experiments latency --scale 0.25 --output latency-out
 
 # regenerate every paper figure without pytest
 figures:

@@ -4,8 +4,9 @@ One invocation measures the numbers the repository tracks over
 time — POSG throughput on the Figure 4 configuration, the same
 configuration sharded over four sources (sequential and through the
 4-worker parallel engine), the telemetry overhead ratio, the
-estimator-audit overhead ratio, the flight-recorder overhead
-ratio on the sharded configuration, and the fault-free overhead of
+estimator-audit overhead ratio, the flight-recorder and
+lineage-tracer overhead ratios on the sharded configuration, and the
+fault-free overhead of
 armed worker supervision on the parallel engine — and appends
 them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
 stamped with the usual provenance block (commit, dirty flag, python /
@@ -50,6 +51,7 @@ from repro.simulator.run import simulate_stream
 from repro.simulator.supervisor import SupervisionConfig
 from repro.telemetry.audit import AuditConfig
 from repro.telemetry.flightrecorder import FlightRecorderConfig
+from repro.telemetry.lineage import LineageConfig
 from repro.telemetry.provenance import provenance
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.workloads.synthetic import default_stream
@@ -61,7 +63,9 @@ HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 MAX_THROUGHPUT_REGRESSION = 0.10
 
 
-def _timed_run(m: int, telemetry=None, audit=None, sources=None, flight=None) -> float:
+def _timed_run(
+    m: int, telemetry=None, audit=None, sources=None, flight=None, lineage=None
+) -> float:
     """One chunked POSG run; elapsed seconds."""
     stream = default_stream(seed=0, m=m)
     if sources is None:
@@ -80,6 +84,7 @@ def _timed_run(m: int, telemetry=None, audit=None, sources=None, flight=None) ->
         telemetry=telemetry,
         audit=audit,
         flight=flight,
+        lineage=lineage,
     )
     return time.perf_counter() - t0
 
@@ -175,6 +180,19 @@ def main() -> int:
         flight_ratios.append(plain / variant)
     flight_ratio = statistics.median(flight_ratios)
 
+    # lineage tracer vs plain on the sharded configuration (same
+    # pairing; see bench_lineage_overhead.py for the gate)
+    lineage_ratios = []
+    for round_index in range(max(1, reps // 3)):
+        if round_index % 2 == 0:
+            plain = _timed_run(m, sources=4)
+            variant = _timed_run(m, sources=4, lineage=LineageConfig())
+        else:
+            variant = _timed_run(m, sources=4, lineage=LineageConfig())
+            plain = _timed_run(m, sources=4)
+        lineage_ratios.append(plain / variant)
+    lineage_ratio = statistics.median(lineage_ratios)
+
     # armed supervision vs the strict default on the parallel engine
     # (fault-free, so the ratio isolates the supervisor's bookkeeping;
     # see bench_supervision.py for the gate)
@@ -204,6 +222,7 @@ def main() -> int:
         "telemetry_enabled_vs_plain": telemetry_ratio,
         "audit_sampled_vs_plain": audit_ratio,
         "flight_sampled_vs_plain_s4": flight_ratio,
+        "lineage_sampled_vs_plain_s4": lineage_ratio,
         "supervision_armed_vs_strict_w4": supervision_ratio,
     }
 
@@ -267,6 +286,7 @@ def main() -> int:
         f"parallel w=4 {parallel_w4_throughput:,.0f} t/s | "
         f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x | "
         f"flight s=4 {flight_ratio:.3f}x | "
+        f"lineage s=4 {lineage_ratio:.3f}x | "
         f"supervision w=4 {supervision_ratio:.3f}x"
     )
     return 0

@@ -1,0 +1,163 @@
+"""Lineage-tracer overhead gate: span capture must stay off the hot path.
+
+Times the multisource s = 4 POSG simulation (m = 32,768, k = 5,
+chunked engine) three ways:
+
+- ``plain``   — no lineage tracer (the engine still carries the
+  lineage sentinel: one integer compare per tuple that never fires —
+  this *is* the disabled mode the gate protects);
+- ``sparse``  — ``LineageConfig(sample_every=4096)``, the "armed but
+  nearly idle" configuration: the tracer is bound and the chunked
+  engine replays sampled grid points, but only a handful of spans are
+  actually recorded;
+- ``sampled`` — ``LineageConfig()`` at its default stride (128), the
+  configuration the latency sweep and run reports use.
+
+The sharded policy routes through the same engine path with or without
+a tracer, so the ratios isolate the tracer itself.  Like
+:mod:`bench_flightrecorder_overhead`, shared machines make absolute
+rates too noisy for a small margin, so each round times all three
+variants back to back, the order alternates round to round, and the
+reported overhead is the **median** of the per-round time ratios.
+
+Writes ``BENCH_lineage_overhead.json`` at the repo root and exits
+non-zero when the sparse tracer costs more than 3% or the default
+sampled tracer more than 10% versus plain.  Scaled-down runs
+(``REPRO_SCALE`` < 1.0, e.g. the CI smoke) record all ratios but never
+fail the gate.
+
+Usage::
+
+    python benchmarks/bench_lineage_overhead.py
+    REPRO_REPS=1 REPRO_SCALE=0.05 python benchmarks/bench_lineage_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import POSGConfig
+from repro.core.multisource import MultiSourcePOSGGrouping
+from repro.simulator.run import simulate_stream
+from repro.telemetry.lineage import LineageConfig
+from repro.telemetry.provenance import provenance
+from repro.workloads.synthetic import default_stream
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_lineage_overhead.json"
+
+#: maximum tolerated slowdown of the nearly-idle tracer vs none
+MAX_SPARSE_OVERHEAD = 0.03
+#: maximum tolerated slowdown of the default sampled tracer vs none
+MAX_SAMPLED_OVERHEAD = 0.10
+
+#: shard count under test (matches the flight-recorder gate)
+SOURCES = 4
+
+VARIANTS = {
+    "plain": None,
+    "sparse": LineageConfig(sample_every=4096),
+    "sampled": LineageConfig(),
+}
+
+
+def _run_variant(name: str, m: int) -> float:
+    """One sharded POSG run under the named lineage variant; seconds."""
+    stream = default_stream(seed=0, m=m)
+    policy = MultiSourcePOSGGrouping(SOURCES, POSGConfig.paper_defaults())
+    t0 = time.perf_counter()
+    simulate_stream(
+        stream,
+        policy,
+        k=5,
+        rng=np.random.default_rng(1),
+        chunk_size=2048,
+        lineage=VARIANTS[name],
+    )
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    reps = max(1, int(os.environ.get("REPRO_REPS", "60")))
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    m = max(1024, int(32_768 * scale))
+
+    # one untimed warmup (see bench_telemetry_overhead)
+    _run_variant("plain", m)
+
+    times: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    ratios: dict[str, list[float]] = {"sparse": [], "sampled": []}
+    for round_index in range(reps):
+        order = (
+            ("plain", "sparse", "sampled")
+            if round_index % 2 == 0
+            else ("sampled", "sparse", "plain")
+        )
+        round_times = {name: _run_variant(name, m) for name in order}
+        for name, elapsed in round_times.items():
+            times[name].append(elapsed)
+        for name in ("sparse", "sampled"):
+            ratios[name].append(round_times["plain"] / round_times[name])
+
+    best = {name: m / min(series) for name, series in times.items()}
+    sparse_vs_plain = statistics.median(ratios["sparse"])
+    sampled_vs_plain = statistics.median(ratios["sampled"])
+
+    payload = {
+        "schema": "posg-bench-lineage-overhead/v1",
+        "provenance": provenance(REPO_ROOT),
+        "config": {
+            "m": m,
+            "k": 5,
+            "sources": SOURCES,
+            "reps": reps,
+            "scale": scale,
+            "sparse_sample_every": VARIANTS["sparse"].sample_every,
+            "sampled_sample_every": VARIANTS["sampled"].sample_every,
+        },
+        "tuples_per_sec": best,
+        "sparse_vs_plain": sparse_vs_plain,
+        "sampled_vs_plain": sampled_vs_plain,
+        "estimator": "median of per-round paired time ratios",
+        "max_sparse_overhead": MAX_SPARSE_OVERHEAD,
+        "max_sampled_overhead": MAX_SAMPLED_OVERHEAD,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(
+        f"best rates: plain {best['plain']:,.0f} t/s | sparse "
+        f"{best['sparse']:,.0f} t/s | sampled {best['sampled']:,.0f} t/s"
+    )
+    print(
+        f"paired medians vs plain: sparse {sparse_vs_plain:.3f}x | "
+        f"sampled {sampled_vs_plain:.3f}x"
+    )
+
+    if scale < 1.0:
+        print(f"gate skipped at scale {scale} (enforced at scale 1.0)")
+        return 0
+    failed = False
+    if sparse_vs_plain < 1.0 - MAX_SPARSE_OVERHEAD:
+        print(
+            f"FAIL: sparse lineage tracer is {1 - sparse_vs_plain:.1%} "
+            f"slower than the plain run (limit {MAX_SPARSE_OVERHEAD:.0%})"
+        )
+        failed = True
+    if sampled_vs_plain < 1.0 - MAX_SAMPLED_OVERHEAD:
+        print(
+            f"FAIL: sampled lineage tracer is {1 - sampled_vs_plain:.1%} "
+            f"slower than the plain run (limit {MAX_SAMPLED_OVERHEAD:.0%})"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,6 +198,38 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         )
 
     # ------------------------------------------------------------------
+    # per-tuple lineage tracer attachment
+    # ------------------------------------------------------------------
+    def attach_lineage(self, lineage) -> None:
+        """Bind a lineage tracer across every shard (coprime stride)."""
+        lineage.bind(self._sources)
+
+    def record_lineage_route(
+        self,
+        lineage,
+        index: int,
+        instance: int,
+        arrival: float,
+        at_instance: float,
+        start: float,
+        finish: float,
+        window_remaining: int,
+    ) -> None:
+        """Record a sampled span under the shard owning ``index``."""
+        shard = index % self._sources
+        lineage.record_sample(
+            shard,
+            index,
+            instance,
+            self._schedulers[shard]._c_hat.tolist(),
+            arrival,
+            at_instance,
+            start,
+            finish,
+            window_remaining,
+        )
+
+    # ------------------------------------------------------------------
     # parallel-engine attachment
     # ------------------------------------------------------------------
     def worker_spec(self) -> ShardWorkerSpec:

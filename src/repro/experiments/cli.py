@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments observe --scale 0.1 --output out/
     python -m repro.experiments multisource --scale 0.25 --output out/
     python -m repro.experiments attribution --scale 0.25 --output out/
+    python -m repro.experiments latency --scale 0.25 --output out/
 
 Each figure command prints the same series the paper plots (see
 EXPERIMENTS.md for the interpretation).  The ``telemetry`` subcommand
@@ -28,7 +29,10 @@ reports the L(s)/L(1) degradation curve (see "Multi-source scheduling"
 in EXPERIMENTS.md).  The ``attribution`` subcommand reruns that sweep
 under the cross-shard flight recorder and decomposes each point's
 excess into staleness regret, collision loss and residual (see
-"Attribution" in EXPERIMENTS.md).
+"Attribution" in EXPERIMENTS.md).  The ``latency`` subcommand runs the
+lineage tracer over a strategy x shard sweep and prints each point's
+exact scheduling-delay / queue-wait / service-time decomposition (see
+"Latency lineage" in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -65,13 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         "figure",
         choices=sorted(FIGURES)
         + ["all", "list", "telemetry", "chaos", "observe", "multisource",
-           "attribution"],
+           "attribution", "latency"],
         help="which figure to regenerate ('all' runs everything, "
         "'list' shows what is available, 'telemetry' runs one "
         "instrumented demo run, 'chaos' one fault-injected run, "
         "'observe' one run under the quality observatory, "
         "'multisource' the sharded-scheduling degradation sweep, "
-        "'attribution' the flight-recorder regret decomposition)",
+        "'attribution' the flight-recorder regret decomposition, "
+        "'latency' the per-tuple lineage latency decomposition)",
     )
     parser.add_argument(
         "--reps", type=int, default=None,
@@ -116,6 +121,8 @@ def main(argv: Sequence[str] | None = None) -> int:
               "s in {1, 2, 4, 8}.")
         print("attribution  Flight-recorder sweep: L(s)/L(1) decomposed "
               "into staleness / collision / residual.")
+        print("latency    Lineage sweep: per-tuple scheduling delay / "
+              "queue wait / service time by strategy and s.")
         return 0
     if args.figure == "telemetry":
         # lazy import keeps the figure path free of telemetry CLI costs
@@ -147,6 +154,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.attribution import run as run_attribution
 
         return run_attribution(scale=args.scale, output=args.output)
+    if args.figure == "latency":
+        from repro.experiments.latency import run as run_latency
+
+        return run_latency(scale=args.scale, output=args.output)
     if args.reps is not None:
         os.environ["REPRO_REPS"] = str(args.reps)
     if args.scale is not None:

@@ -68,10 +68,18 @@ class CompletionStats:
         Streams the completions through the O(1)-memory P² estimator by
         default — the same estimator the quality observatory runs online
         — so report percentiles and dashboard percentiles agree by
-        construction.  ``exact=True`` selects ``np.percentile`` (full
-        sort) for tests and offline analysis; for small runs (five or
-        fewer tuples) the P² path is exact anyway, since the estimator
-        holds the whole sample.
+        construction.  ``exact=True`` is the fallback that selects
+        ``np.percentile`` (full sort, linear interpolation) for tests
+        and offline analysis.  The two paths are *not* bit-identical in
+        general: P² maintains five markers by parabolic interpolation,
+        so on adversarial inputs — notably duplicate-heavy streams,
+        where many completions collapse onto few distinct values — the
+        streaming estimate can sit between duplicated values where the
+        exact percentile snaps onto one of them.  The deviation is
+        bounded by the local value spacing (see
+        ``test_percentile_duplicate_heavy_stream``); for small runs
+        (five or fewer tuples) the P² path is exact anyway, since the
+        estimator holds the whole sample.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")

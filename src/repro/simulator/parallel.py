@@ -94,6 +94,7 @@ from repro.simulator.run import (
     _fire_due_crashes,
     _prepare_audit,
     _prepare_flight,
+    _prepare_lineage,
     _record_run_telemetry,
 )
 from repro.simulator.supervisor import SupervisionConfig, WorkerSupervisor
@@ -110,8 +111,8 @@ _MODE_GREEDY = 1
 _WORKER_CRASH_EXIT = 70
 
 #: per-shard control record:
-#: [mode, rr_counter, pair_count, out_count, flight_count]
-_CTRL_FIELDS = 5
+#: [mode, rr_counter, pair_count, out_count, flight_count, lineage_count]
+_CTRL_FIELDS = 6
 
 _F64 = np.dtype(np.float64)
 _I64 = np.dtype(np.int64)
@@ -157,8 +158,9 @@ class ShardArena:
     region    dtype / shape       contents
     ========  ==================  =======================================
     items     int64[m]            the stream's items (written once)
-    ctrl      int64[s, 5]         per shard: mode, rr_counter,
-                                  pair_count, out_count, flight_count
+    ctrl      int64[s, 6]         per shard: mode, rr_counter,
+                                  pair_count, out_count, flight_count,
+                                  lineage_count
     c_hat     float64[s, k]       per shard: C_hat at segment start
     order     int64[s, k]         per shard: ``_pairs`` iteration order
                                   (first ``pair_count`` slots valid)
@@ -177,6 +179,10 @@ class ShardArena:
                                   flight route sample (worker output)
     fl_bel    float64[s, fcap, k] per shard: believed per-instance loads
                                   at each flight sample (worker output)
+    ln_idx    int64[s, lcap]      per shard: global stream index of each
+                                  lineage sample (worker output)
+    ln_bel    float64[s, lcap, k] per shard: believed per-instance loads
+                                  at each lineage sample (worker output)
     wk_busy   float64[s]          per shard: cumulative routing seconds
                                   (wall-clock telemetry, never read by
                                   any deterministic path)
@@ -184,13 +190,13 @@ class ShardArena:
 
     ``cap`` bounds a shard's slice of one segment:
     ``ceil(chunk_size / s)`` (the parent never dispatches more).
-    ``fcap`` bounds the flight-recorder ring: the samples one shard
-    slice can emit at the effective sampling stride (1 when flight
-    recording is off, keeping the region negligible).  The parent
-    creates the block; workers attach by name.  Both sides build numpy
-    views with explicit offset/shape/strides over ``shm.buf``, so
-    layout is an invariant of the seven integers ``(s, k, rows, cols,
-    m, cap, fcap)`` and never inferred.
+    ``fcap``/``lcap`` bound the flight-recorder and lineage-tracer
+    rings: the samples one shard slice can emit at the effective
+    sampling stride (1 when the subsystem is off, keeping the region
+    negligible).  The parent creates the block; workers attach by name.
+    Both sides build numpy views with explicit offset/shape/strides
+    over ``shm.buf``, so layout is an invariant of the eight integers
+    ``(s, k, rows, cols, m, cap, fcap, lcap)`` and never inferred.
     """
 
     def __init__(
@@ -202,6 +208,7 @@ class ShardArena:
         m: int,
         cap: int,
         fcap: int = 1,
+        lcap: int = 1,
         name: str | None = None,
     ) -> None:
         self.sources = sources
@@ -211,6 +218,7 @@ class ShardArena:
         self.m = m
         self.cap = cap
         self.fcap = fcap
+        self.lcap = lcap
 
         cell = rows * cols
         offset = 0
@@ -234,6 +242,8 @@ class ShardArena:
         c_final_at, _ = region(sources * k)
         fl_idx_at, _ = region(sources * fcap)
         fl_bel_at, _ = region(sources * fcap * k)
+        ln_idx_at, _ = region(sources * lcap)
+        ln_bel_at, _ = region(sources * lcap * k)
         wk_busy_at, _ = region(sources)
         self.nbytes = offset
 
@@ -262,17 +272,19 @@ class ShardArena:
         self.c_final = view(c_final_at, (sources, k), _F64)
         self.fl_idx = view(fl_idx_at, (sources, fcap), _I64)
         self.fl_bel = view(fl_bel_at, (sources, fcap, k), _F64)
+        self.ln_idx = view(ln_idx_at, (sources, lcap), _I64)
+        self.ln_bel = view(ln_bel_at, (sources, lcap, k), _F64)
         self.wk_busy = view(wk_busy_at, (sources,), _F64)
 
     @property
     def name(self) -> str:
         return self.shm.name
 
-    def layout(self) -> tuple[int, int, int, int, int, int, int]:
-        """The seven integers a worker needs to attach with identical views."""
+    def layout(self) -> tuple[int, int, int, int, int, int, int, int]:
+        """The eight integers a worker needs to attach with identical views."""
         return (
             self.sources, self.k, self.rows, self.cols,
-            self.m, self.cap, self.fcap,
+            self.m, self.cap, self.fcap, self.lcap,
         )
 
     def close(self) -> None:
@@ -281,7 +293,7 @@ class ShardArena:
         for attr in (
             "items", "ctrl", "c_hat", "order", "valid", "totals",
             "freq", "work", "out_inst", "out_est", "c_final",
-            "fl_idx", "fl_bel", "wk_busy",
+            "fl_idx", "fl_bel", "ln_idx", "ln_bel", "wk_busy",
         ):
             if hasattr(self, attr):
                 delattr(self, attr)
@@ -343,6 +355,7 @@ def _route_shard(
     start: int,
     end: int,
     flight_every: int = 0,
+    lineage_every: int = 0,
 ) -> None:
     """Route shard ``shard``'s slice of the segment ``[start, end)``.
 
@@ -357,7 +370,9 @@ def _route_shard(
     global index of every sampled position and the shard's believed
     per-instance loads right after the pick (the post-add ``c`` — the
     same bits the sequential engines record from
-    ``scheduler._c_hat.tolist()``).
+    ``scheduler._c_hat.tolist()``).  ``lineage_every > 0`` does the
+    same for lineage samples into ``ln_idx``/``ln_bel`` (the parent
+    joins these believed rows with merge-computed clocks at commit).
     """
     sources = arena.sources
     k = arena.k
@@ -366,6 +381,7 @@ def _route_shard(
     if first >= end:
         ctrl[3] = 0
         ctrl[4] = 0
+        ctrl[5] = 0
         return
     n = (end - first + sources - 1) // sources
 
@@ -387,6 +403,15 @@ def _route_shard(
                 arena.fl_idx[shard][:nf] = first + sampled * sources
                 arena.fl_bel[shard][:nf] = arena.c_hat[shard]
         ctrl[4] = nf
+        nl = 0
+        if lineage_every:
+            pos0 = _flight_first_pos(first, sources, lineage_every)
+            if pos0 < n:
+                nl = (n - pos0 + lineage_every - 1) // lineage_every
+                sampled = np.arange(pos0, n, lineage_every, dtype=np.int64)
+                arena.ln_idx[shard][:nl] = first + sampled * sources
+                arena.ln_bel[shard][:nl] = arena.c_hat[shard]
+        ctrl[5] = nl
         return
 
     sub = arena.items[first:end:sources]
@@ -428,9 +453,16 @@ def _route_shard(
         next_fs = _flight_first_pos(first, sources, flight_every)
     else:
         next_fs = n  # sentinel: one always-false int compare per tuple
+    if lineage_every:
+        next_ls = _flight_first_pos(first, sources, lineage_every)
+    else:
+        next_ls = n
     nf = 0
+    nl = 0
     fl_idx_row = arena.fl_idx[shard]
     fl_bel_row = arena.fl_bel[shard]
+    ln_idx_row = arena.ln_idx[shard]
+    ln_bel_row = arena.ln_bel[shard]
     for pos in range(n):
         best = c[0]
         instance = 0
@@ -448,20 +480,27 @@ def _route_shard(
             fl_bel_row[nf] = c
             nf += 1
             next_fs += flight_every
+        if pos == next_ls:
+            ln_idx_row[nl] = first + pos * sources
+            ln_bel_row[nl] = c
+            nl += 1
+            next_ls += lineage_every
     arena.out_inst[shard][:n] = inst_out
     arena.out_est[shard][:n] = est_out
     arena.c_final[shard][:] = c
     ctrl[3] = n
     ctrl[4] = nf
+    ctrl[5] = nl
 
 
 def _worker_main(
     spec: ShardWorkerSpec,
-    layout: tuple[int, int, int, int, int, int, int],
+    layout: tuple[int, int, int, int, int, int, int, int],
     shm_name: str,
     shard_ids: list[int],
     conn,
     flight_every: int = 0,
+    lineage_every: int = 0,
     worker_faults: tuple = (),
 ) -> None:
     """Worker loop: attach the arena, route dispatched segments forever.
@@ -517,7 +556,7 @@ def _worker_main(
                 t0 = perf_counter()
                 _route_shard(
                     arena, shard, pairs[shard], cache, pooled,
-                    start, end, flight_every,
+                    start, end, flight_every, lineage_every,
                 )
                 arena.wk_busy[shard] += perf_counter() - t0
             if stall_factor > 1.0:
@@ -566,6 +605,7 @@ def simulate_stream_parallel(
     faults: "FaultPlan | FaultInjector | None" = None,
     audit=None,
     flight=None,
+    lineage=None,
     profiler=None,
     start_method: str | None = None,
     supervision: "SupervisionConfig | None" = None,
@@ -595,6 +635,13 @@ def simulate_stream_parallel(
         per-shard shared-memory rings; the parent merges them back in
         reference event order at segment commit, so the recorded
         timelines are bit-identical to both sequential engines.
+    lineage:
+        As in ``simulate_stream``: a ``LineageConfig`` or pre-built
+        ``LineageTracer``.  Workers emit the believed-load half of each
+        sampled span into per-shard rings; the parent derives the
+        sample's clocks during the deterministic merge and joins the
+        two halves at segment commit, so recorded lineage timelines
+        are bit-identical to both sequential engines.
     chunk_size:
         As in ``simulate_stream`` but must be >= 1 (there is no
         per-tuple parallel engine).
@@ -684,7 +731,7 @@ def simulate_stream_parallel(
         result = _simulate_parallel(
             stream, policy, int(workers), k, scenario, data_lat, control_lat,
             rng, sample_queues_every, chunk_size, injector, audit, flight,
-            recorder, profiler, start_method, supervision,
+            lineage, recorder, profiler, start_method, supervision,
         )
     finally:
         if profiler is not None:
@@ -789,6 +836,7 @@ def _simulate_parallel(
     injector: FaultInjector | None,
     audit,
     flight,
+    lineage,
     recorder,
     profiler,
     start_method: str | None,
@@ -831,6 +879,8 @@ def _simulate_parallel(
     flight_every = (
         recorder_flight.sample_every if recorder_flight is not None else 0
     )
+    tracer = _prepare_lineage(lineage, policy, recorder)
+    lineage_every = tracer.sample_every if tracer is not None else 0
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     trackers = [agent.tracker for agent in agents]
     schedulers = list(policy.schedulers)
@@ -848,7 +898,8 @@ def _simulate_parallel(
             )
     cap = (chunk_size + sources - 1) // sources + 1
     fcap = (cap // flight_every + 2) if flight_every else 1
-    arena = ShardArena(sources, k, spec.rows, spec.cols, m, cap, fcap)
+    lcap = (cap // lineage_every + 2) if lineage_every else 1
+    arena = ShardArena(sources, k, spec.rows, spec.cols, m, cap, fcap, lcap)
 
     if start_method is None:
         methods = multiprocessing.get_all_start_methods()
@@ -880,7 +931,7 @@ def _simulate_parallel(
             inline_state["pairs"][shard] = pairs
         _route_shard(
             arena, shard, pairs, inline_state["cache"],
-            spec.pooled_estimates, start, end, flight_every,
+            spec.pooled_estimates, start, end, flight_every, lineage_every,
         )
 
     supervisor = WorkerSupervisor(
@@ -891,6 +942,7 @@ def _simulate_parallel(
         shm_name=arena.name,
         worker_shards=worker_shards,
         flight_every=flight_every,
+        lineage_every=lineage_every,
         config=supervision,
         worker_faults=worker_faults,
         inline_router=_inline_route,
@@ -926,6 +978,8 @@ def _simulate_parallel(
             auditor=auditor,
             flight=recorder_flight,
             flight_every=flight_every,
+            lineage=tracer,
+            lineage_every=lineage_every,
             sample_queues_every=sample_queues_every,
             profiler=profiler,
         )
@@ -968,6 +1022,7 @@ def _simulate_parallel(
         ),
         audit=auditor,
         flight=recorder_flight,
+        lineage=tracer,
         parallel={
             "workers": n_workers,
             "start_method": start_method,
@@ -1006,6 +1061,8 @@ def _parallel_loop(
     auditor,
     flight,
     flight_every,
+    lineage,
+    lineage_every,
     sample_queues_every,
     profiler,
 ) -> dict:
@@ -1061,6 +1118,12 @@ def _parallel_loop(
     c_final_region = arena.c_final
     fl_idx_region = arena.fl_idx
     fl_bel_region = arena.fl_bel
+    ln_idx_region = arena.ln_idx
+    ln_bel_region = arena.ln_bel
+    #: merge-computed clock halves of this segment's lineage samples,
+    #: keyed by stream index — joined with the worker-emitted believed
+    #: rows at commit: ``{p: (at_instance, start, finish, window_left)}``
+    lin_pending: dict[int, tuple[float, float, float, int]] = {}
 
     def _window_boundary(
         instance: int,
@@ -1187,6 +1250,19 @@ def _parallel_loop(
                 next_audit += audit_every
             if flight is not None and j % flight_every == 0:
                 policy.record_flight_route(flight, j, instance)
+            if lineage is not None and j % lineage_every == 0:
+                # window_left drifts in faulted runs (the faulted merge
+                # only refreshes it at boundaries) but batches are never
+                # pending there, so the tracker's own counter is exact;
+                # fault-free runs may hold un-folded batches, where
+                # window_left is the accurate logical counter.
+                policy.record_lineage_route(
+                    lineage, j, instance, arrival, at_instance, start,
+                    finish,
+                    trackers[instance].window_remaining
+                    if faulting
+                    else window_left[instance],
+                )
             if profiler is not None:
                 profiler.start("fold")
             if pending_items[instance]:
@@ -1296,6 +1372,13 @@ def _parallel_loop(
                 if t == next_audit:
                     audit_observe(t, items[t], instance, execution_time)
                     next_audit += audit_every
+                if lineage_every and t % lineage_every == 0:
+                    # Pre-execute read: faulted runs never batch, so the
+                    # tracker's counter is the exact reference value.
+                    lin_pending[t] = (
+                        at_instance, start, finish,
+                        trackers[instance].window_remaining,
+                    )
                 messages = trackers[instance].execute(
                     items[t], execution_time, None
                 )
@@ -1342,8 +1425,17 @@ def _parallel_loop(
                 safe_end = nb
                 if safe_end > cur:
                     sampling = next_sample < safe_end
-                    start_busy = busy[:] if sampling else None
-                    base_ptr = ptr[:] if sampling else None
+                    if lineage_every:
+                        # First sampled index at or after ``cur``
+                        # (samples land on multiples of the stride).
+                        ls0 = -(-cur // lineage_every) * lineage_every
+                        lin_here = ls0 < safe_end
+                    else:
+                        lin_here = False
+                    collect = sampling or lin_here
+                    start_busy = busy[:] if collect else None
+                    base_ptr = ptr[:] if collect else None
+                    base_wl = window_left[:] if lin_here else None
                     chains: list[list[float]] = []
                     for i in range(k):
                         arr = occ[i]
@@ -1373,7 +1465,7 @@ def _parallel_loop(
                             pending_times[i].extend(xs)
                             window_left[i] -= n_i
                             ptr[i] = p_hi
-                        if sampling:
+                        if collect:
                             chains.append(fl)
                     while next_sample < safe_end:
                         sidx = next_sample
@@ -1403,6 +1495,28 @@ def _parallel_loop(
                             execution_columns[instance][sidx],
                         )
                         next_audit += audit_every
+                    if lin_here:
+                        # Replay each sampled tuple's clocks off the
+                        # de-interleaved busy chains (the queue-sample
+                        # reconstruction, plus finish and window math).
+                        for p in range(ls0, safe_end, lineage_every):
+                            i = seg_asg[p - j]
+                            cnt = (
+                                int(np.searchsorted(occ[i], p))
+                                - base_ptr[i]
+                            )
+                            prev_b = (
+                                start_busy[i]
+                                if cnt == 0
+                                else chains[i][cnt - 1]
+                            )
+                            at = at_cols[i][p]
+                            lin_pending[p] = (
+                                at,
+                                at if at > prev_b else prev_b,
+                                chains[i][cnt],
+                                base_wl[i] - cnt,
+                            )
                     cur = safe_end
                 if cur >= end:
                     break
@@ -1424,6 +1538,12 @@ def _parallel_loop(
                 finish = b + execution_time
                 busy[instance] = finish
                 seg_fin_np[t - j] = finish
+                if lineage_every and t % lineage_every == 0:
+                    # window_left is still the pre-close value (always
+                    # 1 at a boundary tuple), reset only below.
+                    lin_pending[t] = (
+                        at_instance, b, finish, window_left[instance]
+                    )
                 next_due, end = _window_boundary(
                     instance, items[t], execution_time, finish,
                     t + 1, next_due, end,
@@ -1486,6 +1606,26 @@ def _parallel_loop(
                             break
                         flight.record_route(
                             shard, p, seg_asg[p - j], fl_bel_row[r].tolist()
+                        )
+            if lineage is not None:
+                # Join the worker-emitted believed rows with the clocks
+                # the merge derived.  Rows past the commit bound are
+                # speculative (re-routed next segment); every committed
+                # row has pending clocks, so the pop fails loudly if
+                # the two halves ever disagree.
+                nl = int(ctrl[shard][5])
+                if nl:
+                    ln_idx_row = ln_idx_region[shard]
+                    ln_bel_row = ln_bel_region[shard]
+                    for r in range(nl):
+                        p = int(ln_idx_row[r])
+                        if p >= end:
+                            break
+                        clocks = lin_pending.pop(p)
+                        lineage.record_sample(
+                            shard, p, seg_asg[p - j],
+                            ln_bel_row[r].tolist(), arrivals[p],
+                            clocks[0], clocks[1], clocks[2], clocks[3],
                         )
         policy.sync_cursor(end)
         j = end

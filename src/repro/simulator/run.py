@@ -57,6 +57,7 @@ from repro.simulator.metrics import CompletionStats
 from repro.simulator.network import ConstantLatency, LatencyModel
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
 from repro.telemetry.flightrecorder import FlightRecorder, FlightRecorderConfig
+from repro.telemetry.lineage import LineageConfig, LineageTracer
 from repro.telemetry.recorder import NULL_RECORDER
 from repro.workloads.nonstationary import LoadShiftScenario
 from repro.workloads.synthetic import Stream
@@ -92,6 +93,9 @@ class SimulationResult:
     #: the cross-shard flight recorder (``None`` when disabled); holds
     #: the per-shard causal timelines and sampled routing decisions
     flight: "FlightRecorder | None" = None
+    #: the per-tuple lineage tracer (``None`` when disabled); holds the
+    #: sampled span chains and the latency decomposition / SLO status
+    lineage: "LineageTracer | None" = None
     #: parallel-engine accounting (``None`` for single-process runs):
     #: workers, start method, shard/worker tuple counts, segment and
     #: speculation tallies — see ``repro.simulator.parallel``
@@ -149,6 +153,7 @@ def simulate_stream(
     faults: "FaultPlan | FaultInjector | None" = None,
     audit: "AuditConfig | EstimatorAudit | None" = None,
     flight: "FlightRecorderConfig | FlightRecorder | None" = None,
+    lineage: "LineageConfig | LineageTracer | None" = None,
     profiler=None,
 ) -> SimulationResult:
     """Simulate one stream through one grouping policy.
@@ -224,6 +229,23 @@ def simulate_stream(
         bit-identical across all engines (the chunked engine routes
         flight-enabled runs through its per-tuple generic loop).  Lands
         in ``SimulationResult.flight``.
+    lineage:
+        Optional :class:`~repro.telemetry.lineage.LineageConfig` (or a
+        pre-built :class:`~repro.telemetry.lineage.LineageTracer`)
+        sampling every N-th tuple and recording its span chain —
+        arrival, instance arrival, execution start/finish, the chosen
+        instance with the scheduler's post-decision believed loads, and
+        the instance's window-remaining count — from which the tracer
+        derives the exact latency partition ``scheduling_delay +
+        queue_wait + service_time == completion``.  Works with *any*
+        policy (non-POSG policies record empty believed loads).  The
+        tracer only *reads* engine state at deterministic stream
+        indices, so results are bit-identical with it on or off, and the
+        recorded timelines are bit-identical across all engines: the
+        chunked engine replays sampled grid points inside its
+        control-quiet segments (like the estimator audit) instead of
+        dropping to the per-tuple loop.  Lands in
+        ``SimulationResult.lineage``.
     profiler:
         Optional :class:`~repro.telemetry.profiler.PhaseProfiler`;
         engine phases (control/route/window_close/fold, plus
@@ -265,13 +287,13 @@ def simulate_stream(
             result = _simulate_reference(
                 stream, policy, k, scenario, data_lat, control_lat, rng,
                 sample_queues_every, injector, audit, recorder, profiler,
-                flight,
+                flight, lineage,
             )
         else:
             result = _simulate_chunked(
                 stream, policy, k, scenario, data_lat, control_lat, rng,
                 sample_queues_every, chunk_size, injector, audit, recorder,
-                profiler, flight,
+                profiler, flight, lineage,
             )
     finally:
         if profiler is not None:
@@ -380,6 +402,30 @@ def _prepare_flight(flight, policy, recorder) -> "FlightRecorder | None":
     return recorder_flight
 
 
+def _prepare_lineage(lineage, policy, recorder) -> "LineageTracer | None":
+    """Resolve the ``lineage=`` argument once the policy exists.
+
+    Called by the engines *after* factory resolution and ``setup`` so
+    the tracer can bind to the policy's shard layout
+    (``policy.attach_lineage``, provided by the ``GroupingPolicy`` base
+    class — every policy is traceable).  A pre-built
+    :class:`LineageTracer` is bound here too; callers wire its
+    telemetry themselves.
+    """
+    if lineage is None:
+        return None
+    if isinstance(lineage, LineageTracer):
+        tracer = lineage
+    elif isinstance(lineage, LineageConfig):
+        tracer = LineageTracer(lineage, telemetry=recorder)
+    else:
+        raise TypeError(
+            f"lineage must be a LineageConfig or LineageTracer, got {lineage!r}"
+        )
+    policy.attach_lineage(tracer)
+    return tracer
+
+
 def _fire_due_crashes(
     injector: FaultInjector,
     crash_ptr: int,
@@ -429,6 +475,7 @@ def _simulate_reference(
     recorder=NULL_RECORDER,
     profiler=None,
     flight=None,
+    lineage=None,
 ) -> SimulationResult:
     # Oracle closure for Full Knowledge: reads the loop's current index.
     position = [0]
@@ -441,6 +488,7 @@ def _simulate_reference(
     policy.setup(k, rng)
     auditor = _prepare_audit(audit, policy, recorder)
     recorder_flight = _prepare_flight(flight, policy, recorder)
+    tracer = _prepare_lineage(lineage, policy, recorder)
 
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     has_agents = any(agent is not None for agent in agents)
@@ -470,6 +518,8 @@ def _simulate_reference(
     next_audit = 0 if auditor is not None else m
     flight_every = recorder_flight.sample_every if recorder_flight is not None else 0
     next_flight = 0 if recorder_flight is not None else m
+    lineage_every = tracer.sample_every if tracer is not None else 0
+    next_lineage = 0 if tracer is not None else m
 
     for j in range(m):
         arrival = arrivals[j]
@@ -525,6 +575,17 @@ def _simulate_reference(
         if j == next_flight:
             policy.record_flight_route(recorder_flight, j, instance)
             next_flight += flight_every
+        if j == next_lineage:
+            # Span clocks are captured *before* the instance agent folds
+            # the tuple, so ``window_remaining`` counts this tuple (pre-
+            # execution); the chunked segment replays reconstruct the
+            # same pre-value.
+            agent_tracker = getattr(agents[instance], "tracker", None)
+            policy.record_lineage_route(
+                tracer, j, instance, arrival, at_instance, start, finish,
+                agent_tracker.window_remaining if agent_tracker is not None else 0,
+            )
+            next_lineage += lineage_every
 
         if has_agents and agents[instance] is not None:
             if profiler is not None:
@@ -573,6 +634,7 @@ def _simulate_reference(
         ),
         audit=auditor,
         flight=recorder_flight,
+        lineage=tracer,
     )
 
 
@@ -594,6 +656,7 @@ def _simulate_chunked(
     recorder=NULL_RECORDER,
     profiler=None,
     flight=None,
+    lineage=None,
 ) -> SimulationResult:
     m = stream.m
     items_array = np.ascontiguousarray(stream.items, dtype=np.int64)
@@ -636,6 +699,7 @@ def _simulate_chunked(
     policy.setup(k, rng)
     auditor = _prepare_audit(audit, policy, recorder)
     recorder_flight = _prepare_flight(flight, policy, recorder)
+    tracer = _prepare_lineage(lineage, policy, recorder)
 
     agents = [policy.create_instance_agent(instance) for instance in range(k)]
     has_agents = any(agent is not None for agent in agents)
@@ -678,26 +742,26 @@ def _simulate_chunked(
         # read scheduler C_hat right after each sampled submit, which
         # the segmented fast path only materializes at commit time.
         if block_safe and policy.scheduler.recovery is None and recorder_flight is None:
-            _run_posg(state, policy, agents, chunk_size, auditor, profiler)
+            _run_posg(state, policy, agents, chunk_size, auditor, profiler, tracer)
         else:
             _run_generic(
                 state, policy, agents, has_agents, True, injector,
-                auditor, profiler, recorder_flight,
+                auditor, profiler, recorder_flight, tracer,
             )
     elif (
         type(policy) is RoundRobinGrouping
         and not has_agents and block_safe and plain_run
     ):
-        _run_round_robin(state, policy)
+        _run_round_robin(state, policy, tracer)
     elif (
         type(policy) is FullKnowledgeGrouping
         and not has_agents and block_safe and plain_run
     ):
-        _run_full_knowledge(state, policy)
+        _run_full_knowledge(state, policy, tracer)
     else:
         _run_generic(
             state, policy, agents, has_agents, track_states, injector,
-            auditor, profiler, recorder_flight,
+            auditor, profiler, recorder_flight, tracer,
         )
 
     return SimulationResult(
@@ -721,6 +785,7 @@ def _simulate_chunked(
         ),
         audit=auditor,
         flight=recorder_flight,
+        lineage=tracer,
     )
 
 
@@ -761,7 +826,9 @@ class _ChunkedState:
         return arrival + self.data_lat[instance].sample()
 
 
-def _run_round_robin(state: _ChunkedState, policy: RoundRobinGrouping) -> None:
+def _run_round_robin(
+    state: _ChunkedState, policy: RoundRobinGrouping, lineage=None
+) -> None:
     """Whole-stream inline loop for ASSG (no agents, no control plane)."""
     m = len(state.items)
     arrivals = state.arrivals
@@ -773,6 +840,8 @@ def _run_round_robin(state: _ChunkedState, policy: RoundRobinGrouping) -> None:
     latency_values = state.latency_values
     k = state.k
     counter = policy._counter
+    lineage_every = lineage.sample_every if lineage is not None else 0
+    next_lineage = 0 if lineage is not None else m
     for j in range(m):
         arrival = arrivals[j]
         if every is not None and j % every == 0:
@@ -796,10 +865,17 @@ def _run_round_robin(state: _ChunkedState, policy: RoundRobinGrouping) -> None:
         busy[instance] = finish
         completions.append(finish - arrival)
         assignments.append(instance)
+        if j == next_lineage:
+            policy.record_lineage_route(
+                lineage, j, instance, arrival, at_instance, start, finish, 0,
+            )
+            next_lineage += lineage_every
     policy._counter = counter
 
 
-def _run_full_knowledge(state: _ChunkedState, policy: FullKnowledgeGrouping) -> None:
+def _run_full_knowledge(
+    state: _ChunkedState, policy: FullKnowledgeGrouping, lineage=None
+) -> None:
     """Whole-stream inline loop for the Full Knowledge baseline.
 
     The exact load vector lives in a plain-float list for the duration of
@@ -820,6 +896,8 @@ def _run_full_knowledge(state: _ChunkedState, policy: FullKnowledgeGrouping) -> 
     loads = policy._loads.tolist()
     k = state.k
     k_range = range(1, k)
+    lineage_every = lineage.sample_every if lineage is not None else 0
+    next_lineage = 0 if lineage is not None else m
     for j in range(m):
         arrival = arrivals[j]
         position[0] = j
@@ -850,6 +928,11 @@ def _run_full_knowledge(state: _ChunkedState, policy: FullKnowledgeGrouping) -> 
         busy[instance] = finish
         completions.append(finish - arrival)
         assignments.append(instance)
+        if j == next_lineage:
+            policy.record_lineage_route(
+                lineage, j, instance, arrival, at_instance, start, finish, 0,
+            )
+            next_lineage += lineage_every
     policy._loads[:] = loads
 
 
@@ -863,6 +946,7 @@ def _run_generic(
     auditor=None,
     profiler=None,
     flight=None,
+    lineage=None,
 ) -> None:
     """Hoisted per-tuple loop for arbitrary policies (and POSG subclasses).
 
@@ -884,6 +968,8 @@ def _run_generic(
     next_audit = 0 if auditor is not None else m
     flight_every = flight.sample_every if flight is not None else 0
     next_flight = 0 if flight is not None else m
+    lineage_every = lineage.sample_every if lineage is not None else 0
+    next_lineage = 0 if lineage is not None else m
     for j in range(m):
         arrival = arrivals[j]
         position[0] = j
@@ -936,6 +1022,13 @@ def _run_generic(
         if j == next_flight:
             policy.record_flight_route(flight, j, instance)
             next_flight += flight_every
+        if j == next_lineage:
+            agent_tracker = getattr(agents[instance], "tracker", None)
+            policy.record_lineage_route(
+                lineage, j, instance, arrival, at_instance, start, finish,
+                agent_tracker.window_remaining if agent_tracker is not None else 0,
+            )
+            next_lineage += lineage_every
 
         if has_agents and agents[instance] is not None:
             if profiler is not None:
@@ -978,6 +1071,7 @@ def _run_posg(
     chunk_size: int,
     auditor=None,
     profiler=None,
+    lineage=None,
 ) -> None:
     """POSG data plane: control-quiet fast segments + per-tuple fallback.
 
@@ -1035,6 +1129,16 @@ def _run_posg(
     audit_every = auditor.sample_every if auditor is not None else 0
     audit_observe = auditor.observe if auditor is not None else None
     next_audit = 0 if auditor is not None else m
+    # Lineage samples are replayed at their grid indices from segment
+    # locals (like audit samples): the believed loads are the block
+    # router's post-add ``c`` values — the exact floats ``commit`` folds
+    # back into ``C_hat``, so the reference engine's post-submit
+    # ``C_hat`` reads match bit for bit.  ``_run_posg`` only serves the
+    # single-scheduler ``POSGGrouping`` (exact type check in the
+    # dispatcher), so samples always land on shard 0.
+    lineage_every = lineage.sample_every if lineage is not None else 0
+    lineage_record = lineage.record_sample if lineage is not None else None
+    next_lineage = 0 if lineage is not None else m
 
     # Instance-side batching state persists across segments: tuples are
     # folded lazily, right before anything inspects the tracker (a window
@@ -1275,6 +1379,19 @@ def _run_posg(
                     if j == next_audit:
                         audit_observe(j, items[j], instance, execution_time)
                         next_audit += audit_every
+                    if j == next_lineage:
+                        # ``b`` is this tuple's start clock; the chosen
+                        # instance's window counter is already post-
+                        # update, so the pre-execution value is either
+                        # the boundary (post == window_size -> 1) or
+                        # post + 1.
+                        wpost = (w0, w1, w2, w3, w4)[instance]
+                        lineage_record(
+                            0, j, instance, (c0, c1, c2, c3, c4),
+                            arrivals[j], at_instance, b, finish,
+                            1 if wpost == window_size else wpost + 1,
+                        )
+                        next_lineage += lineage_every
                     pos += 1
                     j += 1
                 c[0] = c0
@@ -1330,7 +1447,17 @@ def _run_posg(
                         seg_fin = [0.0] * count
                         seg_asg = [0] * count
                         sampling = next_sample < safe_end
-                        start_busy = busy[:] if sampling else None
+                        lin_here = next_lineage < safe_end
+                        collect = sampling or lin_here
+                        start_busy = busy[:] if collect else None
+                        base_wl = window_left[:] if lin_here else None
+                        # ROUND_ROBIN blocks carry no pre-gathered ``_c``
+                        # (no estimates yet); the frozen C_hat itself is
+                        # what the reference engine's post-submit read
+                        # observes.
+                        lin_bel = (
+                            scheduler._c_hat.tolist() if lin_here else None
+                        )
                         chains: list[list[float]] = []
                         for i in range(k):
                             off = (i - rr) % k
@@ -1354,7 +1481,7 @@ def _run_posg(
                                 pending_items[i].extend(items[lo:safe_end:k])
                                 pending_times[i].extend(x_slice)
                                 window_left[i] -= n_i
-                            if sampling:
+                            if collect:
                                 chains.append(fl)
                         finishes.extend(seg_fin)
                         assignments.extend(seg_asg)
@@ -1372,6 +1499,27 @@ def _run_posg(
                             queue_sample_indices.append(s)
                             queue_samples.append(sample)
                             next_sample += every
+                        # Lineage samples replay from the de-interleaved
+                        # chains: the sampled tuple's start clock is the
+                        # same max(at, previous finish) the chain loop
+                        # computed, its finish is the chain value itself,
+                        # and C_hat is frozen for the whole ROUND_ROBIN
+                        # segment.
+                        while next_lineage < safe_end:
+                            s = next_lineage
+                            i = seg_asg[s - j]
+                            first = j + (i - rr) % k
+                            cnt = (s - first) // k
+                            prev_b = (
+                                start_busy[i] if cnt == 0 else chains[i][cnt - 1]
+                            )
+                            at = at_column[s]
+                            lineage_record(
+                                0, s, i, lin_bel, arrivals[s], at,
+                                at if at > prev_b else prev_b,
+                                chains[i][cnt], base_wl[i] - cnt,
+                            )
+                            next_lineage += lineage_every
                         while next_audit < safe_end:
                             s = next_audit
                             instance = seg_asg[s - j]
@@ -1403,6 +1551,13 @@ def _run_posg(
                     busy[instance] = finish
                     finishes.append(finish)
                     assignments.append(instance)
+                    if j == next_lineage:
+                        lineage_record(
+                            0, j, instance, scheduler._c_hat.tolist(),
+                            arrivals[j], at_instance, b, finish,
+                            window_left[instance],
+                        )
+                        next_lineage += lineage_every
                     wl = window_left[instance]
                     if wl == 1:
                         next_due, end = _window_boundary(
@@ -1466,6 +1621,12 @@ def _run_posg(
                     if j == next_audit:
                         audit_observe(j, items[j], instance, execution_time)
                         next_audit += audit_every
+                    if j == next_lineage:
+                        lineage_record(
+                            0, j, instance, c_arr.tolist(), arrivals[j],
+                            at_instance, b, finish, window_left[instance],
+                        )
+                        next_lineage += lineage_every
                     wl = window_left[instance]
                     if wl == 1:
                         next_due, end = _window_boundary(
@@ -1555,6 +1716,14 @@ def _run_posg(
                 if j == next_audit:
                     audit_observe(j, items[j], instance, execution_time)
                     next_audit += audit_every
+                if j == next_lineage:
+                    lineage_record(
+                        0, j, instance,
+                        c if c is not None else scheduler._c_hat.tolist(),
+                        arrivals[j], at_instance, b, finish,
+                        window_left[instance],
+                    )
+                    next_lineage += lineage_every
 
                 wl = window_left[instance]
                 if wl == 1:
@@ -1597,6 +1766,16 @@ def _run_posg(
         if j == next_audit:
             audit_observe(j, items[j], instance, execution_time)
             next_audit += audit_every
+        if j == next_lineage:
+            # SEND_ALL routes through a real ``submit``, so the policy
+            # hook reads the live post-submit C_hat; ``window_left``
+            # still holds the pre-execution count (the tracker updates
+            # below).
+            policy.record_lineage_route(
+                lineage, j, instance, arrival, at_instance, start, finish,
+                window_left[instance],
+            )
+            next_lineage += lineage_every
 
         if profiler is not None:
             profiler.start("fold")

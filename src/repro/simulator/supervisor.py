@@ -180,7 +180,7 @@ class WorkerSupervisor:
     target:
         The worker entry point (``_worker_main``); called with
         ``(spec, layout, shm_name, shard_ids, conn,
-        flight_every, worker_faults)``.
+        flight_every, lineage_every, worker_faults)``.
     spec, layout, shm_name:
         The frozen respawn recipe: everything a fresh worker needs to
         attach the arena and route, shipped by value.
@@ -188,6 +188,8 @@ class WorkerSupervisor:
         ``worker_shards[w]`` = shard ids owned by worker ``w``.
     flight_every:
         Flight-recorder sampling stride shipped to workers (0 = off).
+    lineage_every:
+        Lineage-tracer sampling stride shipped to workers (0 = off).
     config:
         The supervision policy; ``None`` selects
         :meth:`SupervisionConfig.strict` (detect-only).
@@ -222,6 +224,7 @@ class WorkerSupervisor:
         shm_name: str,
         worker_shards: list[list[int]],
         flight_every: int,
+        lineage_every: int = 0,
         config: "SupervisionConfig | None" = None,
         worker_faults: tuple = (),
         inline_router=None,
@@ -236,6 +239,7 @@ class WorkerSupervisor:
         self._shm_name = shm_name
         self._worker_shards = worker_shards
         self._flight_every = flight_every
+        self._lineage_every = lineage_every
         self._enabled = config is not None
         self._config = config if config is not None else SupervisionConfig.strict()
         self._inline_router = inline_router
@@ -297,6 +301,7 @@ class WorkerSupervisor:
                 self._worker_shards[w],
                 child_conn,
                 self._flight_every,
+                self._lineage_every,
                 incarnation_faults,
             ),
             name=f"posg-shard-worker-{w}",

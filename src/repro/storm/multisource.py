@@ -35,6 +35,7 @@ from repro.storm.grouping import CustomStreamGrouping
 from repro.storm.tuples import StormTuple
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
 from repro.telemetry.flightrecorder import FlightRecorder, FlightRecorderConfig
+from repro.telemetry.lineage import LineageConfig, LineageTracer
 from repro.telemetry.recorder import NULL_RECORDER
 
 
@@ -66,6 +67,17 @@ class MultiSourcePOSGCoordinator:
         physical shards route whatever their spouts emit, so samples
         are recorded under the *actual* routing shard and the sample
         index counts tuples in coordinator routing order.
+    lineage:
+        Optional :class:`~repro.telemetry.lineage.LineageConfig` (or
+        pre-built :class:`~repro.telemetry.lineage.LineageTracer`):
+        every N-th routed tuple (coordinator routing order) opens a
+        span closed by the matching execution report — see
+        :class:`~repro.storm.posg_grouping.POSGShuffleGrouping` for the
+        span clock semantics.  Samples record under the shard that
+        routed them.
+    clock:
+        Zero-argument virtual-time callable for span clocks (pass
+        ``lambda: cluster.sim.now``); optional.
     """
 
     def __init__(
@@ -77,6 +89,8 @@ class MultiSourcePOSGCoordinator:
         telemetry=None,
         audit: "AuditConfig | EstimatorAudit | None" = None,
         flight: "FlightRecorderConfig | FlightRecorder | None" = None,
+        lineage: "LineageConfig | LineageTracer | None" = None,
+        clock=None,
     ) -> None:
         self._core = MultiSourcePOSGGrouping(
             sources, config, telemetry=telemetry
@@ -103,6 +117,23 @@ class MultiSourcePOSGCoordinator:
         self._flight: FlightRecorder | None = None
         self._flight_every = 0
         self._routed = 0
+        if lineage is not None and not isinstance(
+            lineage, (LineageConfig, LineageTracer)
+        ):
+            raise TypeError(
+                "lineage must be a LineageConfig or LineageTracer, "
+                f"got {lineage!r}"
+            )
+        self._lineage_spec = lineage
+        self._lineage: LineageTracer | None = None
+        self._lineage_every = 0
+        self._clock = clock
+        self._lin_routed = 0
+        self._lin_route_seq: dict[int, int] = {}
+        self._lin_exec_seq: dict[int, int] = {}
+        #: per task: open spans awaiting their execution report, FIFO of
+        #: ``(task_seq, shard, sample_index, believed, arrival)``
+        self._lin_pending: dict[int, list] = {}
         self._agents: dict[int, object] = {}
         self._executed = 0
         self._shards: dict[int, _ShardGrouping] = {}
@@ -149,6 +180,15 @@ class MultiSourcePOSGCoordinator:
             if self._flight is not None:
                 self._core.attach_flight(self._flight)
                 self._flight_every = self._flight.sample_every
+            if isinstance(self._lineage_spec, LineageTracer):
+                self._lineage = self._lineage_spec
+            elif self._lineage_spec is not None:
+                self._lineage = LineageTracer(
+                    self._lineage_spec, telemetry=self._telemetry
+                )
+            if self._lineage is not None:
+                self._core.attach_lineage(self._lineage)
+                self._lineage_every = self._lineage.sample_every
         elif list(target_tasks) != self._bound_tasks:
             raise ValueError(
                 f"shard {source} prepared against tasks {target_tasks}, "
@@ -171,6 +211,20 @@ class MultiSourcePOSGCoordinator:
                     self._core.schedulers[source]._c_hat.tolist(),
                 )
             self._routed = index + 1
+        if self._lineage is not None:
+            index = self._lin_routed
+            position = decision.instance
+            seq = self._lin_route_seq.get(position, 0)
+            if index % self._lineage_every == 0:
+                self._lin_pending.setdefault(position, []).append((
+                    seq,
+                    source,
+                    index,
+                    self._core.schedulers[source]._c_hat.tolist(),
+                    self._clock() if self._clock is not None else 0.0,
+                ))
+            self._lin_route_seq[position] = seq + 1
+            self._lin_routed = index + 1
         return decision
 
     def _on_execution(
@@ -184,6 +238,24 @@ class MultiSourcePOSGCoordinator:
                 auditor.observe(index, item, task, duration)
             self._executed = index + 1
         agent = self._agents[task]
+        if self._lineage is not None:
+            seq = self._lin_exec_seq.get(task, 0)
+            self._lin_exec_seq[task] = seq + 1
+            queue = self._lin_pending.get(task)
+            while queue and queue[0][0] < seq:
+                queue.pop(0)
+            if queue and queue[0][0] == seq:
+                _, shard, index, believed, arrival = queue.pop(0)
+                finish = (
+                    self._clock()
+                    if self._clock is not None
+                    else arrival + duration
+                )
+                self._lineage.record_sample(
+                    shard, index, task, believed, arrival, arrival,
+                    finish - duration, finish,
+                    agent.tracker.window_remaining,
+                )
         return agent.on_executed(item, duration, tup.sync_request)
 
     def on_control(self, message) -> None:
@@ -194,6 +266,7 @@ class MultiSourcePOSGCoordinator:
         agent = self._agents.get(task)
         if agent is not None:
             agent.tracker.restart()
+        self._lin_pending.pop(task, None)
 
     # ------------------------------------------------------------------
     # introspection
@@ -232,6 +305,11 @@ class MultiSourcePOSGCoordinator:
     def flight(self) -> FlightRecorder | None:
         """The flight recorder, once the first shard has prepared."""
         return self._flight
+
+    @property
+    def lineage(self) -> LineageTracer | None:
+        """The lineage tracer, once the first shard has prepared."""
+        return self._lineage
 
     def stats(self) -> dict:
         """Merged per-shard control-plane accounting (see the core)."""

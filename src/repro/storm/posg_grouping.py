@@ -22,6 +22,7 @@ from repro.storm.grouping import CustomStreamGrouping
 from repro.storm.tuples import StormTuple
 from repro.telemetry.audit import AuditConfig, EstimatorAudit
 from repro.telemetry.flightrecorder import FlightRecorder, FlightRecorderConfig
+from repro.telemetry.lineage import LineageConfig, LineageTracer
 from repro.telemetry.recorder import NULL_RECORDER
 
 
@@ -58,6 +59,24 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         believed loads.  Binds in :meth:`prepare`, exposed as
         :attr:`flight`; the route-sample index counts tuples routed by
         this grouping.
+    lineage:
+        Optional :class:`~repro.telemetry.lineage.LineageConfig` (or
+        pre-built :class:`~repro.telemetry.lineage.LineageTracer`):
+        every N-th routed tuple opens a span (route clock, believed
+        loads) that the matching execution report closes (service time,
+        pre-fold window counter).  Tuples execute FIFO per task, so the
+        open span and the report are matched by per-task sequence
+        numbers; a crash clears that task's open spans (its queue may
+        be dropped or replayed).  Binds in :meth:`prepare`, exposed as
+        :attr:`lineage`; the sample index counts routed tuples.
+    clock:
+        Zero-argument callable returning the current virtual time
+        (pass ``lambda: cluster.sim.now``).  Stamps span arrival and
+        finish clocks; without it spans carry a zero arrival and the
+        reported duration as the finish, so only ``service_time`` is
+        meaningful.  The Storm control plane reports executions without
+        per-tuple enqueue clocks, so ``scheduling_delay`` is always 0
+        here (the simulator engines decompose all three components).
     """
 
     def __init__(
@@ -68,6 +87,8 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         telemetry=None,
         audit: "AuditConfig | EstimatorAudit | None" = None,
         flight: "FlightRecorderConfig | FlightRecorder | None" = None,
+        lineage: "LineageConfig | LineageTracer | None" = None,
+        clock=None,
     ) -> None:
         self._item_field = item_field
         self._policy = POSGGrouping(config, telemetry=telemetry)
@@ -94,6 +115,24 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         self._flight: FlightRecorder | None = None
         self._flight_every = 0
         self._routed = 0
+        if lineage is not None and not isinstance(
+            lineage, (LineageConfig, LineageTracer)
+        ):
+            raise TypeError(
+                "lineage must be a LineageConfig or LineageTracer, "
+                f"got {lineage!r}"
+            )
+        self._lineage_spec = lineage
+        self._lineage: LineageTracer | None = None
+        self._lineage_every = 0
+        self._clock = clock
+        self._lin_routed = 0
+        #: per task: tuples routed there / execution reports seen there
+        self._lin_route_seq: dict[int, int] = {}
+        self._lin_exec_seq: dict[int, int] = {}
+        #: per task: open spans awaiting their execution report, FIFO of
+        #: ``(task_seq, sample_index, believed, arrival)``
+        self._lin_pending: dict[int, list] = {}
 
     def prepare(self, source: str, target_tasks: list[int]) -> None:
         super().prepare(source, target_tasks)
@@ -119,6 +158,15 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         if self._flight is not None:
             self._policy.attach_flight(self._flight)
             self._flight_every = self._flight.sample_every
+        if isinstance(self._lineage_spec, LineageTracer):
+            self._lineage = self._lineage_spec
+        elif self._lineage_spec is not None:
+            self._lineage = LineageTracer(
+                self._lineage_spec, telemetry=self._telemetry
+            )
+        if self._lineage is not None:
+            self._policy.attach_lineage(self._lineage)
+            self._lineage_every = self._lineage.sample_every
 
     def choose_tasks(self, tup: StormTuple) -> list[int]:
         item = int(tup.value(self._item_field))
@@ -131,6 +179,19 @@ class POSGShuffleGrouping(CustomStreamGrouping):
                     self._flight, index, decision.instance
                 )
             self._routed = index + 1
+        if self._lineage is not None:
+            index = self._lin_routed
+            position = decision.instance
+            seq = self._lin_route_seq.get(position, 0)
+            if index % self._lineage_every == 0:
+                self._lin_pending.setdefault(position, []).append((
+                    seq,
+                    index,
+                    self._policy.scheduler._c_hat.tolist(),
+                    self._clock() if self._clock is not None else 0.0,
+                ))
+            self._lin_route_seq[position] = seq + 1
+            self._lin_routed = index + 1
         return [self._target_tasks[decision.instance]]
 
     # ------------------------------------------------------------------
@@ -151,6 +212,27 @@ class POSGShuffleGrouping(CustomStreamGrouping):
                 auditor.observe(index, item, task, duration)
             self._executed = index + 1
         agent = self._agents[task]
+        if self._lineage is not None:
+            seq = self._lin_exec_seq.get(task, 0)
+            self._lin_exec_seq[task] = seq + 1
+            queue = self._lin_pending.get(task)
+            # Drop spans whose tuple was lost before executing (crash
+            # or replay desync), then close the one matching this
+            # report.  The window counter is read before the fold below.
+            while queue and queue[0][0] < seq:
+                queue.pop(0)
+            if queue and queue[0][0] == seq:
+                _, index, believed, arrival = queue.pop(0)
+                finish = (
+                    self._clock()
+                    if self._clock is not None
+                    else arrival + duration
+                )
+                self._lineage.record_sample(
+                    0, index, task, believed, arrival, arrival,
+                    finish - duration, finish,
+                    agent.tracker.window_remaining,
+                )
         return agent.on_executed(item, duration, tup.sync_request)
 
     def on_control(self, message) -> None:
@@ -161,6 +243,9 @@ class POSGShuffleGrouping(CustomStreamGrouping):
         agent = self._agents.get(task)
         if agent is not None:
             agent.tracker.restart()
+        # Open spans routed to the crashed task may never execute (its
+        # queue restarts); drop them rather than mis-close later spans.
+        self._lin_pending.pop(task, None)
 
     # ------------------------------------------------------------------
     # introspection
@@ -189,3 +274,8 @@ class POSGShuffleGrouping(CustomStreamGrouping):
     def flight(self) -> FlightRecorder | None:
         """The flight recorder, once :meth:`prepare` has bound it."""
         return self._flight
+
+    @property
+    def lineage(self) -> LineageTracer | None:
+        """The lineage tracer, once :meth:`prepare` has bound it."""
+        return self._lineage

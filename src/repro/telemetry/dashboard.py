@@ -161,6 +161,45 @@ def render_frame(
                 f"dropped={int(dropped.get(shard, 0))}"
             )
 
+    lineage_samples = _labeled(snapshot, "posg_lineage_samples_total", "shard")
+    if lineage_samples:
+        means = _labeled(
+            snapshot, "posg_lineage_component_mean_ms", "component"
+        )
+        p99s = _labeled(snapshot, "posg_lineage_component_p99_ms", "component")
+        dropped = _labeled(
+            snapshot, "posg_lineage_dropped_samples_total", "shard"
+        )
+        lines.append(rule)
+        lines.append(
+            f"{dim}lineage latency waterfall "
+            f"(sampled spans: {int(sum(lineage_samples.values())):,}, "
+            f"dropped: {int(sum(dropped.values())):,}){reset}"
+        )
+        total = means.get("completion", 0.0)
+        for component in (
+            "scheduling_delay", "queue_wait", "service_time", "completion"
+        ):
+            if component not in means:
+                continue
+            mean = means[component]
+            p99 = p99s.get(component)
+            lines.append(
+                f"  {component:<17}{_bar(mean, total, width - 46)} "
+                f"mean={mean:>9,.3f} ms"
+                + (f"  p99={p99:>9,.3f} ms" if p99 is not None else "")
+            )
+        burn = _labeled(snapshot, "posg_slo_burn_rate", "slo")
+        met = _labeled(snapshot, "posg_slo_met", "slo")
+        violations = _labeled(snapshot, "posg_slo_violations_total", "slo")
+        for name in sorted(burn):
+            lines.append(
+                f"  slo {name:<14}"
+                f"{'MET   ' if met.get(name, 0.0) else 'MISSED'} "
+                f"burn_rate={burn[name]:>7.3f}  "
+                f"violations={int(violations.get(name, 0)):,}"
+            )
+
     completed = snapshot.get("sim_tuples_total")
     if completed is not None:
         lines.append(rule)
@@ -470,6 +509,62 @@ def write_html_report(path: "str | Path", report: dict) -> Path:
             + html.escape(render_shard_lanes(flight, width=100))
             + "</pre>"
         )
+
+    lineage = report.get("lineage")
+    if lineage:
+        component_rows = [
+            (
+                component,
+                _fmt(block.get("mean_ms"), 3),
+                f"{block.get('share', 0.0) * 100.0:.1f}%",
+                _fmt(block.get("p50"), 3),
+                _fmt(block.get("p99"), 3),
+                _fmt(block.get("p999"), 3),
+            )
+            for component, block in lineage.get("components", {}).items()
+        ]
+        sections.append(
+            "<h2>Latency lineage</h2>"
+            + _html_table(
+                [
+                    ("scheduler shards", lineage.get("sources")),
+                    ("sample stride", lineage.get("sample_every")),
+                    ("spans captured", lineage.get("samples_total")),
+                    (
+                        "spans dropped (capacity)",
+                        lineage.get("dropped_samples"),
+                    ),
+                ],
+                ("metric", "value"),
+            )
+            + _html_table(
+                component_rows,
+                ("component", "mean ms", "share", "p50 ms", "p99 ms",
+                 "p999 ms"),
+            )
+        )
+        slos = lineage.get("slos", [])
+        if slos:
+            sections.append(
+                "<h3>SLOs</h3>"
+                + _html_table(
+                    [
+                        (
+                            slo.get("name"),
+                            f"p{slo.get('percentile'):g} "
+                            f"< {slo.get('latency_ms'):g} ms",
+                            slo.get("violations"),
+                            slo.get("samples"),
+                            _fmt(slo.get("violation_rate")),
+                            _fmt(slo.get("burn_rate"), 3),
+                            "MET" if slo.get("met") else "MISSED",
+                        )
+                        for slo in slos
+                    ],
+                    ("slo", "target", "violations", "samples",
+                     "violation rate", "burn rate", "status"),
+                )
+            )
 
     tracer = report.get("tracer")
     if tracer and tracer.get("dropped", 0):

@@ -301,25 +301,33 @@ class MetricsRegistry:
         return {sample.key: sample.value for sample in self.samples()}
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        The 0.0.4 spec requires all samples of one metric family in a
+        single group; collectors (e.g. one per instance tracker) each
+        emit their own slice of shared families, so samples are grouped
+        by base name here — in first-appearance order — before the
+        HELP/TYPE headers are printed once per family.
+        """
+        grouped: dict[str, list[Sample]] = {}
+        for sample in self.samples():
+            grouped.setdefault(_base_name(sample.name), []).append(sample)
         lines: list[str] = []
-        seen: set[str] = set()
-        samples = self.samples()
-        # Group by base metric name so HELP/TYPE headers print once.
-        for sample in samples:
-            base = _base_name(sample.name)
-            if base not in seen:
-                seen.add(base)
-                help_text = sample.help or self._families.get(base, _Family("", "")).help
-                kind = (
-                    self._families[base].kind
-                    if base in self._families
-                    else ("counter" if sample.kind == "counter" else "gauge")
-                )
-                if help_text:
-                    lines.append(f"# HELP {base} {help_text}")
-                lines.append(f"# TYPE {base} {kind}")
-            lines.append(f"{sample.key} {_format_value(sample.value)}")
+        for base, samples in grouped.items():
+            first = samples[0]
+            help_text = (
+                first.help or self._families.get(base, _Family("", "")).help
+            )
+            kind = (
+                self._families[base].kind
+                if base in self._families
+                else ("counter" if first.kind == "counter" else "gauge")
+            )
+            if help_text:
+                lines.append(f"# HELP {base} {help_text}")
+            lines.append(f"# TYPE {base} {kind}")
+            for sample in samples:
+                lines.append(f"{sample.key} {_format_value(sample.value)}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

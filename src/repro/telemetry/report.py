@@ -23,7 +23,7 @@ import numpy as np
 #: tracer event kinds that make up the FSM timeline section
 FSM_EVENT_KINDS = ("scheduler_state", "instance_window")
 
-SCHEMA = "posg-run-report/v5"
+SCHEMA = "posg-run-report/v6"
 
 
 @dataclass
@@ -72,6 +72,9 @@ class RunReport:
     #: ``WorkerSupervisor.report()`` for parallel-engine runs (v5) —
     #: detected worker failures, respawns, and degraded workers
     supervision: dict | None = None
+    #: ``LineageTracer.report()`` when per-tuple lineage was traced (v6)
+    #: — latency decomposition quantiles and evaluated SLOs
+    lineage: dict | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -173,6 +176,11 @@ class RunReport:
         if flight is not None and hasattr(flight, "report"):
             flightrecorder = flight.report()
 
+        lineage = None
+        tracer = getattr(result, "lineage", None)
+        if tracer is not None and hasattr(tracer, "report"):
+            lineage = tracer.report()
+
         supervision = None
         parallel_info = getattr(result, "parallel", None)
         if parallel_info:
@@ -203,6 +211,7 @@ class RunReport:
             flightrecorder=flightrecorder,
             tracer=tracer_stats,
             supervision=supervision,
+            lineage=lineage,
         )
 
     # ------------------------------------------------------------------
@@ -277,6 +286,27 @@ class RunReport:
                 f"({folds} folds, {routes} route samples, "
                 f"{self.flightrecorder.get('dropped_events', 0)} dropped)"
             )
+        if self.lineage is not None:
+            components = self.lineage.get("components", {})
+            shares = "  ".join(
+                f"{name}={components[name]['share']:.2%}"
+                for name in ("scheduling_delay", "queue_wait", "service_time")
+                if name in components
+            )
+            lines.append(
+                f"lineage: {self.lineage.get('samples_total', 0)} sampled "
+                f"spans (every {self.lineage.get('sample_every', 0)}th tuple"
+                f", {self.lineage.get('dropped_samples', 0)} dropped)"
+                + (f", completion share {shares}" if shares else "")
+            )
+            for slo in self.lineage.get("slos", []):
+                lines.append(
+                    f"slo {slo['name']}: p{slo['percentile']:g} < "
+                    f"{slo['latency_ms']:g} ms -> "
+                    f"{'MET' if slo['met'] else 'MISSED'} "
+                    f"(burn rate {slo['burn_rate']:.2f}, "
+                    f"{slo['violations']}/{slo['samples']} over)"
+                )
         if self.supervision is not None:
             failures = (
                 self.supervision.get("crashes_detected", 0)

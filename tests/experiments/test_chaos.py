@@ -16,7 +16,7 @@ class TestChaosExperiment:
         assert "recovered=True" in out
 
         report = json.loads((tmp_path / "report.json").read_text())
-        assert report["schema"] == "posg-run-report/v5"
+        assert report["schema"] == "posg-run-report/v6"
         assert report["faults"] is not None
         assert report["faults"]["injected"]["crashes"] == 1
         assert sum(report["faults"]["injected"]["dropped"].values()) > 0
@@ -69,7 +69,7 @@ class TestChaosParallelExperiment:
         assert recovery["timing_seconds"]["recovery_overhead"] is not None
 
         report = json.loads((tmp_path / "report.json").read_text())
-        assert report["schema"] == "posg-run-report/v5"
+        assert report["schema"] == "posg-run-report/v6"
         assert report["supervision"]["recovered"] is True
         assert report["faults"]["injected"]["worker_faults"]["crash"] == 1
         assert report["faults"]["injected"]["worker_faults"]["hang"] == 1

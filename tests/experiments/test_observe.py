@@ -15,7 +15,7 @@ class TestObserveExperiment:
         assert "estimator audit" in out
 
         report = json.loads((tmp_path / "quality_report.json").read_text())
-        assert report["schema"] == "posg-run-report/v5"
+        assert report["schema"] == "posg-run-report/v6"
         assert report["policy"] == "posg"
 
         audit = report["audit"]

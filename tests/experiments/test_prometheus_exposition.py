@@ -1,0 +1,205 @@
+"""Prometheus 0.0.4 text-exposition lint over every emitted metrics.prom.
+
+A pure-python validator (no prometheus client dependency) enforcing the
+format rules of exposition version 0.0.4:
+
+- sample lines parse as ``name{labels} value`` with legal metric and
+  label names and properly escaped label values;
+- ``# TYPE`` appears at most once per metric, *before* the metric's
+  first sample, with a legal type;
+- ``# HELP`` appears at most once per metric;
+- all samples of one metric family are consecutive (no interleaving);
+- no duplicate series (same name + label set);
+- values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed) and
+  counters are never negative.
+
+Every experiment CLI that writes a ``metrics.prom`` runs here at the
+minimum scale and its output must lint clean.
+"""
+
+import re
+
+import pytest
+
+from repro.experiments.cli import main
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+#: suffixes that samples of a histogram/summary family may carry
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family(name: str) -> str:
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _parse_labels(raw: str, errors: list, line_no: int) -> tuple:
+    pairs = []
+    rest = raw
+    while rest:
+        match = LABEL_PAIR.match(rest)
+        if match is None:
+            errors.append(f"line {line_no}: malformed label in {raw!r}")
+            return tuple(pairs)
+        value = match.group("value")
+        # only \\ \" \n escapes are legal inside label values
+        if re.search(r'\\(?![\\"n])', value):
+            errors.append(
+                f"line {line_no}: illegal escape in label value {value!r}"
+            )
+        pairs.append((match.group("name"), value))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {line_no}: junk after label pair: {rest!r}")
+            break
+    names = [name for name, _ in pairs]
+    if len(names) != len(set(names)):
+        errors.append(f"line {line_no}: duplicate label name in {raw!r}")
+    return tuple(pairs)
+
+
+def lint_prometheus(text: str) -> list:
+    """Return a list of format violations (empty = clean)."""
+    errors: list = []
+    helped: set = set()
+    typed: dict = {}
+    sampled_families: list = []
+    series: set = set()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # other comments are allowed and ignored
+                if line.startswith(("# HELP", "# TYPE")):
+                    errors.append(f"line {line_no}: malformed {line!r}")
+                continue
+            keyword, name = parts[1], parts[2]
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {line_no}: bad metric name {name!r}")
+                continue
+            if keyword == "HELP":
+                if name in helped:
+                    errors.append(f"line {line_no}: duplicate HELP for {name}")
+                helped.add(name)
+            else:
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    errors.append(
+                        f"line {line_no}: illegal TYPE {kind!r} for {name}"
+                    )
+                if name in typed:
+                    errors.append(f"line {line_no}: duplicate TYPE for {name}")
+                if name in sampled_families:
+                    errors.append(
+                        f"line {line_no}: TYPE for {name} after its samples"
+                    )
+                typed[name] = kind
+            continue
+        match = SAMPLE_LINE.match(line)
+        if match is None:
+            errors.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        family = _family(name)
+        if family not in sampled_families:
+            sampled_families.append(family)
+        elif sampled_families[-1] != family:
+            errors.append(
+                f"line {line_no}: samples of {family} are not consecutive"
+            )
+        labels = _parse_labels(match.group("labels") or "", errors, line_no)
+        for label_name, _ in labels:
+            if not LABEL_NAME.match(label_name):
+                errors.append(
+                    f"line {line_no}: bad label name {label_name!r}"
+                )
+        key = (name, labels)
+        if key in series:
+            errors.append(f"line {line_no}: duplicate series {line!r}")
+        series.add(key)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            if raw_value not in ("+Inf", "-Inf", "NaN"):
+                errors.append(f"line {line_no}: bad value {raw_value!r}")
+            value = 0.0
+        if typed.get(family) == "counter" and value < 0.0:
+            errors.append(
+                f"line {line_no}: negative counter {name} = {raw_value}"
+            )
+    return errors
+
+
+class TestValidator:
+    """The linter itself must catch the violations it claims to."""
+
+    def test_accepts_minimal_valid_exposition(self):
+        text = (
+            "# HELP posg_x_total Things.\n"
+            "# TYPE posg_x_total counter\n"
+            'posg_x_total{shard="0"} 3\n'
+            'posg_x_total{shard="1"} 4\n'
+        )
+        assert lint_prometheus(text) == []
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("1posg 1\n", "unparseable"),
+            ("# TYPE posg_x counter\n# TYPE posg_x counter\nposg_x 1\n",
+             "duplicate TYPE"),
+            ("posg_x 1\n# TYPE posg_x counter\n", "after its samples"),
+            ("# TYPE posg_x rate\nposg_x 1\n", "illegal TYPE"),
+            ('posg_x{a="1"} 1\nposg_x{a="1"} 2\n', "duplicate series"),
+            ('posg_x{a="1"} 1\nposg_y 1\nposg_x{a="2"} 1\n',
+             "not consecutive"),
+            ("# TYPE posg_x counter\nposg_x -1\n", "negative counter"),
+            ('posg_x{a="\\t"} 1\n', "illegal escape"),
+            ("posg_x oops\n", "bad value"),
+        ],
+    )
+    def test_rejects_violations(self, text, fragment):
+        errors = lint_prometheus(text)
+        assert any(fragment in error for error in errors), errors
+
+
+#: every experiment CLI invocation that writes a metrics.prom
+EMITTERS = [
+    pytest.param(["telemetry"], id="telemetry"),
+    pytest.param(["chaos"], id="chaos"),
+    pytest.param(["observe"], id="observe"),
+    pytest.param(["latency"], id="latency"),
+]
+
+
+class TestEmittedMetrics:
+    @pytest.mark.parametrize("command", EMITTERS)
+    def test_cli_metrics_lint_clean(self, command, tmp_path, capsys):
+        code = main(
+            command + ["--scale", "0.01", "--output", str(tmp_path)]
+        )
+        capsys.readouterr()  # drain the CLI's table output
+        assert code == 0
+        path = tmp_path / "metrics.prom"
+        assert path.exists(), f"{command[0]} wrote no metrics.prom"
+        text = path.read_text()
+        assert text.strip(), f"{command[0]} wrote an empty metrics.prom"
+        errors = lint_prometheus(text)
+        assert errors == [], "\n".join(str(e) for e in errors)

@@ -43,6 +43,31 @@ class TestBasics:
                 np.percentile(values, q)
             )
 
+    def test_percentile_duplicate_heavy_stream(self):
+        # a duplicate-heavy stream is the adversarial case for the P²
+        # markers: most completions collapse onto two values, so the
+        # parabolic interpolation sits between duplicates where the
+        # exact path snaps onto one — the documented contract is that
+        # the streaming estimate stays within the local value spacing
+        rng = np.random.default_rng(7)
+        values = np.where(
+            rng.random(5_000) < 0.45, 10.0,
+            np.where(rng.random(5_000) < 0.9, 20.0, 30.0),
+        )
+        stats = make_stats(values)
+        for q in (50.0, 90.0, 99.0):
+            exact = stats.percentile(q, exact=True)
+            streaming = stats.percentile(q)
+            # both paths land in the data's range and within one value
+            # step (10.0) of each other despite the duplicate plateaus
+            assert 10.0 <= streaming <= 30.0
+            assert abs(streaming - exact) <= 10.0
+        # a stream that is ONE duplicated value is exact on both paths
+        constant = make_stats(np.full(1_000, 42.0))
+        for q in (50.0, 99.0):
+            assert constant.percentile(q) == 42.0
+            assert constant.percentile(q, exact=True) == 42.0
+
     def test_m(self):
         assert make_stats([1.0, 2.0, 3.0]).m == 3
 

@@ -257,7 +257,7 @@ class TestReporting:
                 supervision=HEALING,
             )
             report = RunReport.from_simulation(parallel, K, telemetry=recorder)
-        assert report.schema == "posg-run-report/v5"
+        assert report.schema == "posg-run-report/v6"
         assert report.supervision is not None
         assert report.supervision["crashes_detected"] == 1
         assert report.supervision["recovered"] is True

@@ -69,6 +69,78 @@ class TestRenderFrame:
         assert lines["i0"].count("#") > lines["i1"].count("#")
 
 
+class TestZeroSamplePanels:
+    """Panels keyed on lineage/flight metrics must degrade gracefully.
+
+    An armed-but-idle subsystem (no events recorded, zero spans) still
+    exports its counter series; the dashboard must render stable output
+    with no division by zero and no panel at all when the series are
+    absent entirely.
+    """
+
+    def test_no_lineage_series_no_panel(self):
+        frame = render_frame(make_snapshot())
+        assert "lineage latency waterfall" not in frame
+
+    def test_zero_sample_lineage_panel(self):
+        snapshot = make_snapshot()
+        snapshot.update(
+            {
+                'posg_lineage_samples_total{shard="0"}': 0,
+                'posg_lineage_dropped_samples_total{shard="0"}': 0,
+                'posg_lineage_component_mean_ms{component="completion"}': 0.0,
+                'posg_lineage_component_mean_ms{component="queue_wait"}': 0.0,
+                'posg_slo_burn_rate{slo="fast"}': 0.0,
+                'posg_slo_met{slo="fast"}': 1.0,
+            }
+        )
+        frame = render_frame(snapshot)
+        assert "lineage latency waterfall (sampled spans: 0" in frame
+        assert "MET" in frame
+        # zero completion mean: bars render empty rather than dividing
+        assert "mean=    0.000 ms" in frame
+
+    def test_zero_event_flight_panel(self):
+        snapshot = make_snapshot()
+        snapshot.update(
+            {
+                'posg_flight_events_total{shard="0"}': 0,
+                'posg_flight_routes_sampled_total{shard="0"}': 0,
+                'posg_flight_folds_total{shard="0"}': 0,
+                'posg_flight_staleness_tuples_mean{shard="0"}': 0.0,
+                'posg_flight_dropped_events_total{shard="0"}': 0,
+            }
+        )
+        frame = render_frame(snapshot)
+        assert "flight recorder" in frame
+        assert "events=     0" in frame
+
+    def test_zero_sample_lineage_html(self, tmp_path):
+        from repro.telemetry.lineage import LineageConfig, LineageTracer, SLOConfig
+
+        tracer = LineageTracer(
+            LineageConfig(slos=(SLOConfig("fast", latency_ms=1.0),))
+        )
+        tracer.bind(2)
+        report = {
+            "schema": "posg-run-report/v6",
+            "policy": "posg",
+            "m": 0,
+            "k": 1,
+            "lineage": tracer.report(),
+        }
+        path = write_html_report(tmp_path / "empty.html", report)
+        document = path.read_text()
+        assert "Latency lineage" in document
+        section = document[
+            document.index("Latency lineage"):document.index("Raw report")
+        ]
+        # None quantiles render as "-" placeholders, not "None"
+        assert "<td>-</td>" in section
+        assert "<td>None</td>" not in section
+        assert "MET" in section
+
+
 class TestLiveDashboard:
     def test_rejects_bad_interval(self):
         with TelemetryRecorder() as recorder:

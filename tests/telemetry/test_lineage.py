@@ -1,0 +1,243 @@
+"""Unit tests for the per-tuple lineage tracer."""
+
+import math
+
+import pytest
+
+from repro.telemetry.lineage import (
+    COMPONENTS,
+    LineageConfig,
+    LineageTracer,
+    SLOConfig,
+    decompose,
+)
+from repro.telemetry.recorder import TelemetryRecorder
+
+
+def record(
+    index=0,
+    instance=1,
+    believed=(3.0, 1.0, 2.0),
+    arrival=100.0,
+    at_instance=101.0,
+    start=105.0,
+    finish=110.0,
+    window=7,
+):
+    return (index, instance, believed, arrival, at_instance, start, finish, window)
+
+
+class TestConfigs:
+    def test_slo_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            SLOConfig("", latency_ms=10.0)
+
+    def test_slo_requires_positive_latency(self):
+        with pytest.raises(ValueError, match="latency_ms"):
+            SLOConfig("x", latency_ms=0.0)
+
+    @pytest.mark.parametrize("percentile", [0.0, 100.0, -1.0, 150.0])
+    def test_slo_percentile_open_interval(self, percentile):
+        with pytest.raises(ValueError, match="percentile"):
+            SLOConfig("x", latency_ms=10.0, percentile=percentile)
+
+    def test_slo_budget_is_complement(self):
+        assert SLOConfig("x", latency_ms=1.0, percentile=99.0).budget == (
+            pytest.approx(0.01)
+        )
+
+    def test_config_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            LineageConfig(sample_every=0)
+
+    def test_config_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LineageConfig(capacity=0)
+
+    def test_config_rejects_duplicate_slo_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            LineageConfig(
+                slos=(
+                    SLOConfig("a", latency_ms=1.0),
+                    SLOConfig("a", latency_ms=2.0),
+                )
+            )
+
+
+class TestDecompose:
+    def test_partition_is_exact(self):
+        span = decompose(record())
+        assert span["scheduling_delay"] == 1.0
+        assert span["queue_wait"] == 4.0
+        assert span["service_time"] == 5.0
+        assert span["completion_ms"] == 10.0
+
+    @pytest.mark.parametrize(
+        "arrival,at_instance,start,finish",
+        [
+            (0.0, 0.0, 0.0, 0.0),
+            (1e9, 1e9 + 1e-7, 1e9 + 0.5, 1e9 + 123.456),
+            (0.1, 0.30000000001, 7.7, 1234.00000000009),
+            (5.0, 5.0, 5.0, 5.25),
+        ],
+    )
+    def test_partition_exact_across_magnitudes(
+        self, arrival, at_instance, start, finish
+    ):
+        # the invariant is *bit* exactness, not approximate equality:
+        # service_time is defined as the remainder of the left-to-right
+        # subtraction chain, so the identity holds for any float clocks
+        span = decompose(
+            record(
+                arrival=arrival,
+                at_instance=at_instance,
+                start=start,
+                finish=finish,
+            )
+        )
+        residual = (
+            (span["completion_ms"] - span["scheduling_delay"])
+            - span["queue_wait"]
+        ) - span["service_time"]
+        assert residual == 0.0
+
+    def test_margin_over_runner_up(self):
+        # instance 1 was believed cheapest; the runner-up is 2.0
+        span = decompose(record(believed=(3.0, 1.0, 2.0), instance=1))
+        assert span["margin_ms"] == 1.0
+
+    def test_margin_empty_believed(self):
+        assert decompose(record(believed=()))["margin_ms"] == 0.0
+
+
+class TestTracer:
+    def test_bind_bumps_stride_to_coprime(self):
+        tracer = LineageTracer(LineageConfig(sample_every=4))
+        tracer.bind(2)
+        assert tracer.sample_every == 5
+        assert math.gcd(tracer.sample_every, 2) == 1
+
+    def test_bind_keeps_coprime_stride(self):
+        tracer = LineageTracer(LineageConfig(sample_every=7))
+        tracer.bind(3)
+        assert tracer.sample_every == 7
+
+    def test_bind_rejects_zero_sources(self):
+        with pytest.raises(ValueError, match="sources"):
+            LineageTracer().bind(0)
+
+    def test_capacity_keeps_prefix_and_counts_drops(self):
+        tracer = LineageTracer(LineageConfig(sample_every=1, capacity=2))
+        tracer.bind(1)
+        for index in range(5):
+            tracer.record_sample(0, index, 0, (), 0.0, 0.0, 0.0, 1.0, 0)
+        assert len(tracer.timelines()[0]) == 2
+        assert tracer.dropped_samples == 3
+        assert tracer.report()["dropped_samples"] == 3
+
+    def test_records_merge_in_index_order(self):
+        tracer = LineageTracer(LineageConfig(sample_every=1))
+        tracer.bind(2)
+        tracer.record_sample(1, 1, 0, (), 0.0, 0.0, 0.0, 1.0, 0)
+        tracer.record_sample(0, 0, 0, (), 0.0, 0.0, 0.0, 1.0, 0)
+        tracer.record_sample(0, 2, 0, (), 0.0, 0.0, 0.0, 1.0, 0)
+        assert [r[0] for r in tracer.records()] == [0, 1, 2]
+
+    def test_spans_match_records(self):
+        tracer = LineageTracer(LineageConfig(sample_every=1))
+        tracer.bind(1)
+        tracer.record_sample(0, 0, 1, (2.0, 1.0), 10.0, 11.0, 12.0, 20.0, 3)
+        (span,) = tracer.spans()
+        assert span == decompose(tracer.records()[0])
+
+    def test_report_shape(self):
+        tracer = LineageTracer(
+            LineageConfig(
+                sample_every=3,
+                slos=(SLOConfig("fast", latency_ms=8.0, percentile=50.0),),
+            )
+        )
+        tracer.bind(2)
+        tracer.record_sample(0, 0, 0, (), 0.0, 1.0, 2.0, 10.0, 0)
+        tracer.record_sample(1, 1, 1, (), 0.0, 1.0, 2.0, 4.0, 0)
+        report = tracer.report()
+        assert report["schema"] == "posg-lineage/v1"
+        assert report["sources"] == 2
+        assert report["samples_total"] == 2
+        assert {shard["shard"] for shard in report["per_shard"]} == {0, 1}
+        for component in ("completion",) + COMPONENTS:
+            block = report["components"][component]
+            assert set(block) == {"mean_ms", "share", "p50", "p99", "p999"}
+        # components partition the completion mean exactly
+        assert sum(
+            report["components"][c]["mean_ms"] for c in COMPONENTS
+        ) == pytest.approx(report["components"]["completion"]["mean_ms"])
+
+    def test_slo_burn_rate(self):
+        tracer = LineageTracer(
+            LineageConfig(
+                sample_every=1,
+                slos=(SLOConfig("p50-under-5ms", latency_ms=5.0, percentile=50.0),),
+            )
+        )
+        tracer.bind(1)
+        # 3 of 4 spans complete over 5 ms -> violation rate 0.75,
+        # budget 0.5 -> burn rate 1.5, SLO missed
+        for index, finish in enumerate((10.0, 4.0, 9.0, 7.0)):
+            tracer.record_sample(0, index, 0, (), 0.0, 0.0, 0.0, finish, 0)
+        (slo,) = tracer.slo_status()
+        assert slo["violations"] == 3
+        assert slo["violation_rate"] == pytest.approx(0.75)
+        assert slo["burn_rate"] == pytest.approx(1.5)
+        assert slo["met"] is False
+
+    def test_slo_met_with_zero_samples(self):
+        tracer = LineageTracer(
+            LineageConfig(slos=(SLOConfig("x", latency_ms=1.0),))
+        )
+        tracer.bind(1)
+        (slo,) = tracer.slo_status()
+        assert slo["violations"] == 0
+        assert slo["burn_rate"] == 0.0
+        assert slo["met"] is True
+
+    def test_empty_report_quantiles_are_none(self):
+        tracer = LineageTracer()
+        tracer.bind(3)
+        report = tracer.report()
+        assert report["samples_total"] == 0
+        for block in report["components"].values():
+            assert block["p50"] is None
+            assert block["mean_ms"] == 0.0
+
+
+class TestMetricsCollector:
+    def test_series_cover_shards_components_and_slos(self):
+        with TelemetryRecorder() as recorder:
+            tracer = LineageTracer(
+                LineageConfig(
+                    sample_every=1,
+                    slos=(SLOConfig("fast", latency_ms=5.0),),
+                ),
+                telemetry=recorder,
+            )
+            tracer.bind(2)
+            tracer.record_sample(0, 0, 0, (), 0.0, 1.0, 2.0, 10.0, 0)
+            tracer.record_sample(1, 1, 1, (), 0.0, 1.0, 2.0, 4.0, 0)
+            snapshot = recorder.registry.snapshot()
+        assert snapshot['posg_lineage_samples_total{shard="0"}'] == 1
+        assert snapshot['posg_lineage_samples_total{shard="1"}'] == 1
+        for component in ("completion",) + COMPONENTS:
+            assert (
+                f'posg_lineage_component_mean_ms{{component="{component}"}}'
+                in snapshot
+            )
+        assert 'posg_slo_burn_rate{slo="fast"}' in snapshot
+        assert 'posg_slo_met{slo="fast"}' in snapshot
+        assert 'posg_slo_violations_total{slo="fast"}' in snapshot
+
+    def test_unbound_tracer_collects_nothing(self):
+        with TelemetryRecorder() as recorder:
+            LineageTracer(telemetry=recorder)
+            snapshot = recorder.registry.snapshot()
+        assert not any(name.startswith("posg_lineage") for name in snapshot)
