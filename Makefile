@@ -7,7 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 .PHONY: install test bench bench-throughput bench-telemetry bench-audit \
 	bench-flightrecorder bench-lineage bench-history bench-parallel \
 	bench-supervision chaos chaos-parallel observe multisource \
-	attribution latency figures figures-paper-scale examples clean
+	multisource-coord attribution latency figures figures-paper-scale \
+	examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -87,12 +88,19 @@ chaos-parallel:
 observe:
 	$(PYTHON) -m repro.experiments observe --scale 0.25 --output observe-out
 
-# multi-source sharding sweep: L(s)/L(1) for s in {1,2,4,8}; writes the
-# degradation curve to multisource-out/multisource.json and exits
-# non-zero if s=1 diverges from the single-scheduler path or any shard
-# never completes a sync round
+# multi-source sharding sweep: L(s)/L(1) for s in {1,2,4,8}, every
+# point both plain and with cross-shard coordination on; writes both
+# degradation curves to multisource-out/multisource.json and exits
+# non-zero if s=1 diverges from the single-scheduler path, any shard
+# never completes a sync round, or (at full scale) the coordinated
+# curve fails the L(8)/L(1) < 3 flatness gate
 multisource:
 	$(PYTHON) -m repro.experiments multisource --scale 0.25 --output multisource-out
+
+# the same sweep with the parallel-engine bit-identity leg armed — the
+# configuration the multisource-coord CI job runs
+multisource-coord:
+	$(PYTHON) -m repro.experiments multisource --scale 0.25 --parallel 2 --output multisource-coord-out
 
 # flight-recorder attribution sweep: reruns the multisource sweep under
 # the cross-shard flight recorder through all three engines (timelines

@@ -5,8 +5,9 @@ time — POSG throughput on the Figure 4 configuration, the same
 configuration sharded over four sources (sequential and through the
 4-worker parallel engine), the telemetry overhead ratio, the
 estimator-audit overhead ratio, the flight-recorder and
-lineage-tracer overhead ratios on the sharded configuration, and the
-fault-free overhead of
+lineage-tracer overhead ratios on the sharded configuration, the
+cross-shard coordination (gossip + snoop) overhead on that same
+configuration, and the fault-free overhead of
 armed worker supervision on the parallel engine — and appends
 them as one JSON line to ``BENCH_history.jsonl`` at the repo root,
 stamped with the usual provenance block (commit, dirty flag, python /
@@ -34,6 +35,7 @@ dedicated benchmarks remain the precise gates.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pathlib
@@ -43,7 +45,7 @@ import time
 
 import numpy as np
 
-from repro.core.config import POSGConfig
+from repro.core.config import CoordinationConfig, POSGConfig
 from repro.core.grouping import POSGGrouping
 from repro.core.multisource import MultiSourcePOSGGrouping
 from repro.simulator.parallel import simulate_stream_parallel
@@ -64,15 +66,24 @@ MAX_THROUGHPUT_REGRESSION = 0.10
 
 
 def _timed_run(
-    m: int, telemetry=None, audit=None, sources=None, flight=None, lineage=None
+    m: int,
+    telemetry=None,
+    audit=None,
+    sources=None,
+    flight=None,
+    lineage=None,
+    coordination=None,
 ) -> float:
     """One chunked POSG run; elapsed seconds."""
     stream = default_stream(seed=0, m=m)
+    config = POSGConfig.paper_defaults()
+    if coordination is not None:
+        config = dataclasses.replace(config, coordination=coordination)
     if sources is None:
-        policy = POSGGrouping(POSGConfig.paper_defaults(), telemetry=telemetry)
+        policy = POSGGrouping(config, telemetry=telemetry)
     else:
         policy = MultiSourcePOSGGrouping(
-            sources, POSGConfig.paper_defaults(), telemetry=telemetry
+            sources, config, telemetry=telemetry
         )
     t0 = time.perf_counter()
     simulate_stream(
@@ -193,6 +204,25 @@ def main() -> int:
         lineage_ratios.append(plain / variant)
     lineage_ratio = statistics.median(lineage_ratios)
 
+    # cross-shard coordination (gossip + snoop defaults) vs plain on
+    # the sharded configuration (paired; the multisource experiment
+    # gates the latency claim, this series tracks the compute cost of
+    # the in-parent gossip-coupled routing path)
+    coordination_ratios = []
+    for round_index in range(max(1, reps // 3)):
+        if round_index % 2 == 0:
+            plain = _timed_run(m, sources=4)
+            variant = _timed_run(
+                m, sources=4, coordination=CoordinationConfig()
+            )
+        else:
+            variant = _timed_run(
+                m, sources=4, coordination=CoordinationConfig()
+            )
+            plain = _timed_run(m, sources=4)
+        coordination_ratios.append(plain / variant)
+    coordination_ratio = statistics.median(coordination_ratios)
+
     # armed supervision vs the strict default on the parallel engine
     # (fault-free, so the ratio isolates the supervisor's bookkeeping;
     # see bench_supervision.py for the gate)
@@ -223,6 +253,7 @@ def main() -> int:
         "audit_sampled_vs_plain": audit_ratio,
         "flight_sampled_vs_plain_s4": flight_ratio,
         "lineage_sampled_vs_plain_s4": lineage_ratio,
+        "coord_gossip_vs_plain_s4": coordination_ratio,
         "supervision_armed_vs_strict_w4": supervision_ratio,
     }
 
@@ -275,6 +306,26 @@ def main() -> int:
                     f"{MAX_THROUGHPUT_REGRESSION:.0%}); not appending"
                 )
                 return 1
+        coordination_baseline = previous.get("coord_gossip_vs_plain_s4")
+        if coordination_baseline is not None:
+            coordination_change = (
+                coordination_ratio / coordination_baseline - 1.0
+            )
+            print(
+                f"previous coord s=4 entry: {coordination_baseline:.3f}x; "
+                f"this run: {coordination_ratio:.3f}x "
+                f"({coordination_change:+.1%})"
+            )
+            if scale >= 1.0 and coordination_ratio < coordination_baseline * (
+                1.0 - MAX_THROUGHPUT_REGRESSION
+            ):
+                print(
+                    f"FAIL: coordination overhead grew — plain/coordinated "
+                    f"dropped {-coordination_change:.1%} vs the last "
+                    f"recorded run (limit {MAX_THROUGHPUT_REGRESSION:.0%}); "
+                    "not appending"
+                )
+                return 1
     else:
         print(f"no previous entry for m={m}; recording the first one")
 
@@ -287,6 +338,7 @@ def main() -> int:
         f"telemetry {telemetry_ratio:.3f}x | audit {audit_ratio:.3f}x | "
         f"flight s=4 {flight_ratio:.3f}x | "
         f"lineage s=4 {lineage_ratio:.3f}x | "
+        f"coord s=4 {coordination_ratio:.3f}x | "
         f"supervision w=4 {supervision_ratio:.3f}x"
     )
     return 0

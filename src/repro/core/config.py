@@ -102,6 +102,56 @@ class RecoveryConfig:
 
 
 @dataclass(frozen=True)
+class CoordinationConfig:
+    """Cross-shard coordination for multi-source (sharded) POSG.
+
+    PR 7's attribution experiment showed that most of the excess latency
+    behind the sharded degradation curve ``L(s)/L(1)`` is *staleness
+    regret*: each shard re-baselines its ``C_hat`` only at its own sync
+    rounds and otherwise routes blind to what its siblings just
+    scheduled.  This config arms three composable repairs inside
+    :class:`~repro.core.multisource.MultiSourcePOSGGrouping` (they are
+    no-ops under ``sources=1`` except for the two-choices probe):
+
+    - **local delta gossip** (``gossip``) — after shard ``j`` routes a
+      tuple to instance ``i``, the estimate it just believed is added to
+      every sibling shard's ``C_hat[i]``.  Shards share the parent
+      process, so the update is a deterministic O(s) array write, not a
+      message — but it is *billed* as control traffic (64 bits per
+      shard edge) once every ``gossip_stride`` gossiped tuples per
+      shard, modelling a batched background digest.  ``gossip_stride=0``
+      gossips without billing (free-coordination ablation; routing is
+      unchanged because billing never feeds back into decisions).
+    - **sync-reply snooping** (``snoop``) — when a completed sync round
+      folds into shard ``j``, the freshly re-baselined global
+      ``C_hat[op]`` values are published to every sibling whose
+      ``generation`` tag for ``op`` matches (a sibling that has not yet
+      observed a crash-restart keeps its own baseline).  Piggy-backed on
+      the existing reply traffic: zero extra messages, 64 bits billed
+      per published value per sibling.
+    - **two-choices probe** (``two_choices``) — layer a deterministic
+      power-of-two-choices check on the greedy argmin: compare the
+      argmin candidate against the alternate ``item mod k`` (bumped by
+      one when it collides with the candidate) under the gossip-fresh
+      beliefs and keep the cheaper target.  Off by default: with gossip
+      keeping beliefs fresh the plain argmin is already near-optimal.
+    """
+
+    gossip: bool = True
+    #: bill one 64-bit digest per shard edge every N gossiped tuples
+    #: per shard; 0 disables billing (never affects routing)
+    gossip_stride: int = 16
+    snoop: bool = True
+    two_choices: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gossip_stride < 0:
+            raise ValueError(
+                f"gossip_stride must be >= 0, got {self.gossip_stride}"
+            )
+
+
+@dataclass(frozen=True)
 class POSGConfig:
     """Configuration shared by the POSG scheduler and operator instances.
 
@@ -149,6 +199,11 @@ class POSGConfig:
         fault-tolerance defenses (sync-round retransmission, staleness
         watchdog).  ``None`` (default) keeps the paper's fault-free
         protocol bit for bit.
+    coordination:
+        Optional :class:`CoordinationConfig` arming cross-shard
+        coordination under multi-source scheduling (delta gossip,
+        sync-reply snooping, two-choices probe).  ``None`` (default)
+        keeps sharded runs bit-identical to the uncoordinated protocol.
     """
 
     epsilon: float = 0.05
@@ -161,6 +216,7 @@ class POSGConfig:
     pooled_estimates: bool = False
     merge_decay: float = 1.0
     recovery: RecoveryConfig | None = None
+    coordination: CoordinationConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.epsilon <= 1.0:

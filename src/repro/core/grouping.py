@@ -82,6 +82,18 @@ class GroupingPolicy(abc.ABC):
     def on_control(self, message: ControlMessage) -> None:
         """Deliver a control message from an instance agent (default: none)."""
 
+    def on_control_batch(self, messages: "list[ControlMessage]") -> None:
+        """Deliver a batch of due control messages, in delivery order.
+
+        The engines drain every message due at one arrival through this
+        entry point so a policy can validate the *whole* batch before
+        applying any of it (atomic delivery: a malformed message must
+        not leave earlier messages of the same batch already folded).
+        The default applies them one by one.
+        """
+        for message in messages:
+            self.on_control(message)
+
     def create_instance_agent(self, instance_id: int) -> InstanceAgent | None:
         """Instance-side hook, or ``None`` for purely scheduler-side policies."""
         return None

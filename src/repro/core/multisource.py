@@ -40,6 +40,36 @@ extra labels), matrices "broadcast" to exactly that scheduler without
 copying, and every ``SyncReply`` carries ``source=0`` and routes to
 scheduler 0 — the same object graph and the same float operations in
 the same order as the single-scheduler path.
+
+Cross-shard coordination
+------------------------
+The drift between folds is the dominant cost of sharding (see the
+``attribution`` experiment: 56-74% of the excess latency is staleness
+regret).  Arming :class:`~repro.core.config.CoordinationConfig` on the
+shared :class:`~repro.core.config.POSGConfig` keeps sibling beliefs
+fresh between folds:
+
+- **delta gossip** — after shard ``j``'s scheduler adds its believed
+  estimate ``e`` to its own ``C_hat[i]``, the same ``e`` is added to
+  every sibling's ``C_hat[i]`` (the shards share this object, so the
+  update is an in-process array write; it is billed as control bits at
+  ``gossip_stride`` to keep the paper's cost model honest).  Round-
+  robin decisions gossip nothing (``e = 0``: ROUND_ROBIN never updates
+  ``C_hat``), and the replay invariant is simple: every tuple's
+  estimate lands in *every* shard's ``C_hat`` in global arrival order.
+- **sync-reply snooping** — when a completed round folds into shard
+  ``j``, the freshly re-baselined ``C_hat[op]`` values are copied to
+  every sibling whose generation tag for ``op`` matches and that has
+  no in-flight measurement of its own for ``op`` (a shard about to
+  fold its own delta for ``op`` must not be re-baselined twice).
+- **two-choices probe** — scheduler-local (see
+  :meth:`~repro.core.scheduler.POSGScheduler.submit`); under gossip the
+  probed beliefs are globally fresh, which is what makes the probe
+  meaningful (arXiv:1504.00788).
+
+All coordination state lives in the parent process and mutates in
+deterministic per-tuple order, so coordinated runs stay bit-identical
+across the reference, chunked and parallel engines.
 """
 
 from __future__ import annotations
@@ -54,6 +84,13 @@ from repro.core.matrices import make_shared_hashes
 from repro.core.messages import ControlMessage, MatricesMessage, SyncReply
 from repro.core.scheduler import POSGScheduler
 from repro.telemetry.recorder import NULL_RECORDER
+
+#: billed size of one gossiped load digest per shard edge (a packed
+#: ``(instance, estimate)`` delta, same 64-bit convention as the sync
+#: protocol messages)
+GOSSIP_BITS = 64
+#: billed size of one snooped ``C_hat[op]`` publication per sibling
+SNOOP_BITS = 64
 
 
 @dataclass(frozen=True)
@@ -79,6 +116,9 @@ class ShardWorkerSpec:
     #: ``TwoUniversalHashFamily.to_dict()`` payload (shared by the
     #: scheduler-side and instance-side sketches)
     hashes: dict
+    #: replay the scheduler's deterministic two-choices probe
+    #: (:class:`~repro.core.config.CoordinationConfig.two_choices`)
+    two_choices: bool = False
 
 
 class MultiSourcePOSGGrouping(POSGGrouping):
@@ -114,6 +154,17 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         self._sources = int(sources)
         self._schedulers: list[POSGScheduler] = []
         self._cursor = 0
+        # cross-shard coordination (armed in setup; counters live here so
+        # stats() is callable before the policy is bound)
+        self._gossip_on = False
+        self._gossip_stride = 0
+        self._gossip_updates = 0
+        self._gossip_billed = 0
+        self._snoop_published = 0
+        self._gossip_events: list[int] = []
+        self._gossip_targets: list[tuple[np.ndarray, ...]] = []
+        self._gossip_siblings: list[tuple[POSGScheduler, ...]] = []
+        self._gossip_digest_bits = 0
 
     def setup(self, k: int, rng: np.random.Generator | None = None) -> None:
         GroupingPolicy.setup(self, k, rng)
@@ -137,6 +188,41 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         self._scheduler = self._schedulers[0]
         self._agents = {}
         self._cursor = 0
+        coordination = self._config.coordination
+        multi = self._sources > 1
+        self._gossip_on = bool(
+            coordination is not None and coordination.gossip and multi
+        )
+        self._gossip_stride = (
+            coordination.gossip_stride if coordination is not None else 0
+        )
+        self._gossip_updates = 0
+        self._gossip_billed = 0
+        self._snoop_published = 0
+        self._gossip_events = [0] * self._sources
+        if self._gossip_on:
+            # Per-source sibling views, precomputed so the hot path is a
+            # tuple walk (the arrays alias each scheduler's live C_hat).
+            self._gossip_siblings = [
+                tuple(
+                    sibling
+                    for sibling in self._schedulers
+                    if sibling is not owner
+                )
+                for owner in self._schedulers
+            ]
+            self._gossip_targets = [
+                tuple(sibling._c_hat for sibling in siblings)
+                for siblings in self._gossip_siblings
+            ]
+            self._gossip_digest_bits = (self._sources - 1) * GOSSIP_BITS
+        else:
+            self._gossip_siblings = []
+            self._gossip_targets = []
+            self._gossip_digest_bits = 0
+        if coordination is not None and coordination.snoop and multi:
+            for scheduler in self._schedulers:
+                scheduler.attach_fold_hook(self._publish_fold)
 
     # ------------------------------------------------------------------
     # data path
@@ -147,7 +233,36 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         cursor = source + 1
         self._cursor = 0 if cursor == self._sources else cursor
         decision = self._schedulers[source].submit(item)
+        if self._gossip_on:
+            estimate = decision.estimate
+            # ROUND_ROBIN decisions carry estimate == 0.0 (C_hat is not
+            # updated there); skipping them keeps sibling floats exactly
+            # on the "every estimate lands everywhere" replay and means
+            # the parallel commit can reconstruct billing from the
+            # nonzero-estimate count alone.
+            if estimate != 0.0:
+                instance = decision.instance
+                for sibling_c_hat in self._gossip_targets[source]:
+                    sibling_c_hat[instance] += estimate
+                self._gossip_updates += 1
+                events = self._gossip_events
+                events[source] += 1
+                stride = self._gossip_stride
+                if stride and events[source] % stride == 0:
+                    self._bill_gossip_digest(source)
         return RouteDecision(decision.instance, decision.sync_request)
+
+    def _bill_gossip_digest(self, source: int) -> None:
+        """Charge one batched gossip digest from ``source`` to siblings.
+
+        Billing only touches the control-bit counters — never the
+        believed loads — so a ``gossip_stride`` change (including 0,
+        which disables billing) cannot change routing.
+        """
+        self._schedulers[source]._control_bits_sent += self._gossip_digest_bits
+        for sibling in self._gossip_siblings[source]:
+            sibling._control_bits_received += GOSSIP_BITS
+        self._gossip_billed += 1
 
     # ------------------------------------------------------------------
     # control path
@@ -180,6 +295,93 @@ class MultiSourcePOSGGrouping(POSGGrouping):
             self._schedulers[message.source].on_message(message)
         else:
             raise TypeError(f"unexpected control message: {message!r}")
+
+    def on_control_batch(self, messages) -> None:
+        """Atomically deliver every control message due at one arrival.
+
+        The whole batch is validated *before* any message is applied:
+        a reply addressed to an unknown shard (or a foreign message
+        type) must not leave replies earlier in the same batch already
+        folded, which is what per-message delivery did.
+        """
+        for message in messages:
+            if isinstance(message, MatricesMessage):
+                continue
+            if isinstance(message, SyncReply):
+                if not 0 <= message.source < self._sources:
+                    raise ValueError(
+                        f"sync reply for unknown scheduler shard "
+                        f"{message.source} (have {self._sources})"
+                    )
+            else:
+                raise TypeError(f"unexpected control message: {message!r}")
+        for message in messages:
+            self.on_control(message)
+
+    # ------------------------------------------------------------------
+    # cross-shard coordination (CoordinationConfig)
+    # ------------------------------------------------------------------
+    def _publish_fold(self, owner: POSGScheduler, instances: list[int]) -> None:
+        """Sync-reply snooping: push a fold's fresh globals to siblings.
+
+        ``owner`` just folded its deltas, so its ``C_hat[op]`` for each
+        ``op`` in ``instances`` is re-baselined to the instance's
+        *global* measured load.  Each value is copied to every sibling
+        that (a) agrees on the instance's generation — a shard that has
+        not yet observed a crash-restart keeps its own baseline, and a
+        shard already past it must not be dragged back — and (b) has no
+        in-flight measurement of its own for ``op`` (its imminent fold
+        re-baselines ``op`` anyway; snooping first would double-apply).
+        Billed at :data:`SNOOP_BITS` per published value per sibling,
+        piggy-backed on the reply traffic (no extra messages).
+        """
+        owner_generations = owner._generations
+        owner_c_hat = owner._c_hat
+        published = 0
+        for sibling in self._schedulers:
+            if sibling is owner:
+                continue
+            sibling_generations = sibling._generations
+            sibling_c_hat = sibling._c_hat
+            for op in instances:
+                if sibling_generations[op] != owner_generations[op]:
+                    continue
+                if op in sibling._pending_replies or op in sibling._pending_deltas:
+                    continue
+                sibling_c_hat[op] = owner_c_hat[op]
+                owner._control_bits_sent += SNOOP_BITS
+                sibling._control_bits_received += SNOOP_BITS
+                published += 1
+        if published:
+            self._snoop_published += published
+            flight = owner._flight
+            if flight is not None:
+                flight.record_snoop(
+                    owner._source_id, owner._tuples_scheduled, published
+                )
+
+    def commit_gossip(self, source: int, gossiped: int) -> None:
+        """Fold a committed segment's gossip accounting (parallel engine).
+
+        The parallel engine applies the gossip *array* updates itself
+        when it folds a committed prefix back into the schedulers; this
+        replays only the event/billing counters for the ``gossiped``
+        nonzero-estimate tuples shard ``source`` contributed, producing
+        the same digest count the per-tuple path would have billed
+        (digests fire at every ``gossip_stride``-th event, so the count
+        over an event interval is a floor-difference).
+        """
+        if not self._gossip_on or gossiped <= 0:
+            return
+        self._gossip_updates += gossiped
+        events = self._gossip_events
+        before = events[source]
+        after = before + gossiped
+        events[source] = after
+        stride = self._gossip_stride
+        if stride:
+            for _ in range(after // stride - before // stride):
+                self._bill_gossip_digest(source)
 
     # ------------------------------------------------------------------
     # cross-shard flight recorder attachment
@@ -239,6 +441,7 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         """
         if self._hashes is None:
             raise RuntimeError("worker_spec() requires setup() first")
+        coordination = self._config.coordination
         return ShardWorkerSpec(
             sources=self._sources,
             k=self._k,
@@ -246,6 +449,9 @@ class MultiSourcePOSGGrouping(POSGGrouping):
             cols=self._hashes.cols,
             pooled_estimates=self._config.pooled_estimates,
             hashes=self._hashes.to_dict(),
+            two_choices=bool(
+                coordination is not None and coordination.two_choices
+            ),
         )
 
     def sync_cursor(self, position: int) -> None:
@@ -256,7 +462,25 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         ``p`` back to the sequential path (SEND_ALL fallback) it must
         restore the invariant ``cursor == p mod s`` so the tuple reaches
         the same shard the reference engine would pick.
+
+        ``position`` is the global stream index of the *next* tuple to
+        route, so it must lie in ``[0, tuples routed so far]`` — a
+        negative or beyond-the-stream position from a buggy restore
+        path would silently alias onto some shard via the modulo and
+        desynchronize the interleave without a trace.
         """
+        if position < 0:
+            raise ValueError(
+                f"cursor position must be >= 0, got {position}"
+            )
+        routed = sum(
+            scheduler._tuples_scheduled for scheduler in self._schedulers
+        )
+        if position > routed:
+            raise ValueError(
+                f"cursor position {position} is beyond the {routed} "
+                f"tuples routed so far"
+            )
         self._cursor = position % self._sources
 
     # ------------------------------------------------------------------
@@ -282,6 +506,9 @@ class MultiSourcePOSGGrouping(POSGGrouping):
         merged: dict = {
             "sources": self._sources,
             "per_source": per_source,
+            "gossip_updates": self._gossip_updates,
+            "gossip_billed": self._gossip_billed,
+            "snoop_published": self._snoop_published,
         }
         for key in (
             "tuples_scheduled",

@@ -66,12 +66,16 @@ class SchedulingDecision:
     """Outcome of submitting one tuple to the scheduler.
 
     ``sync_request`` must be piggy-backed on the tuple and handed to the
-    target instance by the hosting engine.
+    target instance by the hosting engine.  ``estimate`` is the believed
+    execution time just added to ``C_hat[instance]`` (0.0 in
+    ROUND_ROBIN, where ``C_hat`` is not updated) — the cross-shard
+    gossip layer forwards it to sibling shards.
     """
 
     instance: int
     sync_request: SyncRequest | None
     state: SchedulerState
+    estimate: float = 0.0
 
 
 class POSGScheduler:
@@ -125,6 +129,10 @@ class POSGScheduler:
         )
         self._telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self._config = config if config is not None else POSGConfig()
+        coordination = self._config.coordination
+        self._two_choices = bool(
+            coordination is not None and coordination.two_choices
+        )
         if latency_hints is None:
             self._latency_hints = None
         else:
@@ -183,6 +191,8 @@ class POSGScheduler:
         self._deltas_folded = 0
         # optional cross-shard flight recorder (attach_flight)
         self._flight = None
+        # optional fold observer (cross-shard sync-reply snooping)
+        self._fold_hook = None
         # Zero-hot-path-cost export: the registry reads these plain ints
         # through a collector only when someone asks for a snapshot.
         self._telemetry.registry.register_collector(self._collect_samples)
@@ -198,6 +208,18 @@ class POSGScheduler:
         is engine-invariant.
         """
         self._flight = flight
+
+    def attach_fold_hook(self, hook) -> None:
+        """Observe completed delta folds (cross-shard snooping).
+
+        ``hook(scheduler, instances)`` fires at the end of every
+        :meth:`_resynchronize` with the instances whose deltas were
+        folded, in fold order.  The multi-source layer uses it to
+        publish the freshly re-baselined global ``C_hat`` values to
+        sibling shards (see
+        :class:`~repro.core.config.CoordinationConfig`).
+        """
+        self._fold_hook = hook
 
     # ------------------------------------------------------------------
     # data path (SUBMIT + UPDATEC, Listing III.2)
@@ -222,7 +244,8 @@ class POSGScheduler:
                 instance = targets[self._sendall_counter]
                 done = self._sendall_counter + 1 >= len(targets)
             self._sendall_counter += 1
-            self._update_c_hat(item, instance)
+            estimate = self.estimate(item, instance)
+            self._c_hat[instance] += estimate
             request = SyncRequest(
                 instance=instance,
                 epoch=self._epoch,
@@ -246,7 +269,9 @@ class POSGScheduler:
                 )
             if done:
                 self._enter_wait_all()
-            return SchedulingDecision(instance, request, SchedulerState.SEND_ALL)
+            return SchedulingDecision(
+                instance, request, SchedulerState.SEND_ALL, estimate
+            )
 
         # WAIT_ALL and RUN schedule greedily (Greedy Online Scheduler).
         # The latency-aware extension (the paper's stated future work)
@@ -254,13 +279,30 @@ class POSGScheduler:
         # distant instances receive a proportionally smaller share.
         if self._latency_hints is None:
             instance = int(np.argmin(self._c_hat))
+            estimate = self.estimate(item, instance)
+            if self._two_choices and self._k > 1:
+                # Deterministic power-of-two-choices probe: compare the
+                # argmin candidate against the alternate ``item mod k``
+                # (bumped past the candidate on collision) and keep the
+                # target whose post-add belief is lower.
+                alt = item % self._k
+                if alt == instance:
+                    alt = alt + 1 if alt + 1 < self._k else 0
+                alt_estimate = self.estimate(item, alt)
+                if (
+                    self._c_hat[alt] + alt_estimate
+                    < self._c_hat[instance] + estimate
+                ):
+                    instance = alt
+                    estimate = alt_estimate
         else:
             instance = int(
                 np.argmin(self._c_hat + self._latency_debt + self._latency_hints)
             )
             self._latency_debt[instance] += self._latency_hints[instance]
-        self._update_c_hat(item, instance)
-        return SchedulingDecision(instance, None, self._state)
+            estimate = self.estimate(item, instance)
+        self._c_hat[instance] += estimate
+        return SchedulingDecision(instance, None, self._state, estimate)
 
     def _update_c_hat(self, item: int, instance: int) -> None:
         """UPDATEC: grow the estimate by the tuple's estimated time."""
@@ -652,6 +694,7 @@ class POSGScheduler:
     def _resynchronize(self) -> None:
         """Fold every ``Delta_op`` into ``C_hat`` and enter RUN."""
         folded = len(self._pending_deltas)
+        folded_instances = list(self._pending_deltas)
         for instance, delta in self._pending_deltas.items():
             self._c_hat[instance] += delta
         self._pending_deltas = {}
@@ -673,6 +716,8 @@ class POSGScheduler:
                 **self._source_trace,
             )
         self._transition(SchedulerState.RUN)
+        if self._fold_hook is not None and folded_instances:
+            self._fold_hook(self, folded_instances)
 
     # ------------------------------------------------------------------
     # introspection

@@ -26,6 +26,15 @@ run self-gates on the recorded timelines being bit-identical across
 them (the flight recorder's determinism contract).  A mismatch, a
 shard that never folded, or diverging assignments exits non-zero.
 
+Every sweep point then reruns once more with the cross-shard
+coordination layer on (:class:`~repro.core.config.CoordinationConfig`
+defaults) and decomposes that run too.  Coordination attacks exactly
+the first bucket — gossip and snooping keep every shard's ``C_hat``
+near the global truth between folds — so the run self-gates on the
+staleness regret *shrinking* at every ``s > 1``.  The coordinated
+timelines also carry the ``snoop`` events the recorder samples, which
+the comparison table surfaces per sweep point.
+
 With ``--output DIR`` it writes ``attribution.json`` (the decomposed
 curve) and ``attribution.html`` (the largest sweep point's full run
 report with the shard-lane timelines), both uploaded by the CI
@@ -79,7 +88,7 @@ def run(
     """
     import numpy as np
 
-    from repro.core.config import POSGConfig
+    from repro.core.config import CoordinationConfig, POSGConfig
     from repro.core.multisource import MultiSourcePOSGGrouping
     from repro.simulator.parallel import simulate_stream_parallel
     from repro.simulator.run import simulate_stream
@@ -108,8 +117,13 @@ def run(
     stream = default_stream(seed=seed, m=m, n=128)
     times = execution_time_matrix(stream, LoadShiftScenario.constant(k), k)
 
-    def simulate(sources: int, engine: str):
-        policy = MultiSourcePOSGGrouping(sources, config)
+    coordinated_config = POSGConfig(
+        window_size=window, rows=2, cols=16,
+        coordination=CoordinationConfig(),
+    )
+
+    def simulate(sources: int, engine: str, shard_config=config):
+        policy = MultiSourcePOSGGrouping(sources, shard_config)
         rng = np.random.default_rng(seed + 1)
         if engine == "reference":
             return simulate_stream(
@@ -157,14 +171,29 @@ def run(
         attribution = derive_attribution(
             reference.flight, reference.stats.assignments, times
         )
+        coordinated = simulate(sources, "reference", coordinated_config)
+        attribution_coordinated = derive_attribution(
+            coordinated.flight, coordinated.stats.assignments, times
+        )
+        coordinated_report = coordinated.flight.report()
         rows.append(
             {
                 "sources": sources,
                 "avg_completion_ms": float(
                     reference.stats.average_completion_time
                 ),
+                "coordinated_avg_completion_ms": float(
+                    coordinated.stats.average_completion_time
+                ),
                 "timelines_identical": identical,
                 "attribution": attribution,
+                "attribution_coordinated": attribution_coordinated,
+                "coordinated_snoops": int(
+                    sum(
+                        shard["snoops"]
+                        for shard in coordinated_report["per_shard"]
+                    )
+                ),
                 "flight": report,
             }
         )
@@ -203,6 +232,31 @@ def run(
             f"{100 * att['staleness']['blind_fraction']:>6.1f}%  "
             f"{att['collision']['rate']:>9.3f}"
         )
+    # -- gate: coordination must shrink the staleness bucket -----------
+    stale_regressions = []
+    print()
+    print(
+        f"{'s':>3}  {'stale ms plain':>14}  {'stale ms coord':>14}  "
+        f"{'coord L(s) ms':>13}  {'snoops':>6}"
+    )
+    for row in rows:
+        plain_stale = row["attribution"]["regret"]["stale_ms"]
+        coordinated_stale = (
+            row["attribution_coordinated"]["regret"]["stale_ms"]
+        )
+        row["stale_ms_plain"] = plain_stale
+        row["stale_ms_coordinated"] = coordinated_stale
+        shrank = coordinated_stale < plain_stale
+        if row["sources"] > 1 and not shrank:
+            stale_regressions.append(row["sources"])
+        print(
+            f"{row['sources']:>3}  {plain_stale:>14.3f}  "
+            f"{coordinated_stale:>14.3f}  "
+            f"{row['coordinated_avg_completion_ms']:>13.3f}  "
+            f"{row['coordinated_snoops']:>6}"
+            + ("" if row["sources"] == 1 or shrank else "  REGRESSION")
+        )
+
     print()
     for row in rows:
         status = "bit-identical" if row["timelines_identical"] else "MISMATCH"
@@ -249,6 +303,13 @@ def run(
         print(
             f"ERROR: some shard never folded for s in {starved} "
             "(window too small for this stream)",
+            file=sys.stderr,
+        )
+        return 1
+    if stale_regressions:
+        print(
+            "ERROR: coordination failed to shrink the staleness bucket "
+            f"for s in {stale_regressions}",
             file=sys.stderr,
         )
         return 1

@@ -16,17 +16,26 @@ and the degradation curve ``L(s)/L(1)``, alongside each run's sync
 activity, control-plane volume and decision quality against the
 full-knowledge oracle.
 
-Two built-in gates make the run self-checking:
+Every sweep point runs twice: plain, and with the cross-shard
+coordination layer on (:class:`~repro.core.config.CoordinationConfig`
+defaults — local delta gossip plus sync-reply snooping), so the report
+shows the degradation curve before and after coordination.
+
+Built-in gates make the run self-checking:
 
 - the ``s = 1`` run must be bit-identical to the single-scheduler
   :class:`~repro.core.grouping.POSGGrouping` path (same assignments,
   same control traffic) — the collapsed deployment *is* the paper's;
 - every shard of every run must complete at least one sync round
   (otherwise the configuration starves the sharded control plane and
-  the curve would compare unsynchronized schedulers).
+  the curve would compare unsynchronized schedulers);
+- at full scale (``scale >= 1.0``) the *coordinated* curve must stay
+  flat: ``L(8)/L(1) < 3.0`` — the uncoordinated baseline measured
+  ~15.8x, so this is the tentpole claim of the coordination layer,
+  enforced in the exit code.
 
-With ``--output DIR`` it writes ``multisource.json`` holding the full
-degradation curve for downstream tooling (the CI smoke job uploads it).
+With ``--output DIR`` it writes ``multisource.json`` holding both
+degradation curves for downstream tooling (the CI smoke job uploads it).
 
 The module is imported lazily by ``repro.experiments.cli`` and pulls
 the core/simulator stack in only inside :func:`run`.
@@ -43,6 +52,10 @@ from collections.abc import Sequence
 
 #: shard counts the degradation curve sweeps
 SOURCE_COUNTS = (1, 2, 4, 8)
+
+#: the coordinated degradation ceiling enforced at full scale:
+#: L(max s)/L(1) with gossip + snooping on (baseline measured ~15.8x)
+COORDINATED_DEGRADATION_CEILING = 3.0
 
 
 def run(
@@ -65,7 +78,7 @@ def run(
 
     import numpy as np
 
-    from repro.core.config import POSGConfig
+    from repro.core.config import CoordinationConfig, POSGConfig
     from repro.core.grouping import POSGGrouping
     from repro.core.multisource import MultiSourcePOSGGrouping
     from repro.simulator.parallel import simulate_stream_parallel
@@ -111,96 +124,135 @@ def run(
         + ("bit-identical" if identical else "MISMATCH")
     )
 
-    rows = []
+    coordinated_config = POSGConfig(
+        window_size=window, rows=2, cols=16,
+        coordination=CoordinationConfig(),
+    )
+    curves: dict[str, list] = {"plain": [], "coordinated": []}
     starved = []
     parallel_mismatches = []
     for sources in source_counts:
-        policy = MultiSourcePOSGGrouping(sources, config)
-        t0 = time.perf_counter()
-        result = simulate(policy)
-        sequential_elapsed = time.perf_counter() - t0
-        parallel_row = None
-        if parallel_workers is not None:
+        for label, shard_config in (
+            ("plain", config),
+            ("coordinated", coordinated_config),
+        ):
+            policy = MultiSourcePOSGGrouping(sources, shard_config)
             t0 = time.perf_counter()
-            parallel_result = simulate_stream_parallel(
-                stream,
-                MultiSourcePOSGGrouping(sources, config),
-                workers=parallel_workers,
-                k=k,
-                rng=np.random.default_rng(seed + 1),
-                chunk_size=max(1, chunk_size),
-            )
-            parallel_elapsed = time.perf_counter() - t0
-            matches = bool(
-                np.array_equal(
-                    result.stats.assignments,
-                    parallel_result.stats.assignments,
+            result = simulate(policy)
+            sequential_elapsed = time.perf_counter() - t0
+            parallel_row = None
+            if parallel_workers is not None:
+                t0 = time.perf_counter()
+                parallel_result = simulate_stream_parallel(
+                    stream,
+                    MultiSourcePOSGGrouping(sources, shard_config),
+                    workers=parallel_workers,
+                    k=k,
+                    rng=np.random.default_rng(seed + 1),
+                    chunk_size=max(1, chunk_size),
                 )
-                and np.array_equal(
-                    result.stats.completions,
-                    parallel_result.stats.completions,
+                parallel_elapsed = time.perf_counter() - t0
+                matches = bool(
+                    np.array_equal(
+                        result.stats.assignments,
+                        parallel_result.stats.assignments,
+                    )
+                    and np.array_equal(
+                        result.stats.completions,
+                        parallel_result.stats.completions,
+                    )
+                    and result.control_bits == parallel_result.control_bits
                 )
-                and result.control_bits == parallel_result.control_bits
+                if not matches:
+                    parallel_mismatches.append((label, sources))
+                parallel_row = {
+                    "workers": parallel_result.parallel["workers"],
+                    "tuples_per_sec": m / parallel_elapsed,
+                    "sequential_tuples_per_sec": m / sequential_elapsed,
+                    "speedup": sequential_elapsed / parallel_elapsed,
+                    "identical": matches,
+                }
+            rounds = [s.sync_rounds_completed for s in policy.schedulers]
+            if min(rounds) < 1:
+                starved.append((label, sources))
+            quality = compute_quality(
+                np.asarray(result.stats.assignments), times, k
             )
-            if not matches:
-                parallel_mismatches.append(sources)
-            parallel_row = {
-                "workers": parallel_result.parallel["workers"],
-                "tuples_per_sec": m / parallel_elapsed,
-                "sequential_tuples_per_sec": m / sequential_elapsed,
-                "speedup": sequential_elapsed / parallel_elapsed,
-                "identical": matches,
-            }
-        rounds = [s.sync_rounds_completed for s in policy.schedulers]
-        if min(rounds) < 1:
-            starved.append(sources)
-        quality = compute_quality(
-            np.asarray(result.stats.assignments), times, k
-        )
-        rows.append(
-            {
-                "sources": sources,
-                "avg_completion_ms": float(
-                    result.stats.average_completion_time
-                ),
-                "sync_rounds_min": int(min(rounds)),
-                "sync_rounds_total": int(sum(rounds)),
-                "control_bits": int(result.control_bits),
-                "misroute_fraction": float(
-                    quality["regret"]["misroute_fraction"]
-                ),
-                **({"parallel": parallel_row} if parallel_row else {}),
-            }
-        )
+            stats = policy.stats()
+            curves[label].append(
+                {
+                    "sources": sources,
+                    "avg_completion_ms": float(
+                        result.stats.average_completion_time
+                    ),
+                    "sync_rounds_min": int(min(rounds)),
+                    "sync_rounds_total": int(sum(rounds)),
+                    "control_bits": int(result.control_bits),
+                    "misroute_fraction": float(
+                        quality["regret"]["misroute_fraction"]
+                    ),
+                    "gossip_updates": int(stats["gossip_updates"]),
+                    "gossip_billed": int(stats["gossip_billed"]),
+                    "snoop_published": int(stats["snoop_published"]),
+                    **({"parallel": parallel_row} if parallel_row else {}),
+                }
+            )
 
-    base = rows[0]["avg_completion_ms"]
-    for row in rows:
-        row["degradation"] = row["avg_completion_ms"] / base
+    rows = curves["plain"]
+    rows_coordinated = curves["coordinated"]
+    for bucket in (rows, rows_coordinated):
+        base = bucket[0]["avg_completion_ms"]
+        for row in bucket:
+            row["degradation"] = row["avg_completion_ms"] / base
 
     print()
     print(
-        f"{'s':>3}  {'L(s) ms':>10}  {'L(s)/L(1)':>9}  {'sync rounds':>11}  "
-        f"{'control KiB':>11}  {'misrouted':>9}"
+        f"{'s':>3}  {'L(s) ms':>10}  {'L(s)/L(1)':>9}  "
+        f"{'coord L(s)':>10}  {'coord L/L1':>10}  {'gossip':>7}  "
+        f"{'snoops':>6}  {'misrouted':>9}"
     )
-    for row in rows:
+    for row, coord_row in zip(rows, rows_coordinated):
         print(
             f"{row['sources']:>3}  {row['avg_completion_ms']:>10.3f}  "
             f"{row['degradation']:>9.3f}  "
-            f"{row['sync_rounds_min']:>4}..{row['sync_rounds_total']:<5}  "
-            f"{row['control_bits'] / 8192:>11.1f}  "
-            f"{row['misroute_fraction']:>9.4f}"
+            f"{coord_row['avg_completion_ms']:>10.3f}  "
+            f"{coord_row['degradation']:>10.3f}  "
+            f"{coord_row['gossip_updates']:>7}  "
+            f"{coord_row['snoop_published']:>6}  "
+            f"{coord_row['misroute_fraction']:>9.4f}"
         )
     if parallel_workers is not None:
         print()
         print(f"parallel engine (workers={parallel_workers}):")
-        for row in rows:
-            par = row["parallel"]
-            print(
-                f"  s={row['sources']}: {par['tuples_per_sec']:,.0f} t/s "
-                f"({par['speedup']:.2f}x sequential, "
-                + ("bit-identical" if par["identical"] else "MISMATCH")
-                + ")"
-            )
+        for label, bucket in curves.items():
+            for row in bucket:
+                par = row["parallel"]
+                print(
+                    f"  {label} s={row['sources']}: "
+                    f"{par['tuples_per_sec']:,.0f} t/s "
+                    f"({par['speedup']:.2f}x sequential, "
+                    + ("bit-identical" if par["identical"] else "MISMATCH")
+                    + ")"
+                )
+
+    # -- gate: the coordinated curve must stay flat at full scale ------
+    top_coordinated = max(rows_coordinated, key=lambda row: row["sources"])
+    gate_applies = scale >= 1.0 and top_coordinated["sources"] > 1
+    gate_ok = (
+        top_coordinated["degradation"] < COORDINATED_DEGRADATION_CEILING
+    )
+    print()
+    print(
+        f"coordinated L({top_coordinated['sources']})/L(1) = "
+        f"{top_coordinated['degradation']:.3f} "
+        f"(ceiling {COORDINATED_DEGRADATION_CEILING}, "
+        + (
+            "gate enforced"
+            if gate_applies
+            else "informational below full scale"
+        )
+        + ")"
+    )
 
     if output is not None:
         directory = pathlib.Path(output)
@@ -213,6 +265,12 @@ def run(
             "chunk_size": chunk_size,
             "single_scheduler_identical": identical,
             "curve": rows,
+            "curve_coordinated": rows_coordinated,
+            "coordinated_degradation": top_coordinated["degradation"],
+            "coordinated_degradation_ceiling": (
+                COORDINATED_DEGRADATION_CEILING
+            ),
+            "coordination_gate_enforced": gate_applies,
         }
         path = directory / "multisource.json"
         path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -235,6 +293,15 @@ def run(
         print(
             "ERROR: parallel engine diverged from the sequential run "
             f"for s in {parallel_mismatches}",
+            file=sys.stderr,
+        )
+        return 1
+    if gate_applies and not gate_ok:
+        print(
+            f"ERROR: coordinated L({top_coordinated['sources']})/L(1) = "
+            f"{top_coordinated['degradation']:.3f} >= "
+            f"{COORDINATED_DEGRADATION_CEILING} (coordination failed to "
+            "flatten the degradation curve)",
             file=sys.stderr,
         )
         return 1

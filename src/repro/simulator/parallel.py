@@ -183,6 +183,15 @@ class ShardArena:
                                   lineage sample (worker output)
     ln_bel    float64[s, lcap, k] per shard: believed per-instance loads
                                   at each lineage sample (worker output)
+    gl_est    float64[s * cap]    the segment's estimate stream in
+                                  *global* arrival order (coupled-router
+                                  output, used only when cross-shard
+                                  gossip is on): slot ``p - start``
+                                  holds the estimate tuple ``p``'s owner
+                                  added — the value gossiped to every
+                                  sibling — so a truncated commit can
+                                  replay the committed prefix's adds
+                                  into all shards at once
     wk_busy   float64[s]          per shard: cumulative routing seconds
                                   (wall-clock telemetry, never read by
                                   any deterministic path)
@@ -244,6 +253,7 @@ class ShardArena:
         fl_bel_at, _ = region(sources * fcap * k)
         ln_idx_at, _ = region(sources * lcap)
         ln_bel_at, _ = region(sources * lcap * k)
+        gl_est_at, _ = region(sources * cap)
         wk_busy_at, _ = region(sources)
         self.nbytes = offset
 
@@ -274,6 +284,7 @@ class ShardArena:
         self.fl_bel = view(fl_bel_at, (sources, fcap, k), _F64)
         self.ln_idx = view(ln_idx_at, (sources, lcap), _I64)
         self.ln_bel = view(ln_bel_at, (sources, lcap, k), _F64)
+        self.gl_est = view(gl_est_at, (sources * cap,), _F64)
         self.wk_busy = view(wk_busy_at, (sources,), _F64)
 
     @property
@@ -293,7 +304,7 @@ class ShardArena:
         for attr in (
             "items", "ctrl", "c_hat", "order", "valid", "totals",
             "freq", "work", "out_inst", "out_est", "c_final",
-            "fl_idx", "fl_bel", "ln_idx", "ln_bel", "wk_busy",
+            "fl_idx", "fl_bel", "ln_idx", "ln_bel", "gl_est", "wk_busy",
         ):
             if hasattr(self, attr):
                 delattr(self, attr)
@@ -356,6 +367,7 @@ def _route_shard(
     end: int,
     flight_every: int = 0,
     lineage_every: int = 0,
+    two_choices: bool = False,
 ) -> None:
     """Route shard ``shard``'s slice of the segment ``[start, end)``.
 
@@ -363,7 +375,10 @@ def _route_shard(
     slice, per-instance estimate columns via the same pooled /
     per-instance gathering as ``POSGScheduler._gather_columns``, then
     the first-minimum greedy scan (same tie-breaking as ``np.argmin``)
-    over plain Python floats.
+    over plain Python floats.  With ``two_choices`` the scan layers the
+    scheduler's deterministic two-choices probe on top: the item-keyed
+    alternate candidate wins when its believed post-add load is
+    strictly lower (same float comparison as ``POSGScheduler.submit``).
 
     With ``flight_every > 0`` the worker additionally emits flight
     route samples into the shard's ``fl_idx``/``fl_bel`` ring: the
@@ -449,6 +464,8 @@ def _route_shard(
     inst_append = inst_out.append
     est_append = est_out.append
     k_range = range(1, k)
+    two_choices = two_choices and k > 1
+    sub_items = sub.tolist() if two_choices else None
     if flight_every:
         next_fs = _flight_first_pos(first, sources, flight_every)
     else:
@@ -472,6 +489,14 @@ def _route_shard(
                 best = value
                 instance = i
         est = columns[instance][pos]
+        if two_choices:
+            alt = sub_items[pos] % k
+            if alt == instance:
+                alt = alt + 1 if alt + 1 < k else 0
+            alt_est = columns[alt][pos]
+            if c[alt] + alt_est < c[instance] + est:
+                instance = alt
+                est = alt_est
         c[instance] += est
         inst_append(instance)
         est_append(est)
@@ -491,6 +516,166 @@ def _route_shard(
     ctrl[3] = n
     ctrl[4] = nf
     ctrl[5] = nl
+
+
+def _route_segment_coupled(
+    arena: ShardArena,
+    start: int,
+    end: int,
+    pairs_by_shard: dict[int, list[FWPair]],
+    cache,
+    pooled: bool,
+    two_choices: bool,
+    flight_every: int = 0,
+    lineage_every: int = 0,
+) -> None:
+    """Route one segment across *all* shards in-parent, gossip-coupled.
+
+    With cross-shard gossip on
+    (:class:`~repro.core.config.CoordinationConfig`), shard ``sigma``'s
+    greedy pick at stream position ``p`` depends on every estimate any
+    shard added at positions ``< p`` — the shard scans are no longer
+    embarrassingly parallel, so gossiping segments cannot be dispatched
+    to workers.  This router walks the segment once in global arrival
+    order, maintaining every shard's believed ``C_hat`` simultaneously
+    and applying each nonzero estimate to all of them: the exact
+    per-tuple float sequence of the sequential engines with gossip on.
+
+    Outputs land in the same arena regions the workers fill
+    (``out_inst``/``out_est``/``c_final``, the flight/lineage believed
+    rings, the per-shard ``ctrl`` counts), plus ``gl_est`` — the
+    estimate stream in global order — which the gossip-aware commit
+    replays prefix-only when the segment is truncated.  Billing
+    (gossip digests per stride) is deliberately *not* done here: it
+    never feeds back into routing, so the parent replays it at commit
+    via :meth:`MultiSourcePOSGGrouping.commit_gossip` over the
+    committed prefix only.
+    """
+    sources = arena.sources
+    k = arena.k
+    two_choices = two_choices and k > 1
+    n_by_shard = [0] * sources
+    rr_mode = [False] * sources
+    rr_base = [0] * sources
+    columns_by_shard: list = [None] * sources
+    items_by_shard: list = [None] * sources
+    c_by_shard: list[list[float]] = []
+    for shard in range(sources):
+        ctrl = arena.ctrl[shard]
+        first = start + ((shard - start) % sources)
+        n = 0 if first >= end else (end - first + sources - 1) // sources
+        n_by_shard[shard] = n
+        rr_mode[shard] = int(ctrl[0]) == _MODE_ROUND_ROBIN
+        rr_base[shard] = int(ctrl[1])
+        c_by_shard.append(arena.c_hat[shard].tolist())
+        if n == 0 or rr_mode[shard]:
+            continue
+        # Per-shard estimate columns: the identical gathering as
+        # `_route_shard` (same bucket cache, same pooled/per-instance
+        # split, zeros for never-synced instances).
+        sub = arena.items[first:end:sources]
+        buckets = cache.columns_many(np.ascontiguousarray(sub))
+        pairs = pairs_by_shard[shard]
+        pair_count = int(ctrl[2])
+        totals = arena.totals[shard]
+        order = arena.order[shard]
+        valid = arena.valid[shard]
+        for instance in range(k):
+            if valid[instance]:
+                pair = pairs[instance]
+                pair.freq._total_weight = float(totals[instance, 0])
+                pair.work._total_weight = float(totals[instance, 1])
+        if pooled and pair_count:
+            total = np.zeros(n, dtype=np.float64)
+            for slot in range(pair_count):
+                total = total + pairs[int(order[slot])].estimate_many_at(
+                    buckets
+                )
+            pooled_column = (total / pair_count).tolist()
+            columns = [pooled_column] * k
+        else:
+            zeros = None
+            columns = []
+            for instance in range(k):
+                if valid[instance]:
+                    columns.append(
+                        pairs[instance].estimate_many_at(buckets).tolist()
+                    )
+                else:
+                    if zeros is None:
+                        zeros = [0.0] * n
+                    columns.append(zeros)
+        columns_by_shard[shard] = columns
+        if two_choices:
+            items_by_shard[shard] = sub.tolist()
+
+    inst_by_shard: list[list[int]] = [[] for _ in range(sources)]
+    est_by_shard: list[list[float]] = [[] for _ in range(sources)]
+    nf = [0] * sources
+    nl = [0] * sources
+    pos = [0] * sources
+    gl_est = arena.gl_est
+    k_range = range(1, k)
+    for p in range(start, end):
+        shard = p % sources
+        c = c_by_shard[shard]
+        position = pos[shard]
+        pos[shard] = position + 1
+        if rr_mode[shard]:
+            instance = (rr_base[shard] + position) % k
+            est = 0.0
+        else:
+            best = c[0]
+            instance = 0
+            for i in k_range:
+                value = c[i]
+                if value < best:
+                    best = value
+                    instance = i
+            columns = columns_by_shard[shard]
+            est = columns[instance][position]
+            if two_choices:
+                alt = items_by_shard[shard][position] % k
+                if alt == instance:
+                    alt = alt + 1 if alt + 1 < k else 0
+                alt_est = columns[alt][position]
+                if c[alt] + alt_est < c[instance] + est:
+                    instance = alt
+                    est = alt_est
+            c[instance] += est
+            if est != 0.0:
+                # Local delta gossip: every sibling's belief absorbs the
+                # owner's add before the next tuple routes (positions are
+                # walked in global order, so sibling picks at p' > p see
+                # it — the sequential `route()` order exactly).
+                for sib in range(sources):
+                    if sib != shard:
+                        c_by_shard[sib][instance] += est
+        inst_by_shard[shard].append(instance)
+        est_by_shard[shard].append(est)
+        gl_est[p - start] = est
+        if flight_every and p % flight_every == 0:
+            row = nf[shard]
+            arena.fl_idx[shard][row] = p
+            arena.fl_bel[shard][row] = c
+            nf[shard] += 1
+        if lineage_every and p % lineage_every == 0:
+            row = nl[shard]
+            arena.ln_idx[shard][row] = p
+            arena.ln_bel[shard][row] = c
+            nl[shard] += 1
+    for shard in range(sources):
+        n = n_by_shard[shard]
+        ctrl = arena.ctrl[shard]
+        if n:
+            arena.out_inst[shard][:n] = inst_by_shard[shard]
+            arena.out_est[shard][:n] = est_by_shard[shard]
+        # Written for every shard: with gossip, a shard that routed
+        # nothing this segment still absorbed sibling adds.
+        arena.c_final[shard][:] = c_by_shard[shard]
+        ctrl[3] = n
+        ctrl[4] = nf[shard]
+        ctrl[5] = nl[shard]
 
 
 def _worker_main(
@@ -557,6 +742,7 @@ def _worker_main(
                 _route_shard(
                     arena, shard, pairs[shard], cache, pooled,
                     start, end, flight_every, lineage_every,
+                    spec.two_choices,
                 )
                 arena.wk_busy[shard] += perf_counter() - t0
             if stall_factor > 1.0:
@@ -932,6 +1118,28 @@ def _simulate_parallel(
         _route_shard(
             arena, shard, pairs, inline_state["cache"],
             spec.pooled_estimates, start, end, flight_every, lineage_every,
+            spec.two_choices,
+        )
+
+    def _coupled_route(start: int, end: int) -> None:
+        # Gossip couples the shard scans, so the whole segment routes
+        # in-parent through the same lazily-built views as the
+        # degraded-mode fallback (workers stay idle for gossip runs).
+        if "cache" not in inline_state:
+            family = TwoUniversalHashFamily.from_dict(spec.hashes)
+            inline_state["family"] = family
+            inline_state["cache"] = get_bucket_cache(family)
+            inline_state["pairs"] = {}
+        pairs_by_shard = inline_state["pairs"]
+        for shard in range(sources):
+            if shard not in pairs_by_shard:
+                pairs_by_shard[shard] = _attach_pair_views(
+                    inline_state["family"], arena, shard
+                )
+        _route_segment_coupled(
+            arena, start, end, pairs_by_shard, inline_state["cache"],
+            spec.pooled_estimates, spec.two_choices,
+            flight_every, lineage_every,
         )
 
     supervisor = WorkerSupervisor(
@@ -982,6 +1190,7 @@ def _simulate_parallel(
             lineage_every=lineage_every,
             sample_queues_every=sample_queues_every,
             profiler=profiler,
+            coupled_router=_coupled_route,
         )
         run_info["shard_busy_seconds"] = arena.wk_busy.tolist()
     finally:
@@ -1065,6 +1274,7 @@ def _parallel_loop(
     lineage_every,
     sample_queues_every,
     profiler,
+    coupled_router=None,
 ) -> dict:
     """The dispatch/merge/commit loop.  Returns the run's bookkeeping."""
     busy = [0.0] * k
@@ -1106,6 +1316,10 @@ def _parallel_loop(
     fallback_tuples = 0
     discarded = 0
     merge_stall = 0.0
+    # Cross-shard gossip couples the per-shard scans: segments route
+    # in-parent through `coupled_router` and C_hat folds back for all
+    # shards at once (see the commit step).
+    gossip_coupled = policy._gossip_on
 
     send_all = SchedulerState.SEND_ALL
     heappush = heapq.heappush
@@ -1199,12 +1413,14 @@ def _parallel_loop(
         if control_queue and control_queue[0][0] <= arrival:
             if profiler is not None:
                 profiler.start("control")
+            batch = []
             while control_queue and control_queue[0][0] <= arrival:
                 _, _, message = heappop(control_queue)
-                policy.on_control(message)
+                batch.append(message)
                 if isinstance(message, MatricesMessage):
                     for shard in range(sources):
                         matrices_dirty[shard] = True
+            policy.on_control_batch(batch)
             if profiler is not None:
                 profiler.stop()
 
@@ -1319,7 +1535,10 @@ def _parallel_loop(
             profiler.start("route")
         for shard in range(sources):
             _sync_shard(shard)
-        merge_stall += supervisor.route_segment(j, end)
+        if gossip_coupled:
+            coupled_router(j, end)
+        else:
+            merge_stall += supervisor.route_segment(j, end)
         # Deterministic k-way merge of the shard decision streams:
         # shard sigma produced the decisions for positions
         # first_sigma, first_sigma + s, ... — a strided interleave.
@@ -1577,6 +1796,8 @@ def _parallel_loop(
             shard_tuples[shard] += n_committed
             if int(ctrl[shard][0]) == _MODE_ROUND_ROBIN:
                 scheduler._rr_counter += n_committed
+            elif gossip_coupled:
+                pass  # C_hat folds for all shards at once, below
             elif n_committed == 0:
                 pass  # shard untouched this segment; c_final is stale
             elif n_committed == n_routed:
@@ -1627,6 +1848,47 @@ def _parallel_loop(
                             ln_bel_row[r].tolist(), arrivals[p],
                             clocks[0], clocks[1], clocks[2], clocks[3],
                         )
+        if gossip_coupled:
+            # Gossip-coupled C_hat fold: every nonzero estimate was
+            # added to every shard's belief, so a full commit snapshots
+            # each shard's coupled c_final, and a truncated one replays
+            # the committed prefix's adds — in global order, into all
+            # shards at once (the same IEEE add sequence per slot as
+            # routing only the prefix).
+            if end == end0:
+                for shard in range(sources):
+                    schedulers[shard]._c_hat[:] = c_final_region[shard]
+            else:
+                count = end - j
+                if count:
+                    c_hats = [s._c_hat for s in schedulers]
+                    gl = arena.gl_est[:count].tolist()
+                    for idx, estimate in enumerate(gl):
+                        if estimate != 0.0:
+                            instance = seg_asg[idx]
+                            for c_hat in c_hats:
+                                c_hat[instance] += estimate
+            # Billing replay over the committed prefix only: digests are
+            # a pure observability cost, so they fold at commit rather
+            # than during speculative routing.
+            for shard in range(sources):
+                if int(ctrl[shard][0]) == _MODE_ROUND_ROBIN:
+                    continue
+                first = j + ((shard - j) % sources)
+                n_committed = (
+                    0
+                    if end <= first
+                    else (end - first + sources - 1) // sources
+                )
+                if n_committed:
+                    policy.commit_gossip(
+                        shard,
+                        int(
+                            np.count_nonzero(
+                                out_est_region[shard][:n_committed]
+                            )
+                        ),
+                    )
         policy.sync_cursor(end)
         j = end
 

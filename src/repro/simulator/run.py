@@ -534,13 +534,16 @@ def _simulate_reference(
                 injector, crash_ptr, arrival, agents, busy_until
             )
 
-        # Deliver every control message due by now (see module docstring).
+        # Deliver every control message due by now (see module
+        # docstring) as one atomic batch: the policy validates the
+        # whole batch before folding any reply.
         if control_queue and control_queue[0][0] <= arrival:
             if profiler is not None:
                 profiler.start("control")
+            batch = []
             while control_queue and control_queue[0][0] <= arrival:
-                _, _, message = heapq.heappop(control_queue)
-                policy.on_control(message)
+                batch.append(heapq.heappop(control_queue)[2])
+            policy.on_control_batch(batch)
             if profiler is not None:
                 profiler.stop()
 
@@ -741,7 +744,15 @@ def _simulate_chunked(
         # (like fault injection): the recorder's believed-load samples
         # read scheduler C_hat right after each sampled submit, which
         # the segmented fast path only materializes at commit time.
-        if block_safe and policy.scheduler.recovery is None and recorder_flight is None:
+        # Coordination (the two-choices probe is the only mechanism
+        # alive under a single scheduler) also routes per tuple: the
+        # segmented block scan replays the plain argmin only.
+        if (
+            block_safe
+            and policy.scheduler.recovery is None
+            and recorder_flight is None
+            and policy.config.coordination is None
+        ):
             _run_posg(state, policy, agents, chunk_size, auditor, profiler, tracer)
         else:
             _run_generic(
@@ -985,9 +996,10 @@ def _run_generic(
         if control_queue and control_queue[0][0] <= arrival:
             if profiler is not None:
                 profiler.start("control")
+            batch = []
             while control_queue and control_queue[0][0] <= arrival:
-                _, _, message = heapq.heappop(control_queue)
-                policy.on_control(message)
+                batch.append(heapq.heappop(control_queue)[2])
+            policy.on_control_batch(batch)
             if profiler is not None:
                 profiler.stop()
 
@@ -1194,9 +1206,10 @@ def _run_posg(
         if control_queue and control_queue[0][0] <= arrival:
             if profiler is not None:
                 profiler.start("control")
+            batch = []
             while control_queue and control_queue[0][0] <= arrival:
-                _, _, message = heapq.heappop(control_queue)
-                policy.on_control(message)
+                batch.append(heapq.heappop(control_queue)[2])
+            policy.on_control_batch(batch)
             if profiler is not None:
                 profiler.stop()
 

@@ -107,6 +107,7 @@ class FlightRecorder:
         ("sync_request", at, instance, epoch)
         ("sync_reply",   at, instance, epoch, stale)
         ("fold",         at, epoch, deltas_folded)
+        ("snoop",        at, published)               # cross-shard publish
         ("matrices",     at, instance)
         ("route",        index, instance, believed)   # believed: tuple[float]
 
@@ -151,6 +152,7 @@ class FlightRecorder:
                 "sync_reply": 0,
                 "stale_reply": 0,
                 "fold": 0,
+                "snoop": 0,
                 "matrices": 0,
                 "route": 0,
             }
@@ -221,6 +223,16 @@ class FlightRecorder:
         # The re-baseline applies to decisions after the shard's at-th
         # tuple, i.e. global positions beyond shard + (at - 1) * s.
         self._last_fold_g[shard] = self._global(shard, at)
+
+    def record_snoop(self, shard: int, at: int, published: int) -> None:
+        """The shard's fold published ``published`` values to siblings.
+
+        Emitted on the *publisher's* timeline right after its ``fold``
+        event (sync-reply snooping; see
+        :class:`~repro.core.config.CoordinationConfig`).
+        """
+        if self._append(shard, ("snoop", at, published)):
+            self._counts[shard]["snoop"] += 1
 
     def record_matrices(self, shard: int, at: int, instance: int) -> None:
         """The shard received (a copy of) an instance's (F, W) matrices."""
@@ -322,6 +334,7 @@ class FlightRecorder:
                     "sync_replies": counts["sync_reply"],
                     "stale_replies": counts["stale_reply"],
                     "folds": counts["fold"],
+                    "snoops": counts["snoop"],
                     "matrices": counts["matrices"],
                     "route_samples": routes,
                     "staleness_mean": (self._stale_sum[shard] / routes) if routes else 0.0,
@@ -435,15 +448,27 @@ def derive_attribution(
     # A shard's "one sync round" is its median inter-fold gap; shards
     # that folded fewer than twice inherit the pooled median across all
     # shards (a shard that never re-baselined is blind relative to the
-    # cadence its peers achieved), and only when *no* shard folded
-    # twice does the threshold degenerate to the stream length.
+    # cadence its peers achieved).  When the pool itself is empty — no
+    # shard anywhere folded twice, which tiny streams and s=1 short runs
+    # hit — "one sync round" is undefined, so the fallback is pinned
+    # explicitly: every shard's threshold becomes the stream length
+    # ``m``, no decision can exceed it, and ``blind_tuples`` is exactly
+    # 0 (nothing is attributed to staleness on evidence that thin).
+    # The chosen fallback is reported as ``staleness.interval_fallback``
+    # so downstream tables can tell a measured threshold from the
+    # degenerate one.
     folds = [flight.fold_positions(shard) for shard in range(sources)]
     pooled = sorted(
         b - a
         for shard_folds in folds
         for a, b in zip(shard_folds, shard_folds[1:])
     )
-    global_interval = pooled[len(pooled) // 2] if pooled else m
+    if pooled:
+        global_interval = pooled[len(pooled) // 2]
+        interval_fallback = "pooled_median"
+    else:
+        global_interval = m
+        interval_fallback = "stream_length"
     intervals = [
         flight.sync_interval(shard, global_interval) for shard in range(sources)
     ]
@@ -552,6 +577,7 @@ def derive_attribution(
             "blind_tuples": blind_tuples,
             "blind_fraction": blind_tuples / m if m else 0.0,
             "sync_interval_tuples": intervals,
+            "interval_fallback": interval_fallback,
         },
         "believed_gap": {
             "samples": gap_count,

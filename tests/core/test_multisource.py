@@ -122,6 +122,99 @@ class TestControlDispatch:
             policy.on_control("not a message")
 
 
+class TestSyncCursor:
+    def test_restores_interleave_modulo_sources(self):
+        policy = MultiSourcePOSGGrouping(3, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        for _ in range(7):
+            policy.route(1)
+        policy.sync_cursor(7)
+        assert policy._cursor == 1
+
+    def test_rejects_negative_position(self):
+        # Regression: a negative position used to alias silently onto
+        # some shard via the modulo and desynchronize the interleave.
+        policy = MultiSourcePOSGGrouping(3, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        with pytest.raises(ValueError, match=">= 0"):
+            policy.sync_cursor(-1)
+
+    def test_rejects_position_beyond_routed_tuples(self):
+        policy = MultiSourcePOSGGrouping(3, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        for _ in range(5):
+            policy.route(1)
+        with pytest.raises(ValueError, match="beyond"):
+            policy.sync_cursor(6)
+
+    def test_accepts_exact_routed_count(self):
+        # The parallel engine calls sync_cursor(end) right after the
+        # commit step books exactly `end` tuples — equality must pass.
+        policy = MultiSourcePOSGGrouping(2, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        for _ in range(4):
+            policy.route(1)
+        policy.sync_cursor(4)
+        assert policy._cursor == 0
+
+
+class TestControlBatch:
+    def test_invalid_batch_applies_nothing(self):
+        """A bad reply anywhere in the batch must not fold earlier ones.
+
+        Per-message delivery used to apply the valid head of the batch
+        before raising on the bad tail; the whole batch is validated
+        first now, so the stale counter stays untouched.
+        """
+        policy = MultiSourcePOSGGrouping(2, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        batch = [
+            SyncReply(instance=0, epoch=99, delta=1.0, source=0),  # valid
+            SyncReply(instance=0, epoch=99, delta=1.0, source=5),  # bad shard
+        ]
+        with pytest.raises(ValueError, match="shard"):
+            policy.on_control_batch(batch)
+        # the valid reply was NOT applied: no stale reply booked anywhere
+        assert [s.stale_replies_dropped for s in policy.schedulers] == [0, 0]
+
+    def test_foreign_type_rejected_before_any_apply(self):
+        policy = MultiSourcePOSGGrouping(2, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        batch = [
+            SyncReply(instance=0, epoch=99, delta=1.0, source=1),
+            "not a message",
+        ]
+        with pytest.raises(TypeError):
+            policy.on_control_batch(batch)
+        assert [s.stale_replies_dropped for s in policy.schedulers] == [0, 0]
+
+    def test_valid_batch_applies_in_order(self):
+        policy = MultiSourcePOSGGrouping(2, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        policy.on_control_batch(
+            [
+                SyncReply(instance=0, epoch=99, delta=1.0, source=0),
+                SyncReply(instance=1, epoch=99, delta=1.0, source=1),
+            ]
+        )
+        assert [s.stale_replies_dropped for s in policy.schedulers] == [1, 1]
+
+    def test_empty_batch_is_noop(self):
+        policy = MultiSourcePOSGGrouping(2, small_config())
+        policy.setup(2, np.random.default_rng(0))
+        policy.on_control_batch([])
+
+    def test_base_policy_default_delegates_per_message(self):
+        policy = POSGGrouping(small_config())
+        policy.setup(2, np.random.default_rng(0))
+        pair = FWPair(make_shared_hashes(small_config(), rng=np.random.default_rng(5)))
+        pair.update(7, 3.0)
+        policy.on_control_batch(
+            [MatricesMessage(instance=0, matrices=pair, tuples_observed=1)]
+        )
+        assert policy.scheduler.matrices_received == 1
+
+
 class TestProtocol:
     def test_all_shards_reach_run(self):
         # window_size must give each shard (which only sees 1/s of the

@@ -240,3 +240,88 @@ class TestDeriveAttribution:
         )
         assert att["believed_gap"]["samples"] > 0
         assert len(att["staleness"]["sync_interval_tuples"]) == 2
+        # whichever threshold was used, the report must say which
+        assert att["staleness"]["interval_fallback"] in (
+            "pooled_median",
+            "stream_length",
+        )
+
+    def test_measured_interval_reported_as_pooled_median(self):
+        # a run whose shards fold repeatedly uses the measured cadence
+        from repro.core.config import POSGConfig
+        from repro.core.multisource import MultiSourcePOSGGrouping
+        from repro.simulator.run import simulate_stream
+        from repro.telemetry.quality import execution_time_matrix
+        from repro.workloads.nonstationary import LoadShiftScenario
+        from repro.workloads.synthetic import default_stream
+
+        m, k = 4_096, 5
+        stream = default_stream(seed=3, m=m, n=128)
+        result = simulate_stream(
+            stream,
+            MultiSourcePOSGGrouping(
+                2, POSGConfig(window_size=64, rows=2, cols=16)
+            ),
+            k=k,
+            rng=np.random.default_rng(7),
+            chunk_size=1024,
+            flight=FlightRecorderConfig(sample_every=32, window=64),
+        )
+        assert all(
+            len(result.flight.fold_positions(shard)) >= 2 for shard in range(2)
+        )
+        times = execution_time_matrix(stream, LoadShiftScenario.constant(k), k)
+        att = derive_attribution(result.flight, result.stats.assignments, times)
+        staleness = att["staleness"]
+        assert staleness["interval_fallback"] == "pooled_median"
+        assert all(
+            interval < m for interval in staleness["sync_interval_tuples"]
+        )
+
+    def test_tiny_stream_fallback_is_explicit_and_blind_free(self):
+        """No shard folded twice -> the pooled median is undefined.
+
+        The threshold pins to the stream length (no decision can exceed
+        it, so staleness gets exactly zero blame on evidence that thin)
+        and the report says which fallback was used.
+        """
+        flight = FlightRecorder(FlightRecorderConfig(sample_every=1, window=4))
+        flight.bind(2)
+        flight.record_fold(0, at=1, epoch=0, folded=1)  # a single fold:
+        flight.record_route(0, index=0, instance=0, believed=[0.0, 0.0])
+        m, k = 6, 2
+        times = np.ones((m, k))
+        att = derive_attribution(flight, [0] * m, times)
+        staleness = att["staleness"]
+        assert staleness["interval_fallback"] == "stream_length"
+        assert staleness["blind_tuples"] == 0
+        assert staleness["sync_interval_tuples"] == [m, m]
+        assert att["regret"]["stale_ms"] == 0.0
+
+    def test_tiny_simulated_stream_hits_stream_length_fallback(self):
+        # end-to-end: a stream too short for any shard to fold twice
+        from repro.core.config import POSGConfig
+        from repro.core.multisource import MultiSourcePOSGGrouping
+        from repro.simulator.run import simulate_stream
+        from repro.telemetry.quality import execution_time_matrix
+        from repro.workloads.nonstationary import LoadShiftScenario
+        from repro.workloads.synthetic import default_stream
+
+        m, k = 96, 2
+        stream = default_stream(seed=3, m=m, n=64)
+        result = simulate_stream(
+            stream,
+            MultiSourcePOSGGrouping(
+                2, POSGConfig(window_size=256, rows=2, cols=16)
+            ),
+            k=k,
+            rng=np.random.default_rng(4),
+            chunk_size=32,
+            flight=FlightRecorderConfig(sample_every=4, window=16),
+        )
+        times = execution_time_matrix(stream, LoadShiftScenario.constant(k), k)
+        att = derive_attribution(result.flight, result.stats.assignments, times)
+        staleness = att["staleness"]
+        assert staleness["interval_fallback"] == "stream_length"
+        assert staleness["blind_tuples"] == 0
+        assert staleness["sync_interval_tuples"] == [m, m]
